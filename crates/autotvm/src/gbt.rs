@@ -1,0 +1,252 @@
+//! Gradient-boosted regression trees — the XGBoost-style cost model
+//! AutoTVM uses to rank candidate configurations (§6.5).
+//!
+//! Implemented from scratch: CART-style regression trees grown by greedy
+//! variance reduction, boosted on residuals with a shrinkage factor. The
+//! model is small (tens of trees over tens of features), trained
+//! repeatedly during tuning, so simplicity beats generality here.
+
+/// One node of a regression tree (flattened into an arena).
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree of at most `max_depth` splits with at least
+    /// `min_samples` rows per leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or row widths differ from each other.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], max_depth: usize, min_samples: usize) -> RegressionTree {
+        assert!(!xs.is_empty() && xs.len() == ys.len(), "bad training set");
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let mut nodes = Vec::new();
+        Self::build(xs, ys, &idx, max_depth, min_samples.max(1), &mut nodes);
+        RegressionTree { nodes }
+    }
+
+    fn build(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: &[usize],
+        depth: usize,
+        min_samples: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+        if depth == 0 || idx.len() < 2 * min_samples {
+            nodes.push(Node::Leaf(mean));
+            return nodes.len() - 1;
+        }
+        // Find the (feature, threshold) minimizing weighted variance.
+        let nfeat = xs[idx[0]].len();
+        let base_sse: f64 = idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        for f in 0..nfeat {
+            let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][f], ys[i])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            // Prefix sums for O(n) split evaluation.
+            let n = vals.len();
+            let total_sum: f64 = vals.iter().map(|(_, y)| y).sum();
+            let total_sq: f64 = vals.iter().map(|(_, y)| y * y).sum();
+            let mut lsum = 0.0;
+            let mut lsq = 0.0;
+            for k in 0..n - 1 {
+                lsum += vals[k].1;
+                lsq += vals[k].1 * vals[k].1;
+                if vals[k].0 == vals[k + 1].0 {
+                    continue; // cannot split between equal values
+                }
+                let ln = (k + 1) as f64;
+                let rn = (n - k - 1) as f64;
+                if (ln as usize) < min_samples || (rn as usize) < min_samples {
+                    continue;
+                }
+                let lsse = lsq - lsum * lsum / ln;
+                let rsum = total_sum - lsum;
+                let rsse = (total_sq - lsq) - rsum * rsum / rn;
+                let sse = lsse + rsse;
+                if best.as_ref().is_none_or(|&(_, _, b)| sse < b) {
+                    best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, sse));
+                }
+            }
+        }
+        match best {
+            Some((feature, threshold, sse)) if sse < base_sse - 1e-12 => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+                let slot = nodes.len();
+                nodes.push(Node::Leaf(mean)); // placeholder
+                let left = Self::build(xs, ys, &li, depth - 1, min_samples, nodes);
+                let right = Self::build(xs, ys, &ri, depth - 1, min_samples, nodes);
+                nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+            _ => {
+                nodes.push(Node::Leaf(mean));
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf(v) => return *v,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Gradient-boosted regression trees with squared loss.
+#[derive(Debug, Clone, Default)]
+pub struct Gbt {
+    base: f64,
+    shrinkage: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl Gbt {
+    /// Fits `n_trees` trees of depth `depth` with the given shrinkage
+    /// (learning rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], n_trees: usize, depth: usize, shrinkage: f64) -> Gbt {
+        assert!(!xs.is_empty(), "empty training set");
+        let base = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut residual: Vec<f64> = ys.iter().map(|y| y - base).collect();
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let tree = RegressionTree::fit(xs, &residual, depth, 2);
+            for (r, x) in residual.iter_mut().zip(xs) {
+                *r -= shrinkage * tree.predict(x);
+            }
+            trees.push(tree);
+        }
+        Gbt {
+            base,
+            shrinkage,
+            trees,
+        }
+    }
+
+    /// Predicts one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.shrinkage
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(x))
+                    .sum::<f64>()
+    }
+
+    /// Whether the model has been fit.
+    pub fn is_fit(&self) -> bool {
+        !self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let (x, y) = (i as f64 / 20.0, j as f64 / 20.0);
+                xs.push(vec![x, y]);
+                // A step function plus a slope: tree-friendly.
+                ys.push(if x > 0.5 { 2.0 } else { 0.0 } + y);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn single_tree_learns_step() {
+        let (xs, ys) = grid();
+        let t = RegressionTree::fit(&xs, &ys, 4, 2);
+        assert!(t.predict(&[0.9, 0.0]) > 1.5);
+        assert!(t.predict(&[0.1, 0.0]) < 1.0);
+    }
+
+    #[test]
+    fn boosting_reduces_error() {
+        let (xs, ys) = grid();
+        let g1 = Gbt::fit(&xs, &ys, 1, 3, 0.3);
+        let g30 = Gbt::fit(&xs, &ys, 30, 3, 0.3);
+        let mse = |g: &Gbt| {
+            xs.iter()
+                .zip(&ys)
+                .map(|(x, y)| (g.predict(x) - y).powi(2))
+                .sum::<f64>()
+                / xs.len() as f64
+        };
+        assert!(mse(&g30) < mse(&g1) * 0.5, "{} vs {}", mse(&g30), mse(&g1));
+    }
+
+    #[test]
+    fn predicts_constant_on_constant_targets() {
+        let xs = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let ys = vec![5.0, 5.0, 5.0];
+        let g = Gbt::fit(&xs, &ys, 10, 3, 0.3);
+        for x in &xs {
+            assert!((g.predict(x) - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranks_better_configs_higher() {
+        // y = -(x - 0.7)^2: peak at 0.7; model should rank 0.7 above 0.1.
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64 / 50.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -(x[0] - 0.7).powi(2)).collect();
+        let g = Gbt::fit(&xs, &ys, 40, 4, 0.3);
+        assert!(g.predict(&[0.7]) > g.predict(&[0.1]));
+        assert!(g.predict(&[0.7]) > g.predict(&[0.99]));
+    }
+
+    #[test]
+    fn unfit_model_reports_unfit() {
+        assert!(!Gbt::default().is_fit());
+        let g = Gbt::fit(&[vec![0.0]], &[1.0], 1, 1, 0.3);
+        assert!(g.is_fit());
+    }
+}

@@ -1,0 +1,33 @@
+//! # flextensor-autotvm
+//!
+//! An AutoTVM-like baseline for the §6.5 comparison: hand-written schedule
+//! **templates** (a fixed structure with a few tunable knobs — the thing
+//! FlexTensor eliminates), a from-scratch **gradient-boosted-trees cost
+//! model** standing in for XGBoost, and the batched **tuning loop** that
+//! proposes candidates by simulated annealing over model predictions and
+//! measures them in rounds.
+//!
+//! # Examples
+//!
+//! ```
+//! use flextensor_ir::ops;
+//! use flextensor_sim::{model::Evaluator, spec::{Device, v100}};
+//! use flextensor_autotvm::tuner::{tune, TuneOptions};
+//!
+//! let g = ops::gemm(256, 256, 256);
+//! let ev = Evaluator::new(Device::Gpu(v100()));
+//! let opts = TuneOptions { rounds: 2, batch: 8, ..TuneOptions::default() };
+//! let result = tune(&g, &ev, &opts)?;
+//! assert!(result.best_cost.gflops() > 0.0);
+//! # Ok::<(), flextensor_autotvm::tuner::TuneError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gbt;
+pub mod template;
+pub mod tuner;
+
+pub use gbt::Gbt;
+pub use template::Template;
+pub use tuner::{tune, TuneOptions, TuneResult};

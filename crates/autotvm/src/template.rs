@@ -1,0 +1,270 @@
+//! AutoTVM-style schedule templates.
+//!
+//! AutoTVM requires a hand-written template per operator: a fixed schedule
+//! structure with a few tunable knobs (§2.3, §6.5). We implement the
+//! standard conv/GEMM-style template: 4-way tiling knobs on the *channel*
+//! axis and the *innermost spatial* axis, a 3-way knob on the first reduce
+//! axis, and an unroll toggle — everything else (reorder, fusion, caching,
+//! other axes) is fixed by the template author. This restriction is what
+//! makes the template space orders of magnitude smaller than FlexTensor's
+//! (the paper measures 2027× on C2D).
+
+use flextensor_ir::graph::{ComputeOp, Graph};
+use flextensor_schedule::config::{NodeConfig, TargetKind, REDUCE_PARTS, SPATIAL_PARTS};
+use rand::Rng;
+
+/// Whether `n` is a power of two (including 1).
+fn is_pow2(n: i64) -> bool {
+    n > 0 && n & (n - 1) == 0
+}
+
+/// Enumerates the factorizations a hand-written template would expose:
+/// the outermost factor takes the remainder, and every inner factor is a
+/// power of two (the standard candidate filter in real AutoTVM conv/GEMM
+/// templates — tiles of 2/4/8/16/... only). For power-of-two extents this
+/// barely restricts; for extents like 7/14/28/56 it is exactly the
+/// shape-inflexibility a template-free space escapes.
+pub fn template_factorizations(n: i64, parts: usize) -> Vec<Vec<i64>> {
+    enumerate_factorizations(n, parts)
+        .into_iter()
+        .filter(|f| f.iter().skip(1).all(|&x| is_pow2(x)))
+        .collect()
+}
+
+/// Enumerates all ordered factorizations of `n` into `parts` factors.
+pub fn enumerate_factorizations(n: i64, parts: usize) -> Vec<Vec<i64>> {
+    fn rec(n: i64, parts: usize, cur: &mut Vec<i64>, out: &mut Vec<Vec<i64>>) {
+        if parts == 1 {
+            let mut v = cur.clone();
+            v.push(n);
+            out.push(v);
+            return;
+        }
+        let mut d = 1;
+        while d <= n {
+            if n % d == 0 {
+                cur.push(d);
+                rec(n / d, parts - 1, cur, out);
+                cur.pop();
+            }
+            d += 1;
+        }
+    }
+    let mut out = Vec::new();
+    rec(n, parts, &mut Vec::new(), &mut out);
+    out
+}
+
+/// One tunable knob: which axis it splits and the candidate factorizations.
+#[derive(Debug, Clone)]
+struct SplitKnob {
+    /// Spatial axis index (`None` = the reduce-axis knob).
+    spatial_axis: Option<usize>,
+    /// Reduce axis index when `spatial_axis` is `None`.
+    reduce_axis: usize,
+    candidates: Vec<Vec<i64>>,
+}
+
+/// A template: the knob set plus the fixed structure.
+#[derive(Debug, Clone)]
+pub struct Template {
+    op: ComputeOp,
+    target: TargetKind,
+    knobs: Vec<SplitKnob>,
+    /// Knob index vector length = `knobs.len() + 1` (the last entry is the
+    /// unroll toggle ∈ {0, 1}).
+    num_indices: usize,
+}
+
+impl Template {
+    /// Builds the generic template for a graph's anchor op.
+    pub fn new(graph: &Graph, target: TargetKind) -> Template {
+        let op = graph.anchor_op().clone();
+        let mut knobs = Vec::new();
+        // Like real AutoTVM conv/GEMM templates: a 4-way tiling knob per
+        // spatial axis and a 3-way knob on the dominant (first) reduce
+        // axis. Everything else — reorder, fusion, caching, inlining,
+        // kernel-axis splits, pipeline shape — is fixed by the template
+        // author; that restriction is the space-size gap FlexTensor
+        // removes.
+        for (i, a) in op.spatial.iter().enumerate() {
+            if a.extent > 1 {
+                knobs.push(SplitKnob {
+                    spatial_axis: Some(i),
+                    reduce_axis: 0,
+                    candidates: template_factorizations(a.extent, SPATIAL_PARTS),
+                });
+            }
+        }
+        // First reduce axis knob.
+        if !op.reduce.is_empty() {
+            knobs.push(SplitKnob {
+                spatial_axis: None,
+                reduce_axis: 0,
+                candidates: template_factorizations(op.reduce[0].extent, REDUCE_PARTS),
+            });
+        }
+        let num_indices = knobs.len() + 1;
+        Template {
+            op,
+            target,
+            knobs,
+            num_indices,
+        }
+    }
+
+    /// The op this template schedules.
+    pub fn op(&self) -> &ComputeOp {
+        &self.op
+    }
+
+    /// Number of points in the template space.
+    pub fn size(&self) -> f64 {
+        2.0 * self
+            .knobs
+            .iter()
+            .map(|k| k.candidates.len() as f64)
+            .product::<f64>()
+    }
+
+    /// Width of an index vector.
+    pub fn num_indices(&self) -> usize {
+        self.num_indices
+    }
+
+    /// Samples a uniform random index vector.
+    pub fn random_index(&self, rng: &mut impl Rng) -> Vec<usize> {
+        let mut idx: Vec<usize> = self
+            .knobs
+            .iter()
+            .map(|k| rng.gen_range(0..k.candidates.len()))
+            .collect();
+        idx.push(rng.gen_range(0..2));
+        idx
+    }
+
+    /// Mutates one random knob of an index vector (the SA proposal move of
+    /// AutoTVM's model-guided search).
+    pub fn mutate(&self, idx: &[usize], rng: &mut impl Rng) -> Vec<usize> {
+        let mut out = idx.to_vec();
+        let k = rng.gen_range(0..self.num_indices);
+        if k < self.knobs.len() {
+            out[k] = rng.gen_range(0..self.knobs[k].candidates.len());
+        } else {
+            out[k] = 1 - out[k];
+        }
+        out
+    }
+
+    /// Materializes an index vector into a full schedule configuration
+    /// (the template's fixed structure filled with the knob values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index vector has the wrong width or out-of-range
+    /// entries.
+    pub fn to_config(&self, idx: &[usize]) -> NodeConfig {
+        assert_eq!(idx.len(), self.num_indices, "bad index width");
+        let mut cfg = NodeConfig::naive(&self.op);
+        for (knob, &i) in self.knobs.iter().zip(idx) {
+            let factors = knob.candidates[i].clone();
+            match knob.spatial_axis {
+                Some(a) => cfg.spatial_splits[a] = factors,
+                None => cfg.reduce_splits[knob.reduce_axis] = factors,
+            }
+        }
+        cfg.unroll = idx[self.num_indices - 1] == 1;
+        cfg.vectorize = true;
+        match self.target {
+            TargetKind::Gpu => {
+                cfg.cache_shared = true;
+                cfg.fuse_outer = self.op.spatial.len();
+            }
+            TargetKind::Cpu => {
+                cfg.fuse_outer = self.op.spatial.len().min(2);
+            }
+            TargetKind::Fpga => {
+                cfg.fpga_pipeline = 3;
+                cfg.fpga_partition = 4;
+            }
+        }
+        cfg
+    }
+
+    /// Feature vector for the cost model: log-scaled knob factor values
+    /// plus the unroll flag.
+    pub fn features(&self, idx: &[usize]) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (knob, &i) in self.knobs.iter().zip(idx) {
+            for &f in &knob.candidates[i] {
+                out.push((f as f64).log2() / 10.0);
+            }
+        }
+        out.push(idx[self.num_indices - 1] as f64);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factorization_enumeration_is_complete() {
+        let f = enumerate_factorizations(8, 3);
+        // 8 = 2^3 into 3 parts: C(5,2) = 10.
+        assert_eq!(f.len(), 10);
+        for v in &f {
+            assert_eq!(v.iter().product::<i64>(), 8);
+            assert_eq!(v.len(), 3);
+        }
+        assert_eq!(enumerate_factorizations(1, 4), vec![vec![1, 1, 1, 1]]);
+    }
+
+    #[test]
+    fn template_space_is_much_smaller_than_flextensor() {
+        let g = flextensor_ir::yolo::yolo_layer("C13").unwrap().graph(1);
+        let t = Template::new(&g, TargetKind::Gpu);
+        let flex = flextensor_explore::space::Space::new(&g, TargetKind::Gpu);
+        let ratio = flex.size() / t.size();
+        assert!(ratio > 100.0, "ratio {ratio:.0}");
+    }
+
+    #[test]
+    fn configs_validate() {
+        let g = ops::conv2d(ops::ConvParams::same(1, 64, 128, 3), 28, 28);
+        let t = Template::new(&g, TargetKind::Gpu);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let idx = t.random_index(&mut rng);
+            let cfg = t.to_config(&idx);
+            cfg.validate(t.op()).unwrap();
+            assert!(cfg.cache_shared);
+        }
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_knob() {
+        let g = ops::gemm(64, 64, 64);
+        let t = Template::new(&g, TargetKind::Gpu);
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = t.random_index(&mut rng);
+        let m = t.mutate(&idx, &mut rng);
+        let diffs = idx.iter().zip(&m).filter(|(a, b)| a != b).count();
+        assert!(diffs <= 1);
+    }
+
+    #[test]
+    fn features_are_stable_width() {
+        let g = ops::gemm(64, 64, 64);
+        let t = Template::new(&g, TargetKind::Gpu);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = t.features(&t.random_index(&mut rng)).len();
+        for _ in 0..10 {
+            assert_eq!(t.features(&t.random_index(&mut rng)).len(), w);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! # flextensor-bench
+//!
+//! Benchmark harness for the FlexTensor reproduction: one binary per paper
+//! table/figure (see DESIGN.md's per-experiment index) plus Criterion
+//! micro-benches over the substrates. The library part hosts shared
+//! harness utilities in [`harness`].
+
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,208 @@
+//! End-to-end DNN optimization (§6.6).
+//!
+//! FlexTensor handles full networks by partitioning them into sub-graphs,
+//! fusing sub-graphs into operators, and feeding the fused operators to
+//! the optimizer. For the convolution backbones evaluated in the paper
+//! (YOLO-v1, OverFeat) the fused operators are the distinct convolution
+//! layers; element-wise epilogues (bias, activation) fuse into the
+//! convolution for free. Each *distinct* layer is optimized once and its
+//! schedule reused for every occurrence.
+
+use flextensor_ir::ops::{fuse_epilogue, Epilogue};
+use flextensor_ir::yolo::{yolo_layer, ConvLayer, OVERFEAT_LAYERS, YOLO_V1_FULL};
+use flextensor_sim::spec::Device;
+
+use crate::optimize::{optimize, OptimizeError, OptimizeOptions, Task};
+
+/// One distinct layer of a network, with its occurrence count and the
+/// element-wise epilogue fused into it (§6.6's sub-graph fusion).
+#[derive(Debug, Clone, Copy)]
+pub struct LayerSpec {
+    /// The layer configuration.
+    pub layer: ConvLayer,
+    /// How many times it appears in the network.
+    pub count: usize,
+    /// Epilogue fused at writeback (bias/activation), if any.
+    pub epilogue: Option<Epilogue>,
+}
+
+impl LayerSpec {
+    /// Builds the (possibly fused) mini-graph of this layer.
+    pub fn graph(&self, batch: i64) -> flextensor_ir::graph::Graph {
+        let g = self.layer.graph(batch);
+        match self.epilogue {
+            Some(e) => fuse_epilogue(g, e),
+            None => g,
+        }
+    }
+}
+
+/// YOLO-v1's 24 convolution layers as 15 distinct configs (Table 4), each
+/// fused with YOLO's leaky-ReLU (alpha = 0.1) activation.
+pub fn yolo_v1() -> Vec<LayerSpec> {
+    YOLO_V1_FULL
+        .iter()
+        .map(|&(name, count)| LayerSpec {
+            layer: *yolo_layer(name).expect("Table 4 layer"),
+            count,
+            epilogue: Some(Epilogue::LeakyRelu(0.1)),
+        })
+        .collect()
+}
+
+/// OverFeat's 5 convolution layers, fused with ReLU.
+pub fn overfeat() -> Vec<LayerSpec> {
+    OVERFEAT_LAYERS
+        .iter()
+        .map(|&layer| LayerSpec {
+            layer,
+            count: 1,
+            epilogue: Some(Epilogue::Relu),
+        })
+        .collect()
+}
+
+/// Per-layer outcome of a network optimization.
+#[derive(Debug, Clone)]
+pub struct LayerResult {
+    /// Layer label.
+    pub name: &'static str,
+    /// Occurrences in the network.
+    pub count: usize,
+    /// Time of one occurrence, seconds.
+    pub seconds: f64,
+    /// Throughput of one occurrence, GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Whole-network outcome.
+#[derive(Debug, Clone)]
+pub struct NetworkResult {
+    /// Per-layer results, in network order.
+    pub layers: Vec<LayerResult>,
+    /// End-to-end time (sum over occurrences), seconds.
+    pub total_seconds: f64,
+}
+
+impl NetworkResult {
+    fn from_layers(layers: Vec<LayerResult>) -> NetworkResult {
+        let total_seconds = layers.iter().map(|l| l.seconds * l.count as f64).sum();
+        NetworkResult {
+            layers,
+            total_seconds,
+        }
+    }
+}
+
+/// Optimizes every distinct layer of a network with FlexTensor and sums
+/// the end-to-end time at the given batch size.
+///
+/// # Errors
+///
+/// Propagates the first layer-level [`OptimizeError`].
+pub fn optimize_network(
+    specs: &[LayerSpec],
+    device: &Device,
+    batch: i64,
+    opts: &OptimizeOptions,
+) -> Result<NetworkResult, OptimizeError> {
+    let mut layers = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let graph = spec.graph(batch);
+        let task = Task::new(graph, device.clone());
+        let r = optimize(&task, opts)?;
+        layers.push(LayerResult {
+            name: spec.layer.name,
+            count: spec.count,
+            seconds: r.cost.seconds,
+            gflops: r.gflops(),
+        });
+    }
+    Ok(NetworkResult::from_layers(layers))
+}
+
+/// The same end-to-end measurement with the AutoTVM baseline tuner.
+///
+/// # Errors
+///
+/// Propagates the first layer-level tuning error as [`OptimizeError`].
+pub fn autotvm_network(
+    specs: &[LayerSpec],
+    device: &Device,
+    batch: i64,
+    opts: &flextensor_autotvm::tuner::TuneOptions,
+) -> Result<NetworkResult, OptimizeError> {
+    let evaluator = flextensor_sim::model::Evaluator::new(device.clone());
+    let mut layers = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let graph = spec.graph(batch);
+        let r = flextensor_autotvm::tuner::tune(&graph, &evaluator, opts)
+            .map_err(|e| OptimizeError(e.to_string()))?;
+        layers.push(LayerResult {
+            name: spec.layer.name,
+            count: spec.count,
+            seconds: r.best_cost.seconds,
+            gflops: r.best_cost.gflops(),
+        });
+    }
+    Ok(NetworkResult::from_layers(layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_sim::spec::v100;
+
+    #[test]
+    fn yolo_and_overfeat_layer_lists() {
+        let y = yolo_v1();
+        assert_eq!(y.len(), 15);
+        assert_eq!(y.iter().map(|l| l.count).sum::<usize>(), 24);
+        assert_eq!(overfeat().len(), 5);
+    }
+
+    #[test]
+    fn network_total_weights_by_count() {
+        let layers = vec![
+            LayerResult {
+                name: "a",
+                count: 2,
+                seconds: 1.0,
+                gflops: 1.0,
+            },
+            LayerResult {
+                name: "b",
+                count: 1,
+                seconds: 3.0,
+                gflops: 1.0,
+            },
+        ];
+        let n = NetworkResult::from_layers(layers);
+        assert_eq!(n.total_seconds, 5.0);
+    }
+
+    #[test]
+    fn optimizes_a_small_network_end_to_end() {
+        // Two small layers, quick budget: the plumbing test.
+        let specs = vec![
+            LayerSpec {
+                layer: *yolo_layer("C15").unwrap(),
+                count: 2,
+                epilogue: Some(Epilogue::LeakyRelu(0.1)),
+            },
+            LayerSpec {
+                layer: *yolo_layer("C11").unwrap(),
+                count: 1,
+                epilogue: None,
+            },
+        ];
+        let device = Device::Gpu(v100());
+        let opts = OptimizeOptions::quick();
+        let r = optimize_network(&specs, &device, 1, &opts).unwrap();
+        assert_eq!(r.layers.len(), 2);
+        assert!(r.total_seconds > 0.0);
+        // End-to-end = 2 * C15 + 1 * C11.
+        let manual = 2.0 * r.layers[0].seconds + r.layers[1].seconds;
+        assert!((r.total_seconds - manual).abs() < 1e-12);
+    }
+}

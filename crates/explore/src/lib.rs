@@ -1,0 +1,43 @@
+//! # flextensor-explore
+//!
+//! The back-end of the FlexTensor reproduction: schedule-space generation
+//! and heuristic + machine-learning exploration (§4.2, §5.1).
+//!
+//! * [`space`] — the pruned, high-dimensionally rearranged schedule space:
+//!   points are `NodeConfig`s, neighborhoods are [`Direction`](space::Direction)s
+//!   (prime-factor moves between split levels, reorder swaps, primitive
+//!   toggles), with hardware-fixed decisions per target.
+//! * [`sa`] — the evaluated-point set `H` and the simulated-annealing
+//!   starting-point rule `P(p) ∝ exp(-γ(E* - E_p)/E*)`.
+//! * [`qlearn`] — the Q-learning direction selector: a four-layer
+//!   fully-connected ReLU network trained online with AdaDelta against a
+//!   target network.
+//! * [`methods`] — the search drivers: Q-method, P-method (all
+//!   directions), and a random-walk ablation, with exploration-time
+//!   accounting modeling the real system's per-measurement cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use flextensor_ir::ops;
+//! use flextensor_sim::{model::Evaluator, spec::{Device, v100}};
+//! use flextensor_explore::methods::{search, Method, SearchOptions};
+//!
+//! let g = ops::gemm(256, 256, 256);
+//! let ev = Evaluator::new(Device::Gpu(v100()));
+//! let opts = SearchOptions { trials: 10, ..SearchOptions::default() };
+//! let result = search(&g, &ev, Method::QMethod, &opts)?;
+//! assert!(result.best_cost.gflops() > 0.0);
+//! # Ok::<(), flextensor_explore::methods::SearchError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod qlearn;
+pub mod sa;
+pub mod space;
+
+pub use methods::{search, Method, SearchOptions, SearchResult, TracePoint};
+pub use sa::History;
+pub use space::{Direction, Space};

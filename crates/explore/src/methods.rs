@@ -1,0 +1,426 @@
+//! The exploration drivers: Q-method, P-method, and a random-walk
+//! ablation (§5.1, §6.5).
+//!
+//! All three share one loop — evaluate seeds, then repeatedly (a) pick
+//! starting points from `H` with the simulated-annealing rule and (b) move
+//! each along direction(s) — and differ only in *how directions are
+//! chosen*:
+//!
+//! * **Q-method** — query the Q-network for the single best direction per
+//!   starting point (the paper's contribution);
+//! * **P-method** — try *every* applicable direction of every starting
+//!   point (the exhaustive-neighborhood baseline of §6.5);
+//! * **RandomWalk** — one uniformly random applicable direction
+//!   (an ablation isolating the value of learned direction choice).
+//!
+//! Exploration-*time* accounting models the real system's measurement
+//! cost: each evaluated point costs `measure_overhead_s` (compile + launch,
+//! ≤ 1 s per §5.2) plus a few timed repetitions of the kernel.
+
+use flextensor_ir::graph::Graph;
+use flextensor_schedule::config::NodeConfig;
+use flextensor_sim::model::{Cost, Evaluator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::qlearn::{QAgent, Transition};
+use crate::sa::History;
+use crate::space::Space;
+
+/// Direction-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Q-learning guided single direction per start (the paper's method).
+    QMethod,
+    /// All applicable directions per start (§6.5's P-method).
+    PMethod,
+    /// One random applicable direction per start (ablation).
+    RandomWalk,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Method::QMethod => "Q-method",
+            Method::PMethod => "P-method",
+            Method::RandomWalk => "random-walk",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Exploration hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Number of exploration trials (steps).
+    pub trials: usize,
+    /// Starting points selected per trial (user-settable per §5.1).
+    pub starts: usize,
+    /// SA temperature γ.
+    pub gamma: f64,
+    /// Random seeds sampled before exploration begins.
+    pub initial_samples: usize,
+    /// RNG seed (everything is deterministic given this).
+    pub seed: u64,
+    /// Modeled compile+measure overhead per on-device evaluation, seconds.
+    pub measure_overhead_s: f64,
+    /// Kernel repetitions per measurement.
+    pub measure_repeats: u32,
+    /// Stop early once the best time reaches this many seconds.
+    pub stop_when_seconds: Option<f64>,
+}
+
+impl Default for SearchOptions {
+    fn default() -> SearchOptions {
+        SearchOptions {
+            trials: 100,
+            starts: 8,
+            gamma: 2.0,
+            initial_samples: 16,
+            seed: 0xF1E2_7E50,
+            measure_overhead_s: 0.8,
+            measure_repeats: 10,
+            stop_when_seconds: None,
+        }
+    }
+}
+
+/// One point of the convergence trace (drives Figs. 6d and 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Trial index.
+    pub trial: usize,
+    /// Cumulative on-device measurements so far.
+    pub measurements: usize,
+    /// Cumulative modeled exploration time, seconds.
+    pub exploration_time_s: f64,
+    /// Best kernel time found so far, seconds.
+    pub best_seconds: f64,
+    /// Best throughput found so far, GFLOP/s.
+    pub best_gflops: f64,
+}
+
+/// Result of one exploration run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best configuration found.
+    pub best: NodeConfig,
+    /// Its cost.
+    pub best_cost: Cost,
+    /// Convergence trace, one point per trial.
+    pub trace: Vec<TracePoint>,
+    /// Total on-device measurements performed.
+    pub measurements: usize,
+    /// Total modeled exploration time, seconds.
+    pub exploration_time_s: f64,
+    /// Size of the explored schedule space (points).
+    pub space_size: f64,
+}
+
+/// Errors from exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchError(pub String);
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "search failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+struct Driver<'a> {
+    graph: &'a Graph,
+    evaluator: &'a Evaluator,
+    space: Space,
+    history: History,
+    measurements: usize,
+    time_s: f64,
+    opts: SearchOptions,
+}
+
+impl<'a> Driver<'a> {
+    /// Evaluates a point (if new), updating `H` and the time accounting.
+    /// Returns the performance value `E` (0 for infeasible).
+    fn evaluate(&mut self, cfg: &NodeConfig) -> f64 {
+        if let Some(e) = self.history.value(cfg) {
+            return e;
+        }
+        let cost = self.evaluator.evaluate(self.graph, cfg);
+        self.measurements += 1;
+        let e = match cost {
+            Some(c) => {
+                self.time_s +=
+                    self.opts.measure_overhead_s + self.opts.measure_repeats as f64 * c.seconds;
+                1.0 / c.seconds
+            }
+            None => {
+                // Compilation / launch failure still costs overhead.
+                self.time_s += self.opts.measure_overhead_s;
+                0.0
+            }
+        };
+        self.history.record(cfg.clone(), e);
+        e
+    }
+
+    fn trace_point(&self, trial: usize) -> TracePoint {
+        let (best_seconds, best_gflops) = match self.history.best() {
+            Some((_, e)) if e > 0.0 => {
+                let s = 1.0 / e;
+                (s, self.graph.flops() as f64 / s / 1e9)
+            }
+            _ => (f64::INFINITY, 0.0),
+        };
+        TracePoint {
+            trial,
+            measurements: self.measurements,
+            exploration_time_s: self.time_s,
+            best_seconds,
+            best_gflops,
+        }
+    }
+
+    fn reached_target(&self) -> bool {
+        match (self.opts.stop_when_seconds, self.history.best()) {
+            (Some(target), Some((_, e))) if e > 0.0 => 1.0 / e <= target,
+            _ => false,
+        }
+    }
+}
+
+/// Runs schedule exploration for a graph on a device model.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] when no feasible point is found within the
+/// budget (pathological spaces only).
+pub fn search(
+    graph: &Graph,
+    evaluator: &Evaluator,
+    method: Method,
+    opts: &SearchOptions,
+) -> Result<SearchResult, SearchError> {
+    let space = Space::new(graph, evaluator.target());
+    let space_size = space.size();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut agent = match method {
+        Method::QMethod => Some(QAgent::new(
+            space.feature_dim(),
+            space.directions().len(),
+            &mut rng,
+        )),
+        _ => None,
+    };
+
+    let mut d = Driver {
+        graph,
+        evaluator,
+        space,
+        history: History::new(),
+        measurements: 0,
+        time_s: 0.0,
+        opts: opts.clone(),
+    };
+
+    // Seed the history: the naive point plus random samples.
+    d.evaluate(&d.space.start_point().clone());
+    for _ in 0..opts.initial_samples {
+        let p = d.space.random_point(&mut rng);
+        d.evaluate(&p);
+    }
+
+    let mut trace = Vec::with_capacity(opts.trials + 1);
+    trace.push(d.trace_point(0));
+
+    'outer: for trial in 1..=opts.trials {
+        if let Some(agent) = agent.as_mut() {
+            agent.set_progress(trial as f64 / opts.trials.max(1) as f64);
+        }
+        let starts = d.history.select_starts(opts.starts, opts.gamma, &mut rng);
+        for p in starts {
+            let e_p = d.history.value(&p).unwrap_or(0.0);
+            // Applicable = the direction exists from p and leads to an
+            // unvisited point.
+            let neighbors: Vec<Option<NodeConfig>> = d
+                .space
+                .directions()
+                .iter()
+                .map(|&dir| {
+                    d.space
+                        .apply(&p, dir)
+                        .filter(|n| !d.history.contains(n))
+                })
+                .collect();
+            let chosen: Vec<usize> = match method {
+                Method::PMethod => (0..neighbors.len())
+                    .filter(|&i| neighbors[i].is_some())
+                    .collect(),
+                Method::RandomWalk => {
+                    let avail: Vec<usize> = (0..neighbors.len())
+                        .filter(|&i| neighbors[i].is_some())
+                        .collect();
+                    if avail.is_empty() {
+                        vec![]
+                    } else {
+                        vec![avail[rng.gen_range(0..avail.len())]]
+                    }
+                }
+                Method::QMethod => {
+                    let mask: Vec<bool> = neighbors.iter().map(Option::is_some).collect();
+                    let feats = d.space.features(&p);
+                    match agent
+                        .as_ref()
+                        .expect("Q agent exists")
+                        .choose(&feats, &mask, &mut rng)
+                    {
+                        Some(a) => vec![a],
+                        None => vec![],
+                    }
+                }
+            };
+            for a in chosen {
+                let n = neighbors[a].clone().expect("chosen neighbor exists");
+                let e_n = d.evaluate(&n);
+                if let Some(agent) = agent.as_mut() {
+                    let reward = if e_p > 0.0 {
+                        ((e_n - e_p) / e_p).clamp(-1.0, 10.0)
+                    } else if e_n > 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    agent.record(Transition {
+                        state: d.space.features(&p),
+                        action: a,
+                        reward,
+                        next_state: d.space.features(&n),
+                    });
+                }
+                if d.reached_target() {
+                    trace.push(d.trace_point(trial));
+                    break 'outer;
+                }
+            }
+        }
+        if let Some(agent) = agent.as_mut() {
+            agent.end_trial(&mut rng);
+        }
+        trace.push(d.trace_point(trial));
+        if d.reached_target() {
+            break;
+        }
+    }
+
+    let (best, e) = d
+        .history
+        .best()
+        .ok_or_else(|| SearchError("no feasible schedule found".into()))?;
+    let best = best.clone();
+    let seconds = 1.0 / e;
+    Ok(SearchResult {
+        best,
+        best_cost: Cost {
+            seconds,
+            flops: graph.flops(),
+        },
+        trace,
+        measurements: d.measurements,
+        exploration_time_s: d.time_s,
+        space_size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+    use flextensor_sim::spec::{v100, Device};
+
+    fn quick_opts(trials: usize) -> SearchOptions {
+        SearchOptions {
+            trials,
+            starts: 4,
+            initial_samples: 8,
+            ..SearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn all_methods_find_feasible_schedules() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        for m in [Method::QMethod, Method::PMethod, Method::RandomWalk] {
+            let r = search(&g, &ev, m, &quick_opts(10)).unwrap();
+            assert!(r.best_cost.seconds.is_finite(), "{m}");
+            assert!(r.best_cost.gflops() > 0.0, "{m}");
+            assert!(r.measurements > 0);
+            assert!(r.exploration_time_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn search_improves_over_seeds() {
+        let g = ops::gemm(512, 512, 512);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let r = search(&g, &ev, Method::QMethod, &quick_opts(40)).unwrap();
+        let first = r.trace.first().unwrap().best_gflops;
+        let last = r.trace.last().unwrap().best_gflops;
+        assert!(
+            last >= first,
+            "exploration should not regress: {first} -> {last}"
+        );
+        assert!(last > 1.2 * first, "should improve noticeably: {first} -> {last}");
+    }
+
+    #[test]
+    fn p_method_measures_more_per_trial_than_q() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let q = search(&g, &ev, Method::QMethod, &quick_opts(10)).unwrap();
+        let p = search(&g, &ev, Method::PMethod, &quick_opts(10)).unwrap();
+        assert!(
+            p.measurements > 2 * q.measurements,
+            "P {} vs Q {}",
+            p.measurements,
+            q.measurements
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = ops::gemm(128, 128, 128);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let a = search(&g, &ev, Method::QMethod, &quick_opts(8)).unwrap();
+        let b = search(&g, &ev, Method::QMethod, &quick_opts(8)).unwrap();
+        assert_eq!(a.best.encode(), b.best.encode());
+        assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn stop_when_target_reached() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        // First find a good time, then ask a fresh search to stop at a
+        // loose target: it should finish early with fewer measurements.
+        let full = search(&g, &ev, Method::PMethod, &quick_opts(20)).unwrap();
+        let loose = full.best_cost.seconds * 4.0;
+        let mut opts = quick_opts(20);
+        opts.stop_when_seconds = Some(loose);
+        let early = search(&g, &ev, Method::PMethod, &opts).unwrap();
+        assert!(early.best_cost.seconds <= loose);
+        assert!(early.measurements <= full.measurements);
+    }
+
+    #[test]
+    fn trace_is_monotone() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let r = search(&g, &ev, Method::RandomWalk, &quick_opts(15)).unwrap();
+        for w in r.trace.windows(2) {
+            assert!(w[1].best_seconds <= w[0].best_seconds);
+            assert!(w[1].exploration_time_s >= w[0].exploration_time_s);
+            assert!(w[1].measurements >= w[0].measurements);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The Q-learning direction selector (§5.1).
+//!
+//! States are schedule points (feature vectors from
+//! [`Space::features`](crate::space::Space::features)), actions are the
+//! space's [`Direction`](crate::space::Direction)s, and the reward for
+//! moving from `p` to `e` is the normalized improvement
+//! `(E_e - E_p) / E_p`. Q-values are predicted by a four-layer
+//! fully-connected ReLU network trained online with AdaDelta; training
+//! happens every five trials, against a frozen *target network* `Y` whose
+//! parameters are refreshed from the online network `X` after each
+//! training round (the stabilization of Mnih et al. 2015 the paper cites).
+
+use flextensor_nn::{AdaDelta, Mlp};
+use rand::Rng;
+
+/// One recorded transition: `(state, action, reward, next_state)`.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Features of the starting point `p`.
+    pub state: Vec<f64>,
+    /// Index of the direction taken.
+    pub action: usize,
+    /// Normalized reward `(E_e - E_p) / E_p`.
+    pub reward: f64,
+    /// Features of the reached point `e`.
+    pub next_state: Vec<f64>,
+}
+
+/// The online Q-learning agent.
+#[derive(Debug, Clone)]
+pub struct QAgent {
+    net: Mlp,        // X: trained online
+    target_net: Mlp, // Y: frozen copy used for bootstrap targets
+    opt: AdaDelta,
+    replay: Vec<Transition>,
+    /// Discount factor (the paper's α).
+    alpha: f64,
+    /// ε-greedy exploration rate (annealed by [`QAgent::set_progress`]).
+    epsilon: f64,
+    /// Train every this many recorded trials (the paper uses 5).
+    train_every: usize,
+    trials_since_train: usize,
+    num_actions: usize,
+}
+
+impl QAgent {
+    /// Builds the agent for a `feature_dim`-dimensional state space with
+    /// `num_actions` directions. The network is the paper's four
+    /// fully-connected layers with ReLU.
+    pub fn new(feature_dim: usize, num_actions: usize, rng: &mut impl Rng) -> QAgent {
+        let hidden = 64;
+        let dims = [feature_dim, hidden, hidden, hidden, num_actions];
+        let net = Mlp::new(&dims, rng);
+        let target_net = net.clone();
+        let opt = AdaDelta::new(net.num_params());
+        QAgent {
+            net,
+            target_net,
+            opt,
+            replay: Vec::new(),
+            alpha: 0.3,
+            epsilon: 0.9,
+            train_every: 5,
+            trials_since_train: 0,
+            num_actions,
+        }
+    }
+
+    /// Number of actions (directions) the agent chooses among.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Anneals the exploration rate: ε decays from 0.9 to 0.05 as search
+    /// progress (0..1) advances. An untrained Q-network's argmax is an
+    /// arbitrary bias, so early exploration must dominate; once the
+    /// network has seen rewards, exploitation takes over.
+    pub fn set_progress(&mut self, progress: f64) {
+        let p = progress.clamp(0.0, 1.0);
+        self.epsilon = 0.3 + 0.6 * (-3.0 * p).exp();
+    }
+
+    /// Q-values of every action at a state.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        self.net.forward(state)
+    }
+
+    /// ε-greedy action choice among the available actions (mask of
+    /// applicable directions). Returns `None` when nothing is available.
+    pub fn choose(
+        &self,
+        state: &[f64],
+        available: &[bool],
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        let avail: Vec<usize> = (0..self.num_actions)
+            .filter(|&a| available.get(a).copied().unwrap_or(false))
+            .collect();
+        if avail.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(self.epsilon) {
+            return Some(avail[rng.gen_range(0..avail.len())]);
+        }
+        let q = self.q_values(state);
+        avail.into_iter().max_by(|&a, &b| {
+            q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Records a transition for later training.
+    pub fn record(&mut self, t: Transition) {
+        // Bounded replay: keep the most recent 4096 transitions.
+        if self.replay.len() >= 4096 {
+            self.replay.remove(0);
+        }
+        self.replay.push(t);
+    }
+
+    /// Signals the end of one exploration trial; every `train_every`
+    /// trials the online network is trained on a random replay minibatch
+    /// and the target network refreshed. Returns the training loss when
+    /// training ran.
+    pub fn end_trial(&mut self, rng: &mut impl Rng) -> Option<f64> {
+        self.trials_since_train += 1;
+        if self.trials_since_train < self.train_every || self.replay.is_empty() {
+            return None;
+        }
+        self.trials_since_train = 0;
+        // Batch: 64 transitions sampled uniformly from the replay buffer.
+        let batch: Vec<Transition> = if self.replay.len() <= 64 {
+            self.replay.clone()
+        } else {
+            (0..64)
+                .map(|_| self.replay[rng.gen_range(0..self.replay.len())].clone())
+                .collect()
+        };
+        let batch = &batch[..];
+        let mut xs = Vec::with_capacity(batch.len());
+        let mut ys = Vec::with_capacity(batch.len());
+        for t in batch {
+            // target = α·max_a Y(e)[a] + r, on the taken action; other
+            // actions keep the online net's own predictions (so only the
+            // taken action's error backpropagates meaningfully).
+            let mut y = self.net.forward(&t.state);
+            let bootstrap = self
+                .target_net
+                .forward(&t.next_state)
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max);
+            y[t.action] = self.alpha * bootstrap + t.reward;
+            xs.push(t.state.clone());
+            ys.push(y);
+        }
+        // Several gradient steps per round: the batch is tiny, so a single
+        // AdaDelta step learns almost nothing.
+        let mut loss = 0.0;
+        for _ in 0..8 {
+            loss = self.net.train_batch(&xs, &ys, &mut self.opt);
+        }
+        // Copy X -> Y (the paper: "the parameters of X are copied to
+        // network Y as a backup").
+        self.target_net.copy_params_from(&self.net);
+        Some(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn choose_respects_availability() {
+        let mut r = rng(0);
+        let agent = QAgent::new(4, 3, &mut r);
+        let s = vec![0.1, 0.2, 0.3, 0.4];
+        assert_eq!(agent.choose(&s, &[false, true, false], &mut r), Some(1));
+        assert_eq!(agent.choose(&s, &[false, false, false], &mut r), None);
+    }
+
+    #[test]
+    fn training_runs_every_five_trials() {
+        let mut r = rng(1);
+        let mut agent = QAgent::new(2, 2, &mut r);
+        agent.record(Transition {
+            state: vec![0.0, 0.0],
+            action: 0,
+            reward: 1.0,
+            next_state: vec![1.0, 0.0],
+        });
+        let mut r2 = rng(9);
+        for trial in 1..=10 {
+            let trained = agent.end_trial(&mut r2).is_some();
+            assert_eq!(trained, trial % 5 == 0, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn learns_to_prefer_rewarding_action() {
+        let mut r = rng(2);
+        let mut agent = QAgent::new(2, 2, &mut r);
+        agent.epsilon = 0.0;
+        let s = vec![0.5, 0.5];
+        let s2 = vec![0.6, 0.5];
+        // Action 0 always yields +1, action 1 always -1.
+        for _ in 0..400 {
+            agent.record(Transition {
+                state: s.clone(),
+                action: 0,
+                reward: 1.0,
+                next_state: s2.clone(),
+            });
+            agent.record(Transition {
+                state: s.clone(),
+                action: 1,
+                reward: -1.0,
+                next_state: s2.clone(),
+            });
+            agent.trials_since_train = agent.train_every; // force training
+            agent.end_trial(&mut r);
+        }
+        let q = agent.q_values(&s);
+        assert!(q[0] > q[1], "Q-values {q:?}");
+        assert_eq!(agent.choose(&s, &[true, true], &mut r), Some(0));
+    }
+
+    #[test]
+    fn replay_is_bounded() {
+        let mut r = rng(3);
+        let mut agent = QAgent::new(1, 1, &mut r);
+        for i in 0..5000 {
+            agent.record(Transition {
+                state: vec![i as f64],
+                action: 0,
+                reward: 0.0,
+                next_state: vec![i as f64],
+            });
+        }
+        assert!(agent.replay.len() <= 4096);
+    }
+}

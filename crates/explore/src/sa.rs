@@ -1,0 +1,199 @@
+//! The evaluation history (the set `H` of §5.1) and the simulated-
+//! annealing starting-point rule.
+//!
+//! FlexTensor keeps every evaluated point with its performance value `E`
+//! and, at each exploration step, chooses starting points from `H` with
+//! probability `∝ exp(-γ · (E* - E_p) / E*)` — points close to the current
+//! best are chosen often, but worse points keep a temperature-controlled
+//! chance, which is what lets the search escape local optima.
+
+use std::collections::BTreeMap;
+
+use flextensor_schedule::config::NodeConfig;
+use rand::Rng;
+
+/// The set `H`: every evaluated point and its performance value.
+///
+/// Backed by a `BTreeMap` so iteration (and therefore starting-point
+/// sampling) is deterministic given the RNG seed.
+///
+/// Performance values are throughputs (`1 / seconds`), so higher is
+/// better; infeasible points are recorded with `E = 0` to prevent
+/// re-evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    entries: BTreeMap<Vec<i64>, (NodeConfig, f64)>,
+    best: Option<(NodeConfig, f64)>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Whether a point has already been evaluated.
+    pub fn contains(&self, cfg: &NodeConfig) -> bool {
+        self.entries.contains_key(&cfg.encode())
+    }
+
+    /// Records a point with its performance value `E` (0 = infeasible).
+    pub fn record(&mut self, cfg: NodeConfig, e: f64) {
+        if self.best.as_ref().is_none_or(|(_, b)| e > *b) && e > 0.0 {
+            self.best = Some((cfg.clone(), e));
+        }
+        self.entries.insert(cfg.encode(), (cfg, e));
+    }
+
+    /// Performance value of a previously recorded point.
+    pub fn value(&self, cfg: &NodeConfig) -> Option<f64> {
+        self.entries.get(&cfg.encode()).map(|(_, e)| *e)
+    }
+
+    /// The best feasible point seen, with its performance value.
+    pub fn best(&self) -> Option<(&NodeConfig, f64)> {
+        self.best.as_ref().map(|(c, e)| (c, *e))
+    }
+
+    /// Number of evaluated points.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no point has been evaluated yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Chooses `n` starting points (with replacement, deduplicated) using
+    /// the simulated-annealing rule with temperature parameter `gamma`.
+    ///
+    /// Returns fewer than `n` points when `H` holds fewer distinct
+    /// feasible candidates.
+    pub fn select_starts(&self, n: usize, gamma: f64, rng: &mut impl Rng) -> Vec<NodeConfig> {
+        let Some((_, e_star)) = self.best() else {
+            return Vec::new();
+        };
+        let candidates: Vec<(&NodeConfig, f64)> = self
+            .entries
+            .values()
+            .map(|(c, e)| {
+                let w = (-gamma * (e_star - e) / e_star.max(f64::MIN_POSITIVE)).exp();
+                (c, w)
+            })
+            .collect();
+        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let mut out: Vec<NodeConfig> = Vec::new();
+        for _ in 0..n {
+            let mut t = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+            let mut chosen = candidates.last().map(|(c, _)| *c);
+            for (c, w) in &candidates {
+                if t < *w {
+                    chosen = Some(c);
+                    break;
+                }
+                t -= w;
+            }
+            if let Some(c) = chosen {
+                if !out.contains(c) {
+                    out.push(c.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg_with_unroll(u: bool, cache: bool) -> NodeConfig {
+        let g = ops::gemm(8, 8, 8);
+        let mut c = NodeConfig::naive(g.root_op());
+        c.unroll = u;
+        c.cache_shared = cache;
+        c
+    }
+
+    #[test]
+    fn best_tracks_maximum_feasible() {
+        let mut h = History::new();
+        h.record(cfg_with_unroll(false, false), 10.0);
+        h.record(cfg_with_unroll(true, false), 30.0);
+        h.record(cfg_with_unroll(false, true), 0.0); // infeasible
+        let (best, e) = h.best().unwrap();
+        assert_eq!(e, 30.0);
+        assert!(best.unroll);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn contains_and_value() {
+        let mut h = History::new();
+        let c = cfg_with_unroll(true, true);
+        assert!(!h.contains(&c));
+        h.record(c.clone(), 5.0);
+        assert!(h.contains(&c));
+        assert_eq!(h.value(&c), Some(5.0));
+    }
+
+    #[test]
+    fn sa_prefers_good_points() {
+        let mut h = History::new();
+        let good = cfg_with_unroll(true, false);
+        let bad = cfg_with_unroll(false, false);
+        h.record(good.clone(), 100.0);
+        h.record(bad.clone(), 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut good_count = 0;
+        for _ in 0..200 {
+            let s = h.select_starts(1, 4.0, &mut rng);
+            if s.first() == Some(&good) {
+                good_count += 1;
+            }
+        }
+        assert!(good_count > 150, "good chosen {good_count}/200");
+    }
+
+    #[test]
+    fn high_temperature_explores_bad_points_sometimes() {
+        let mut h = History::new();
+        let good = cfg_with_unroll(true, false);
+        let bad = cfg_with_unroll(false, false);
+        h.record(good, 100.0);
+        h.record(bad.clone(), 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bad_count = 0;
+        for _ in 0..300 {
+            // gamma = 0: uniform selection.
+            let s = h.select_starts(1, 0.0, &mut rng);
+            if s.first() == Some(&bad) {
+                bad_count += 1;
+            }
+        }
+        assert!(
+            (90..=210).contains(&bad_count),
+            "expected ~150, got {bad_count}"
+        );
+    }
+
+    #[test]
+    fn empty_history_selects_nothing() {
+        let h = History::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(h.select_starts(4, 1.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn select_dedups() {
+        let mut h = History::new();
+        h.record(cfg_with_unroll(true, false), 10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = h.select_starts(5, 1.0, &mut rng);
+        assert_eq!(s.len(), 1);
+    }
+}

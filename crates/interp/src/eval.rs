@@ -1,0 +1,353 @@
+//! Dynamic evaluation of scalar expressions.
+//!
+//! Expressions are untyped in the IR; the evaluator computes with
+//! [`Value`]s: integers for index arithmetic (with truncating division and
+//! Euclidean-style remainder on non-negative operands, matching hardware
+//! index math) and floats for tensor data. `select` evaluates lazily, so
+//! the untaken branch of a padding guard never performs its (possibly
+//! out-of-bounds) load.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use flextensor_ir::expr::{BinOp, CmpOp, Cond, Expr};
+
+/// A runtime scalar: integer (index) or float (tensor data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer value.
+    I(i64),
+    /// Floating-point value.
+    F(f64),
+}
+
+impl Value {
+    /// The value as f64 (exact for the integer magnitudes used here).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::I(v) => *v as f64,
+            Value::F(v) => *v,
+        }
+    }
+
+    /// The value as an integer index.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value is a non-integral float.
+    pub fn as_index(&self) -> Result<i64, EvalError> {
+        match self {
+            Value::I(v) => Ok(*v),
+            Value::F(v) if v.fract() == 0.0 => Ok(*v as i64),
+            Value::F(v) => Err(EvalError(format!("non-integral index {v}"))),
+        }
+    }
+}
+
+/// Errors raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A tensor buffer: shape + row-major data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffer {
+    /// Dimension extents.
+    pub shape: Vec<i64>,
+    /// Row-major elements.
+    pub data: Vec<f64>,
+}
+
+impl Buffer {
+    /// Allocates a zero-filled buffer.
+    pub fn zeros(shape: &[i64]) -> Buffer {
+        let n: i64 = shape.iter().product();
+        Buffer {
+            shape: shape.to_vec(),
+            data: vec![0.0; n as usize],
+        }
+    }
+
+    /// Allocates a buffer filled with `v`.
+    pub fn filled(shape: &[i64], v: f64) -> Buffer {
+        let n: i64 = shape.iter().product();
+        Buffer {
+            shape: shape.to_vec(),
+            data: vec![v; n as usize],
+        }
+    }
+
+    /// Deterministic pseudo-random fill in `[-1, 1)` (xorshift on the seed
+    /// and element index) — reproducible test inputs without a RNG
+    /// dependency.
+    pub fn random(shape: &[i64], seed: u64) -> Buffer {
+        let n: i64 = shape.iter().product();
+        let mut data = Vec::with_capacity(n as usize);
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for _ in 0..n {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let u = (s >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            data.push(u * 2.0 - 1.0);
+        }
+        Buffer {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Flattens a multi-index to the row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails on rank mismatch or out-of-bounds coordinates.
+    pub fn offset(&self, idx: &[i64]) -> Result<usize, EvalError> {
+        if idx.len() != self.shape.len() {
+            return Err(EvalError(format!(
+                "rank mismatch: index {idx:?} vs shape {:?}",
+                self.shape
+            )));
+        }
+        let mut off = 0i64;
+        for (&i, &d) in idx.iter().zip(&self.shape) {
+            if i < 0 || i >= d {
+                return Err(EvalError(format!(
+                    "index {idx:?} out of bounds for shape {:?}",
+                    self.shape
+                )));
+            }
+            off = off * d + i;
+        }
+        Ok(off as usize)
+    }
+
+    /// Reads the element at the multi-index.
+    pub fn get(&self, idx: &[i64]) -> Result<f64, EvalError> {
+        Ok(self.data[self.offset(idx)?])
+    }
+
+    /// Writes the element at the multi-index.
+    pub fn set(&mut self, idx: &[i64], v: f64) -> Result<(), EvalError> {
+        let off = self.offset(idx)?;
+        self.data[off] = v;
+        Ok(())
+    }
+
+    /// Maximum absolute difference against another buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Buffer) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Named tensor storage.
+pub type Store = HashMap<String, Buffer>;
+
+/// Loop-variable environment. Uses a small vector with linear lookup —
+/// kernels bind at most a few dozen variables and lookups are name-local.
+#[derive(Debug, Default)]
+pub struct Env {
+    vars: Vec<(String, i64)>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Binds `name` (shadowing any outer binding) and returns a restore
+    /// token for [`Env::pop`].
+    pub fn push(&mut self, name: &str, v: i64) {
+        self.vars.push((name.to_string(), v));
+    }
+
+    /// Rebinds the most recent binding of `name` (loop iteration advance).
+    pub fn set_last(&mut self, v: i64) {
+        if let Some(last) = self.vars.last_mut() {
+            last.1 = v;
+        }
+    }
+
+    /// Removes the most recent binding.
+    pub fn pop(&mut self) {
+        self.vars.pop();
+    }
+
+    /// Looks up a variable (innermost binding wins).
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Evaluates an expression under an environment and tensor store.
+pub fn eval_expr(e: &Expr, env: &Env, store: &Store) -> Result<Value, EvalError> {
+    match e {
+        Expr::FConst(v) => Ok(Value::F(*v)),
+        Expr::IConst(v) => Ok(Value::I(*v)),
+        Expr::Var(name) => env
+            .get(name)
+            .map(Value::I)
+            .ok_or_else(|| EvalError(format!("unbound variable `{name}`"))),
+        Expr::Bin(op, a, b) => {
+            let x = eval_expr(a, env, store)?;
+            let y = eval_expr(b, env, store)?;
+            Ok(apply_bin(*op, x, y))
+        }
+        Expr::Select(c, a, b) => {
+            if eval_cond(c, env, store)? {
+                eval_expr(a, env, store)
+            } else {
+                eval_expr(b, env, store)
+            }
+        }
+        Expr::Load { tensor, indices } => {
+            let buf = store
+                .get(tensor)
+                .ok_or_else(|| EvalError(format!("unknown tensor `{tensor}`")))?;
+            let mut idx = Vec::with_capacity(indices.len());
+            for ix in indices {
+                idx.push(eval_expr(ix, env, store)?.as_index()?);
+            }
+            buf.get(&idx).map(Value::F)
+        }
+    }
+}
+
+fn apply_bin(op: BinOp, x: Value, y: Value) -> Value {
+    match (x, y) {
+        (Value::I(a), Value::I(b)) => Value::I(match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a.div_euclid(b),
+            BinOp::Mod => a.rem_euclid(b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }),
+        _ => {
+            let (a, b) = (x.as_f64(), y.as_f64());
+            Value::F(match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Mod => a.rem_euclid(b),
+                BinOp::Min => a.min(b),
+                BinOp::Max => a.max(b),
+            })
+        }
+    }
+}
+
+/// Evaluates a condition.
+pub fn eval_cond(c: &Cond, env: &Env, store: &Store) -> Result<bool, EvalError> {
+    match c {
+        Cond::Cmp(op, a, b) => {
+            let x = eval_expr(a, env, store)?.as_f64();
+            let y = eval_expr(b, env, store)?.as_f64();
+            Ok(match op {
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+            })
+        }
+        Cond::And(a, b) => Ok(eval_cond(a, env, store)? && eval_cond(b, env, store)?),
+        Cond::Or(a, b) => Ok(eval_cond(a, env, store)? || eval_cond(b, env, store)?),
+        Cond::Not(a) => Ok(!eval_cond(a, env, store)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_div_mod_are_euclidean() {
+        let env = Env::new();
+        let store = Store::new();
+        let e = (Expr::int(-7)).rem(Expr::int(3));
+        assert_eq!(eval_expr(&e, &env, &store).unwrap(), Value::I(2));
+        let d = Expr::int(-7) / 3;
+        assert_eq!(eval_expr(&d, &env, &store).unwrap(), Value::I(-3));
+    }
+
+    #[test]
+    fn select_is_lazy() {
+        // The false branch would load out of bounds; laziness avoids it.
+        let mut store = Store::new();
+        store.insert("A".into(), Buffer::zeros(&[2]));
+        let mut env = Env::new();
+        env.push("i", 5);
+        let e = Expr::select(
+            Expr::var("i").lt(Expr::int(2)),
+            Expr::load("A", vec![Expr::var("i")]),
+            Expr::float(0.0),
+        );
+        assert_eq!(eval_expr(&e, &env, &store).unwrap(), Value::F(0.0));
+    }
+
+    #[test]
+    fn load_out_of_bounds_is_error() {
+        let mut store = Store::new();
+        store.insert("A".into(), Buffer::zeros(&[2]));
+        let mut env = Env::new();
+        env.push("i", 5);
+        let e = Expr::load("A", vec![Expr::var("i")]);
+        assert!(eval_expr(&e, &env, &store).is_err());
+    }
+
+    #[test]
+    fn env_shadowing() {
+        let mut env = Env::new();
+        env.push("i", 1);
+        env.push("i", 2);
+        assert_eq!(env.get("i"), Some(2));
+        env.pop();
+        assert_eq!(env.get("i"), Some(1));
+    }
+
+    #[test]
+    fn buffer_roundtrip_and_random_determinism() {
+        let mut b = Buffer::zeros(&[2, 3]);
+        b.set(&[1, 2], 4.5).unwrap();
+        assert_eq!(b.get(&[1, 2]).unwrap(), 4.5);
+        let r1 = Buffer::random(&[16], 7);
+        let r2 = Buffer::random(&[16], 7);
+        assert_eq!(r1, r2);
+        assert!(r1.data.iter().all(|v| (-1.0..1.0).contains(v)));
+        let r3 = Buffer::random(&[16], 8);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let env = Env::new();
+        let store = Store::new();
+        let e = Expr::float(1.5) + Expr::int(2);
+        assert_eq!(eval_expr(&e, &env, &store).unwrap(), Value::F(3.5));
+    }
+}

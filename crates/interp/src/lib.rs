@@ -1,0 +1,40 @@
+//! # flextensor-interp
+//!
+//! Reference evaluator and loop-nest interpreter for the FlexTensor
+//! reproduction.
+//!
+//! Auto-scheduling transforms loop nests aggressively — multi-way splits,
+//! reorders, fusion, producer inlining. This crate proves those transforms
+//! are semantics-preserving by *executing* them:
+//!
+//! * [`reference`] runs a mini-graph directly from its mathematical
+//!   definition (the ground truth).
+//! * [`machine`] runs a lowered kernel (`flextensor-schedule`'s `Stmt`
+//!   nest) and [`machine::check_against_reference`] compares the two.
+//! * [`eval`] is the shared expression evaluator (lazy `select`, so
+//!   padding guards never read out of bounds) and tensor [`eval::Buffer`].
+//!
+//! # Examples
+//!
+//! ```
+//! use flextensor_ir::ops;
+//! use flextensor_schedule::{config::TargetKind, lower::lower_naive};
+//! use flextensor_interp::{reference::random_inputs, machine::check_against_reference};
+//!
+//! let g = ops::gemm(8, 8, 8);
+//! let kernel = lower_naive(&g, TargetKind::Gpu);
+//! let inputs = random_inputs(&g, 42);
+//! let max_diff = check_against_reference(&g, &kernel, &inputs)?;
+//! assert!(max_diff < 1e-9);
+//! # Ok::<(), flextensor_interp::eval::EvalError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod machine;
+pub mod reference;
+
+pub use eval::{Buffer, Env, EvalError, Store, Value};
+pub use machine::{check_against_reference, run_kernel};
+pub use reference::{random_inputs, run_reference};

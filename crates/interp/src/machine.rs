@@ -1,0 +1,349 @@
+//! Execution of lowered kernels (the `Stmt` loop-nest IR).
+//!
+//! Concurrency annotations (`parallel`, `blockIdx`, `vectorize`, …) are
+//! executed sequentially — the interpreter checks *semantics*, not speed;
+//! performance is the job of `flextensor-sim`. Reduction stores accumulate
+//! into combiner-initialized output buffers, so any split/reordering of
+//! reduce loops produced by lowering yields the same result (up to
+//! floating-point association).
+
+use flextensor_ir::graph::{Combiner, Graph, TensorKind};
+use flextensor_schedule::lower::LoweredKernel;
+use flextensor_schedule::nest::Stmt;
+
+use crate::eval::{eval_expr, Buffer, Env, EvalError, Store};
+use crate::reference::run_reference;
+
+fn identity(c: Combiner) -> f64 {
+    match c {
+        Combiner::Sum => 0.0,
+        Combiner::Max => f64::NEG_INFINITY,
+    }
+}
+
+fn exec_stmt(stmt: &Stmt, env: &mut Env, store: &mut Store) -> Result<(), EvalError> {
+    match stmt {
+        Stmt::For {
+            var, extent, body, ..
+        } => {
+            env.push(var, 0);
+            for i in 0..*extent {
+                env.set_last(i);
+                for s in body {
+                    exec_stmt(s, env, store)?;
+                }
+            }
+            env.pop();
+            Ok(())
+        }
+        Stmt::Store {
+            tensor,
+            indices,
+            value,
+            reduce,
+            combiner,
+        } => {
+            let mut idx = Vec::with_capacity(indices.len());
+            for ix in indices {
+                idx.push(eval_expr(ix, env, store)?.as_index()?);
+            }
+            let v = eval_expr(value, env, store)?.as_f64();
+            let buf = store
+                .get_mut(tensor)
+                .ok_or_else(|| EvalError(format!("unknown tensor `{tensor}`")))?;
+            let off = buf.offset(&idx)?;
+            if *reduce {
+                let cur = buf.data[off];
+                buf.data[off] = match combiner {
+                    Combiner::Sum => cur + v,
+                    Combiner::Max => cur.max(v),
+                };
+            } else {
+                buf.data[off] = v;
+            }
+            Ok(())
+        }
+        Stmt::StageIn { .. } => Ok(()), // cost-model annotation only
+    }
+}
+
+/// Runs a lowered kernel over the given inputs, returning the output
+/// buffer.
+///
+/// Allocates the output and any materialized intermediates
+/// (combiner-initialized), executes the statement sequence, and returns the
+/// graph output.
+///
+/// # Errors
+///
+/// Fails on missing/mis-shaped inputs or any runtime evaluation error
+/// (unbound variables, out-of-bounds accesses).
+pub fn run_kernel(
+    graph: &Graph,
+    kernel: &LoweredKernel,
+    inputs: &Store,
+) -> Result<Buffer, EvalError> {
+    let mut store = Store::new();
+    for t in graph.inputs() {
+        let buf = inputs
+            .get(&t.name)
+            .ok_or_else(|| EvalError(format!("missing input `{}`", t.name)))?;
+        if buf.shape != t.shape {
+            return Err(EvalError(format!(
+                "input `{}` has shape {:?}, expected {:?}",
+                t.name, buf.shape, t.shape
+            )));
+        }
+        store.insert(t.name.clone(), buf.clone());
+    }
+    // Allocate every non-input tensor the kernel may write (output and
+    // materialized intermediates), initialized to the combiner identity of
+    // its producer.
+    for t in &graph.tensors {
+        if t.kind == TensorKind::Input {
+            continue;
+        }
+        let comb = graph
+            .compute_ops()
+            .find(|c| c.output == t.name)
+            .map(|c| c.combiner)
+            .unwrap_or(Combiner::Sum);
+        store.insert(t.name.clone(), Buffer::filled(&t.shape, identity(comb)));
+    }
+
+    let mut env = Env::new();
+    for s in &kernel.stmts {
+        exec_stmt(s, &mut env, &mut store)?;
+    }
+    store
+        .remove(&graph.output().name)
+        .ok_or_else(|| EvalError("output tensor missing after execution".into()))
+}
+
+/// Runs both the scheduled kernel and the reference evaluator on the same
+/// inputs and returns the maximum absolute difference — the correctness
+/// check used throughout the test suite.
+///
+/// # Errors
+///
+/// Propagates any execution error from either run.
+pub fn check_against_reference(
+    graph: &Graph,
+    kernel: &LoweredKernel,
+    inputs: &Store,
+) -> Result<f64, EvalError> {
+    let scheduled = run_kernel(graph, kernel, inputs)?;
+    let reference = run_reference(graph, inputs)?;
+    let expected = &reference[&graph.output().name];
+    Ok(scheduled.max_abs_diff(expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::random_inputs;
+    use flextensor_ir::ops::{self, ConvParams};
+    use flextensor_schedule::config::{NodeConfig, TargetKind};
+    use flextensor_schedule::lower::lower;
+
+    const TOL: f64 = 1e-9;
+
+    fn tiled(op: &flextensor_ir::graph::ComputeOp, sp: Vec<Vec<i64>>, rd: Vec<Vec<i64>>) -> NodeConfig {
+        let mut c = NodeConfig::naive(op);
+        c.spatial_splits = sp;
+        c.reduce_splits = rd;
+        c
+    }
+
+    #[test]
+    fn naive_gemm_matches_reference_on_all_targets() {
+        let g = ops::gemm(8, 6, 10);
+        let inputs = random_inputs(&g, 1);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let k = flextensor_schedule::lower::lower_naive(&g, target);
+            let d = check_against_reference(&g, &k, &inputs).unwrap();
+            assert!(d < TOL, "{target}: diff {d}");
+        }
+    }
+
+    #[test]
+    fn tiled_gemm_matches_reference() {
+        let g = ops::gemm(8, 6, 12);
+        let op = g.root_op().clone();
+        let mut cfg = tiled(
+            &op,
+            vec![vec![2, 2, 2, 1], vec![1, 3, 1, 2]],
+            vec![vec![3, 2, 2]],
+        );
+        cfg.reorder = vec![1, 0];
+        cfg.unroll = true;
+        cfg.vectorize = true;
+        cfg.cache_shared = true;
+        let inputs = random_inputs(&g, 2);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let k = lower(&g, &cfg, target).unwrap();
+            let d = check_against_reference(&g, &k, &inputs).unwrap();
+            assert!(d < TOL, "{target}: diff {d}");
+        }
+    }
+
+    #[test]
+    fn tiled_conv2d_with_inlined_padding_matches() {
+        let g = ops::conv2d(ConvParams::same(2, 3, 4, 3), 6, 6);
+        let op = g.root_op().clone();
+        let cfg = tiled(
+            &op,
+            vec![
+                vec![2, 1, 1, 1],
+                vec![1, 2, 2, 1],
+                vec![2, 1, 3, 1],
+                vec![1, 1, 2, 3],
+            ],
+            vec![vec![3, 1, 1], vec![1, 3, 1], vec![1, 1, 3]],
+        );
+        let inputs = random_inputs(&g, 3);
+        for target in [TargetKind::Cpu, TargetKind::Gpu] {
+            let k = lower(&g, &cfg, target).unwrap();
+            let d = check_against_reference(&g, &k, &inputs).unwrap();
+            assert!(d < TOL, "{target}: diff {d}");
+        }
+    }
+
+    #[test]
+    fn materialized_padding_matches_inlined() {
+        let g = ops::conv2d(ConvParams::same(1, 2, 2, 3), 5, 5);
+        let op = g.root_op().clone();
+        let mut cfg = NodeConfig::naive(&op);
+        cfg.inline_data = false;
+        let inputs = random_inputs(&g, 4);
+        let k = lower(&g, &cfg, TargetKind::Cpu).unwrap();
+        let d = check_against_reference(&g, &k, &inputs).unwrap();
+        assert!(d < TOL, "diff {d}");
+    }
+
+    #[test]
+    fn transposed_conv_scheduled_matches() {
+        let p = ConvParams {
+            batch: 1,
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 4,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let g = ops::conv_transpose2d(p, 4, 4);
+        let op = g.root_op().clone();
+        let cfg = tiled(
+            &op,
+            vec![
+                vec![1, 1, 1, 1],
+                vec![1, 3, 1, 1],
+                vec![2, 1, 2, 2],
+                vec![1, 2, 2, 2],
+            ],
+            vec![vec![2, 1, 1], vec![1, 2, 2], vec![4, 1, 1]],
+        );
+        let inputs = random_inputs(&g, 5);
+        let k = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+        let d = check_against_reference(&g, &k, &inputs).unwrap();
+        assert!(d < TOL, "diff {d}");
+    }
+
+    #[test]
+    fn group_and_depthwise_conv_match() {
+        let g = ops::group_conv2d(ConvParams::same(1, 4, 8, 3).with_groups(2), 5, 5);
+        let inputs = random_inputs(&g, 6);
+        let k = flextensor_schedule::lower::lower_naive(&g, TargetKind::Gpu);
+        assert!(check_against_reference(&g, &k, &inputs).unwrap() < TOL);
+
+        let g2 = ops::depthwise_conv2d(1, 4, 2, 5, 5, 3, 1, 1);
+        let inputs2 = random_inputs(&g2, 7);
+        let k2 = flextensor_schedule::lower::lower_naive(&g2, TargetKind::Cpu);
+        assert!(check_against_reference(&g2, &k2, &inputs2).unwrap() < TOL);
+    }
+
+    #[test]
+    fn bcm_and_shift_match() {
+        let g = ops::bcm(2, 3, 3, 4);
+        let inputs = random_inputs(&g, 8);
+        let k = flextensor_schedule::lower::lower_naive(&g, TargetKind::Gpu);
+        assert!(check_against_reference(&g, &k, &inputs).unwrap() < TOL);
+
+        let g2 = ops::shift2d(1, 9, 4, 4);
+        let inputs2 = random_inputs(&g2, 9);
+        let k2 = flextensor_schedule::lower::lower_naive(&g2, TargetKind::Cpu);
+        assert!(check_against_reference(&g2, &k2, &inputs2).unwrap() < TOL);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let g = ops::gemv(4, 4);
+        let k = flextensor_schedule::lower::lower_naive(&g, TargetKind::Cpu);
+        assert!(run_kernel(&g, &k, &Store::new()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod fusion_tests {
+    use super::*;
+    use crate::reference::random_inputs;
+    use flextensor_ir::ops::{self, ConvParams, Epilogue};
+    use flextensor_schedule::config::{NodeConfig, TargetKind};
+    use flextensor_schedule::lower::lower;
+
+    const TOL: f64 = 1e-9;
+
+    #[test]
+    fn fused_relu_conv_matches_reference() {
+        let g = ops::fuse_epilogue(
+            ops::conv2d(ConvParams::same(1, 3, 4, 3), 6, 6),
+            Epilogue::Relu,
+        );
+        let inputs = random_inputs(&g, 21);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let k = flextensor_schedule::lower::lower_naive(&g, target);
+            let d = check_against_reference(&g, &k, &inputs).unwrap();
+            assert!(d < TOL, "{target}: {d}");
+        }
+    }
+
+    #[test]
+    fn fused_bias_relu_with_tiling_matches_reference() {
+        let g = ops::fuse_epilogue(
+            ops::conv2d(ConvParams::same(1, 2, 4, 3), 6, 6),
+            Epilogue::BiasRelu { channel_axis: 1 },
+        );
+        let op = g.anchor_op().clone();
+        let mut cfg = NodeConfig::naive(&op);
+        cfg.spatial_splits = vec![
+            vec![1, 1, 1, 1],
+            vec![1, 2, 2, 1],
+            vec![2, 1, 3, 1],
+            vec![1, 1, 2, 3],
+        ];
+        cfg.reduce_splits = vec![vec![2, 1, 1], vec![1, 3, 1], vec![1, 1, 3]];
+        cfg.cache_shared = true;
+        let inputs = random_inputs(&g, 22);
+        let k = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+        let d = check_against_reference(&g, &k, &inputs).unwrap();
+        assert!(d < TOL, "{d}");
+        // The epilogue actually clamps: the output has no negative values.
+        let out = run_kernel(&g, &k, &inputs).unwrap();
+        assert!(out.data.iter().all(|&v| v >= 0.0));
+        assert!(out.data.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn fused_leaky_relu_gemm_matches_reference() {
+        let g = ops::fuse_epilogue(ops::gemm(6, 8, 10), Epilogue::LeakyRelu(0.1));
+        let inputs = random_inputs(&g, 23);
+        let k = flextensor_schedule::lower::lower_naive(&g, TargetKind::Cpu);
+        let d = check_against_reference(&g, &k, &inputs).unwrap();
+        assert!(d < TOL, "{d}");
+        // Negative pre-activations are scaled by 0.1, not clamped to 0.
+        let out = run_kernel(&g, &k, &inputs).unwrap();
+        assert!(out.data.iter().any(|&v| v < 0.0));
+    }
+}

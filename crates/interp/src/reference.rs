@@ -1,0 +1,247 @@
+//! Reference execution of a mini-graph directly from its mathematical
+//! definition — the ground truth every scheduled kernel is checked against.
+
+use flextensor_ir::graph::{Combiner, ComputeOp, Graph, TensorKind};
+
+use crate::eval::{eval_expr, Buffer, Env, EvalError, Store};
+
+/// Identity element of a combiner.
+fn identity(c: Combiner) -> f64 {
+    match c {
+        Combiner::Sum => 0.0,
+        Combiner::Max => f64::NEG_INFINITY,
+    }
+}
+
+fn combine(c: Combiner, a: f64, b: f64) -> f64 {
+    match c {
+        Combiner::Sum => a + b,
+        Combiner::Max => a.max(b),
+    }
+}
+
+/// Evaluates one compute op into a fresh buffer, reading inputs from
+/// `store`.
+fn eval_op(op: &ComputeOp, store: &Store) -> Result<Buffer, EvalError> {
+    let shape: Vec<i64> = op.spatial.iter().map(|a| a.extent).collect();
+    let mut out = Buffer::filled(&shape, identity(op.combiner));
+
+    // Odometer over the full iteration domain (spatial then reduce).
+    let axes: Vec<(&str, i64)> = op
+        .spatial
+        .iter()
+        .chain(op.reduce.iter())
+        .map(|a| (a.name.as_str(), a.extent))
+        .collect();
+    let nspatial = op.spatial.len();
+    let mut counters = vec![0i64; axes.len()];
+    loop {
+        let mut env = Env::new();
+        for ((name, _), &v) in axes.iter().zip(&counters) {
+            env.push(name, v);
+        }
+        let v = eval_expr(&op.body, &env, store)?.as_f64();
+        let idx: Vec<i64> = counters[..nspatial].to_vec();
+        let cur = out.get(&idx)?;
+        let next = if op.reduce.is_empty() {
+            v
+        } else {
+            combine(op.combiner, cur, v)
+        };
+        out.set(&idx, next)?;
+
+        // Advance odometer.
+        let mut d = axes.len();
+        loop {
+            if d == 0 {
+                return Ok(out);
+            }
+            d -= 1;
+            counters[d] += 1;
+            if counters[d] < axes[d].1 {
+                break;
+            }
+            counters[d] = 0;
+        }
+    }
+}
+
+/// Executes the whole graph from its inputs, returning the populated store
+/// (inputs + every intermediate + the output).
+///
+/// # Errors
+///
+/// Fails if `inputs` is missing a graph input or has a wrong shape, or on
+/// any evaluation error.
+pub fn run_reference(graph: &Graph, inputs: &Store) -> Result<Store, EvalError> {
+    let mut store = Store::new();
+    for t in graph.tensors.iter().filter(|t| t.kind == TensorKind::Input) {
+        let buf = inputs
+            .get(&t.name)
+            .ok_or_else(|| EvalError(format!("missing input `{}`", t.name)))?;
+        if buf.shape != t.shape {
+            return Err(EvalError(format!(
+                "input `{}` has shape {:?}, expected {:?}",
+                t.name, buf.shape, t.shape
+            )));
+        }
+        store.insert(t.name.clone(), buf.clone());
+    }
+    for op in graph.compute_ops() {
+        let buf = eval_op(op, &store)?;
+        store.insert(op.output.clone(), buf);
+    }
+    Ok(store)
+}
+
+/// Builds deterministic random inputs for a graph.
+pub fn random_inputs(graph: &Graph, seed: u64) -> Store {
+    let mut store = Store::new();
+    for (i, t) in graph.inputs().enumerate() {
+        store.insert(
+            t.name.clone(),
+            Buffer::random(&t.shape, seed.wrapping_add(i as u64 * 7919)),
+        );
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops::{self, ConvParams};
+
+    #[test]
+    fn gemm_matches_manual_computation() {
+        let g = ops::gemm(2, 2, 2);
+        let mut inputs = Store::new();
+        inputs.insert(
+            "A".into(),
+            Buffer {
+                shape: vec![2, 2],
+                data: vec![1.0, 2.0, 3.0, 4.0],
+            },
+        );
+        inputs.insert(
+            "B".into(),
+            Buffer {
+                shape: vec![2, 2],
+                data: vec![5.0, 6.0, 7.0, 8.0],
+            },
+        );
+        let store = run_reference(&g, &inputs).unwrap();
+        let o = &store["O"];
+        assert_eq!(o.data, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_zeroes_border() {
+        // 1x1x3x3 input of ones, 1 output channel, 3x3 kernel of ones,
+        // padding 1: center output = 9, corners = 4, edges = 6.
+        let g = ops::conv2d(ConvParams::same(1, 1, 1, 3), 3, 3);
+        let mut inputs = Store::new();
+        inputs.insert("I".into(), Buffer::filled(&[1, 1, 3, 3], 1.0));
+        inputs.insert("W".into(), Buffer::filled(&[1, 1, 3, 3], 1.0));
+        let store = run_reference(&g, &inputs).unwrap();
+        let o = &store["O"];
+        assert_eq!(o.shape, vec![1, 1, 3, 3]);
+        assert_eq!(
+            o.data,
+            vec![4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn transposed_conv_matches_sum_property() {
+        // All-ones input and weight: every output element is the number of
+        // (input, kernel) pairs mapping to it; total output sum must be
+        // in_elems * kernel_elems * out_channels... with in_channels=1:
+        // sum(O) = sum over inputs of sum(W) = 4 * 16 = 64 per out channel.
+        let p = ConvParams {
+            batch: 1,
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 4,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let g = ops::conv_transpose2d(p, 2, 2);
+        let mut inputs = Store::new();
+        inputs.insert("I".into(), Buffer::filled(&[1, 1, 2, 2], 1.0));
+        inputs.insert("W".into(), Buffer::filled(&[1, 1, 4, 4], 1.0));
+        let store = run_reference(&g, &inputs).unwrap();
+        let o = &store["O"];
+        assert_eq!(o.shape, vec![1, 1, 4, 4]);
+        // Padding crops the full (2-1)*2+4 = 6 extent to 4: total kernel
+        // applications inside the crop.
+        let total: f64 = o.data.iter().sum();
+        // Full (uncropped) sum would be 4 inputs * 16 weights = 64; the
+        // crop removes border contributions, so 0 < total <= 64.
+        assert!(total > 0.0 && total <= 64.0, "total {total}");
+    }
+
+    #[test]
+    fn shift_moves_channels() {
+        let g = ops::shift2d(1, 9, 3, 3);
+        let inputs = random_inputs(&g, 3);
+        let store = run_reference(&g, &inputs).unwrap();
+        let i = &inputs["I"];
+        let o = &store["O"];
+        // Channel 4: shifts (4 % 3 - ... ) per definition O[b,c,y,x] =
+        // P[b,c,y + c%3, x + (c/3)%3], P padded by 1. For c=4: dy=1, dx=1
+        // -> O[.,4,y,x] = P[.,4,y+1,x+1] = I[.,4,y,x].
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(
+                    o.get(&[0, 4, y, x]).unwrap(),
+                    i.get(&[0, 4, y, x]).unwrap()
+                );
+            }
+        }
+        // Channel 0: dy=0, dx=0 -> O = P[y, x] = padded at border.
+        assert_eq!(o.get(&[0, 0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let g = ops::gemv(4, 4);
+        let inputs = Store::new();
+        assert!(run_reference(&g, &inputs).is_err());
+    }
+
+    #[test]
+    fn wrong_shape_is_error() {
+        let g = ops::gemv(4, 4);
+        let mut inputs = Store::new();
+        inputs.insert("A".into(), Buffer::zeros(&[4, 5]));
+        inputs.insert("B".into(), Buffer::zeros(&[4]));
+        assert!(run_reference(&g, &inputs).is_err());
+    }
+
+    #[test]
+    fn bcm_equals_dense_circulant_gemv() {
+        // Expand the circulant weights into a dense matrix and compare.
+        let (pb, qb, k) = (2, 2, 3);
+        let g = ops::bcm(1, pb, qb, k);
+        let inputs = random_inputs(&g, 11);
+        let store = run_reference(&g, &inputs).unwrap();
+        let x = &inputs["X"];
+        let wc = &inputs["Wc"];
+        let o = &store["O"];
+        for p in 0..pb {
+            for r in 0..k {
+                let mut acc = 0.0;
+                for q in 0..qb {
+                    for s in 0..k {
+                        acc += wc.get(&[p, q, (r - s).rem_euclid(k)]).unwrap()
+                            * x.get(&[0, q, s]).unwrap();
+                    }
+                }
+                let got = o.get(&[0, p, r]).unwrap();
+                assert!((acc - got).abs() < 1e-9, "p={p} r={r}: {acc} vs {got}");
+            }
+        }
+    }
+}

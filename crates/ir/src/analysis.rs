@@ -1,0 +1,208 @@
+//! Static analysis of tensor computations (§4.1).
+//!
+//! The front-end extracts two categories of information from a mini-graph:
+//!
+//! * **Statistical** (per node): number of spatial loops `#sl`, number of
+//!   reduce loops `#rl`, trip counts `stc`/`rtc`, and the loop `order`.
+//! * **Structural** (per graph): number of nodes `#node`, inputs per node
+//!   `#in`, outputs per node `#out`, and consumers per node `#cs`.
+//!
+//! The schedule-space generator consumes exactly this information.
+
+use std::fmt;
+
+use crate::graph::{ComputeOp, Graph};
+
+/// Statistical information of one compute node (Fig. 3c, left column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStat {
+    /// Node name.
+    pub node: String,
+    /// Number of spatial loops (`#sl`).
+    pub num_spatial: usize,
+    /// Number of reduce loops (`#rl`).
+    pub num_reduce: usize,
+    /// Trip counts of spatial loops (`stc`).
+    pub spatial_trip_counts: Vec<i64>,
+    /// Trip counts of reduce loops (`rtc`).
+    pub reduce_trip_counts: Vec<i64>,
+    /// Loop order (spatial loops then reduce loops, outer to inner).
+    pub order: Vec<String>,
+}
+
+impl NodeStat {
+    /// Extracts the statistics of a single compute op.
+    pub fn of(op: &ComputeOp) -> NodeStat {
+        NodeStat {
+            node: op.name.clone(),
+            num_spatial: op.spatial.len(),
+            num_reduce: op.reduce.len(),
+            spatial_trip_counts: op.spatial.iter().map(|a| a.extent).collect(),
+            reduce_trip_counts: op.reduce.iter().map(|a| a.extent).collect(),
+            order: op
+                .spatial
+                .iter()
+                .chain(op.reduce.iter())
+                .map(|a| a.name.clone())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for NodeStat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: #sl {} #rl {} stc {:?} rtc {:?} order {:?}",
+            self.node,
+            self.num_spatial,
+            self.num_reduce,
+            self.spatial_trip_counts,
+            self.reduce_trip_counts,
+            self.order
+        )
+    }
+}
+
+/// Structural information of one compute node (Fig. 3c, right column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeStruct {
+    /// Node name.
+    pub node: String,
+    /// Number of distinct input tensors read (`#in`).
+    pub num_inputs: usize,
+    /// Number of output tensors produced (`#out`, always 1 in this IR).
+    pub num_outputs: usize,
+    /// Number of compute nodes consuming this node's output (`#cs`).
+    pub num_consumers: usize,
+}
+
+/// Full analysis result for a mini-graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphAnalysis {
+    /// Graph name.
+    pub graph: String,
+    /// Number of compute nodes (Table 3's `#node`).
+    pub num_compute_nodes: usize,
+    /// Number of nodes including placeholders (Fig. 3c's `#node`).
+    pub num_nodes_total: usize,
+    /// Per-node statistics, in post-order.
+    pub stats: Vec<NodeStat>,
+    /// Per-node structure, in post-order.
+    pub structure: Vec<NodeStruct>,
+    /// Total spatial loops across all compute nodes (how Table 3 reports
+    /// `#sl` for multi-node operators, e.g. C2D = pad 4 + conv 4 = 8).
+    pub total_spatial: usize,
+    /// Reduce loops of the root (arithmetic) node — Table 3's `#rl`.
+    pub root_reduce: usize,
+    /// Total floating-point operations.
+    pub flops: u64,
+}
+
+/// Analyzes a mini-graph, producing everything the schedule-space generator
+/// needs (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// let g = flextensor_ir::ops::gemm(1024, 1024, 1024);
+/// let a = flextensor_ir::analysis::analyze(&g);
+/// assert_eq!(a.stats[0].num_spatial, 2);
+/// assert_eq!(a.stats[0].num_reduce, 1);
+/// assert_eq!(a.flops, 2 * 1024 * 1024 * 1024);
+/// ```
+pub fn analyze(g: &Graph) -> GraphAnalysis {
+    let consumers = g.consumers();
+    let mut stats = Vec::new();
+    let mut structure = Vec::new();
+    for op in g.compute_ops() {
+        stats.push(NodeStat::of(op));
+        structure.push(NodeStruct {
+            node: op.name.clone(),
+            num_inputs: op.input_tensors().len(),
+            num_outputs: 1,
+            num_consumers: consumers.get(&op.output).map_or(0, Vec::len),
+        });
+    }
+    GraphAnalysis {
+        graph: g.name.clone(),
+        num_compute_nodes: g.num_compute_nodes(),
+        num_nodes_total: g.num_nodes_total(),
+        total_spatial: stats.iter().map(|s| s.num_spatial).sum(),
+        root_reduce: stats.last().map_or(0, |s| s.num_reduce),
+        flops: g.flops(),
+        stats,
+        structure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{self, ConvParams};
+
+    #[test]
+    fn gemm_analysis_matches_fig3() {
+        let g = ops::gemm(1024, 1024, 1024);
+        let a = analyze(&g);
+        let s = &a.stats[0];
+        assert_eq!(s.num_spatial, 2);
+        assert_eq!(s.num_reduce, 1);
+        assert_eq!(s.spatial_trip_counts, vec![1024, 1024]);
+        assert_eq!(s.reduce_trip_counts, vec![1024]);
+        assert_eq!(s.order, vec!["i", "j", "k"]);
+        // Fig. 3c counts placeholders: #node 3, #in 2, #out 1, #cs 0.
+        assert_eq!(a.num_nodes_total, 3);
+        assert_eq!(a.structure[0].num_inputs, 2);
+        assert_eq!(a.structure[0].num_outputs, 1);
+        assert_eq!(a.structure[0].num_consumers, 0);
+    }
+
+    #[test]
+    fn conv2d_totals_match_table3() {
+        // Table 3: C2D #sl/#rl = 8/3, #node = 2.
+        let g = ops::conv2d(ConvParams::same(1, 64, 64, 3), 28, 28);
+        let a = analyze(&g);
+        assert_eq!(a.total_spatial, 8);
+        assert_eq!(a.root_reduce, 3);
+        assert_eq!(a.num_compute_nodes, 2);
+    }
+
+    #[test]
+    fn t2d_totals_match_table3() {
+        // Table 3: T2D #sl/#rl = 12/3, #node = 3.
+        let p = ConvParams {
+            batch: 1,
+            in_channels: 32,
+            out_channels: 16,
+            kernel: 4,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let g = ops::conv_transpose2d(p, 14, 14);
+        let a = analyze(&g);
+        assert_eq!(a.total_spatial, 12);
+        assert_eq!(a.root_reduce, 3);
+        assert_eq!(a.num_compute_nodes, 3);
+    }
+
+    #[test]
+    fn c1d_and_c3d_totals() {
+        // Table 3: C1D 6/2, C3D 10/4.
+        let p = ConvParams::same(1, 16, 16, 3);
+        let a1 = analyze(&ops::conv1d(p, 64));
+        assert_eq!((a1.total_spatial, a1.root_reduce), (6, 2));
+        let a3 = analyze(&ops::conv3d(p, 8, 14, 14));
+        assert_eq!((a3.total_spatial, a3.root_reduce), (10, 4));
+    }
+
+    #[test]
+    fn pad_node_has_one_consumer() {
+        let g = ops::conv2d(ConvParams::same(1, 8, 8, 3), 14, 14);
+        let a = analyze(&g);
+        let pad = a.structure.iter().find(|s| s.node == "pad").unwrap();
+        assert_eq!(pad.num_consumers, 1);
+    }
+}

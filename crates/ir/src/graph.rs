@@ -1,0 +1,693 @@
+//! The *mini-graph* representation of a tensor computation (§4.1).
+//!
+//! A tensor computation is a small DAG where nodes are nested-loop compute
+//! operations (or placeholders for externally-provided inputs) and edges are
+//! tensors. FlexTensor's front-end analyzes this graph to produce the
+//! schedule space; its back-end schedules the graph bottom-up (Algorithm 1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::Expr;
+
+/// A loop axis: a name and a trip count (extent).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Axis {
+    /// Loop variable name, unique within its compute op.
+    pub name: String,
+    /// Trip count of the loop; always ≥ 1.
+    pub extent: i64,
+}
+
+impl Axis {
+    /// Creates a new axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extent < 1`.
+    pub fn new(name: impl Into<String>, extent: i64) -> Axis {
+        assert!(extent >= 1, "axis extent must be >= 1, got {extent}");
+        Axis {
+            name: name.into(),
+            extent,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.extent)
+    }
+}
+
+/// How a tensor participates in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorKind {
+    /// Externally supplied input (produced by a placeholder node).
+    Input,
+    /// Produced by one compute op and consumed by another.
+    Intermediate,
+    /// The graph output.
+    Output,
+}
+
+/// A tensor declaration: name, shape, and role.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorDecl {
+    /// Tensor name, unique within the graph.
+    pub name: String,
+    /// Extent of each dimension.
+    pub shape: Vec<i64>,
+    /// Role in the graph.
+    pub kind: TensorKind,
+}
+
+impl TensorDecl {
+    /// Total number of scalar elements.
+    pub fn num_elements(&self) -> i64 {
+        self.shape.iter().product()
+    }
+
+    /// Size in bytes assuming `float32` storage (the paper's precision).
+    pub fn bytes(&self) -> i64 {
+        self.num_elements() * 4
+    }
+}
+
+/// How reduce-axis contributions combine into the output value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Combiner {
+    /// Sum reduction (the `◦` of Table 1).
+    #[default]
+    Sum,
+    /// Max reduction (pooling-style ops).
+    Max,
+}
+
+/// A compute node: a perfectly nested loop producing one output tensor.
+///
+/// Semantics: for every point of the `spatial` iteration domain,
+///
+/// ```text
+/// out[spatial...] = combine over reduce... of body(spatial..., reduce...)
+/// ```
+///
+/// With an empty `reduce`, the output is simply `body` evaluated at each
+/// spatial point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeOp {
+    /// Node name, unique within the graph.
+    pub name: String,
+    /// Name of the produced tensor.
+    pub output: String,
+    /// Spatial (data-parallel) loops; one per output dimension, in order.
+    pub spatial: Vec<Axis>,
+    /// Reduce (accumulation) loops.
+    pub reduce: Vec<Axis>,
+    /// Value contributed at each iteration point.
+    pub body: Expr,
+    /// How reduce contributions combine.
+    pub combiner: Combiner,
+}
+
+impl ComputeOp {
+    /// Names of tensors read by the body, in first-occurrence order.
+    pub fn input_tensors(&self) -> Vec<String> {
+        let mut loads = Vec::new();
+        self.body.collect_loads(&mut loads);
+        loads
+    }
+
+    /// Product of spatial extents (number of output points).
+    pub fn spatial_size(&self) -> i64 {
+        self.spatial.iter().map(|a| a.extent).product()
+    }
+
+    /// Product of reduce extents (iterations per output point).
+    pub fn reduce_size(&self) -> i64 {
+        self.reduce.iter().map(|a| a.extent).product()
+    }
+
+    /// Floating-point operations performed by this node.
+    ///
+    /// Counts the arithmetic in the body once per iteration point, plus one
+    /// accumulate per reduce iteration when a reduction is present.
+    pub fn flops(&self) -> u64 {
+        let points = (self.spatial_size() * self.reduce_size()) as u64;
+        let body_flops = self.body.count_flops();
+        let acc = if self.reduce.is_empty() { 0 } else { 1 };
+        points * (body_flops + acc)
+    }
+
+    /// Looks up an axis (spatial or reduce) by name.
+    pub fn axis(&self, name: &str) -> Option<&Axis> {
+        self.spatial
+            .iter()
+            .chain(self.reduce.iter())
+            .find(|a| a.name == name)
+    }
+}
+
+/// A node in the mini-graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Externally supplied input tensor.
+    Placeholder {
+        /// Name of the input tensor this node produces.
+        tensor: String,
+    },
+    /// A nested-loop computation.
+    Compute(ComputeOp),
+}
+
+impl Op {
+    /// Name of the tensor this node produces.
+    pub fn output_tensor(&self) -> &str {
+        match self {
+            Op::Placeholder { tensor } => tensor,
+            Op::Compute(c) => &c.output,
+        }
+    }
+
+    /// Node name (placeholders are named after their tensor).
+    pub fn name(&self) -> &str {
+        match self {
+            Op::Placeholder { tensor } => tensor,
+            Op::Compute(c) => &c.name,
+        }
+    }
+
+    /// Returns the compute op if this node is one.
+    pub fn as_compute(&self) -> Option<&ComputeOp> {
+        match self {
+            Op::Placeholder { .. } => None,
+            Op::Compute(c) => Some(c),
+        }
+    }
+}
+
+/// A tensor computation mini-graph (§4.1).
+///
+/// `ops` is stored in topological order: every tensor is declared by an
+/// earlier node than any node reading it. [`GraphBuilder`] enforces this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    /// Human-readable name of the whole computation (e.g. `"conv2d"`).
+    pub name: String,
+    /// All tensors, indexed by [`Graph::tensor`].
+    pub tensors: Vec<TensorDecl>,
+    /// All nodes, in topological order.
+    pub ops: Vec<Op>,
+    /// Operator attributes recorded by the constructor (e.g. `kernel`,
+    /// `stride`, `groups`) — metadata baseline libraries use for
+    /// algorithm selection, looked up via [`Graph::attr`].
+    pub attrs: Vec<(String, i64)>,
+}
+
+impl Graph {
+    /// Looks up an operator attribute recorded at construction.
+    pub fn attr(&self, key: &str) -> Option<i64> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a tensor declaration by name.
+    pub fn tensor(&self, name: &str) -> Option<&TensorDecl> {
+        self.tensors.iter().find(|t| t.name == name)
+    }
+
+    /// The output tensor of the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no output tensor (never true for graphs built
+    /// via [`GraphBuilder::finish`]).
+    pub fn output(&self) -> &TensorDecl {
+        self.tensors
+            .iter()
+            .find(|t| t.kind == TensorKind::Output)
+            .expect("graph has an output tensor")
+    }
+
+    /// All input tensor declarations, in declaration order.
+    pub fn inputs(&self) -> impl Iterator<Item = &TensorDecl> {
+        self.tensors.iter().filter(|t| t.kind == TensorKind::Input)
+    }
+
+    /// All compute nodes, in topological order.
+    pub fn compute_ops(&self) -> impl Iterator<Item = &ComputeOp> {
+        self.ops.iter().filter_map(Op::as_compute)
+    }
+
+    /// Number of compute nodes (the `#node` of Table 3).
+    pub fn num_compute_nodes(&self) -> usize {
+        self.compute_ops().count()
+    }
+
+    /// Number of nodes including placeholders (the `#node` of Fig. 3c).
+    pub fn num_nodes_total(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The final compute node (the one producing the graph output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph contains no compute node.
+    pub fn root_op(&self) -> &ComputeOp {
+        let out = self.output().name.clone();
+        self.compute_ops()
+            .find(|c| c.output == out)
+            .expect("graph has a compute node producing the output")
+    }
+
+    /// The *anchor* node: the compute node exploration schedules.
+    ///
+    /// This is the last compute node with reduce axes (the arithmetic
+    /// core); element-wise consumer nodes after it (bias, activation) are
+    /// epilogues fused at writeback by lowering. Graphs with no reduction
+    /// anywhere (e.g. the shift operator) anchor at the root.
+    pub fn anchor_op(&self) -> &ComputeOp {
+        self.compute_ops()
+            .filter(|c| !c.reduce.is_empty())
+            .last()
+            .unwrap_or_else(|| self.root_op())
+    }
+
+    /// The element-wise consumer chain from the anchor's output to the
+    /// graph output (empty when the anchor is the root): the nodes fused
+    /// as epilogues.
+    pub fn epilogue_chain(&self) -> Vec<&ComputeOp> {
+        let mut chain = Vec::new();
+        let mut tensor = self.anchor_op().output.clone();
+        let out = self.output().name.clone();
+        while tensor != out {
+            let Some(next) = self
+                .compute_ops()
+                .find(|c| c.reduce.is_empty() && c.input_tensors().contains(&tensor))
+            else {
+                break;
+            };
+            tensor = next.output.clone();
+            chain.push(next);
+        }
+        chain
+    }
+
+    /// Looks up a compute op by node name.
+    pub fn compute_op(&self, name: &str) -> Option<&ComputeOp> {
+        self.compute_ops().find(|c| c.name == name)
+    }
+
+    /// Consumers of each tensor: map tensor name → compute node names that
+    /// read it (the `#cs` of §4.1).
+    pub fn consumers(&self) -> HashMap<String, Vec<String>> {
+        let mut map: HashMap<String, Vec<String>> = HashMap::new();
+        for t in &self.tensors {
+            map.insert(t.name.clone(), Vec::new());
+        }
+        for c in self.compute_ops() {
+            for input in c.input_tensors() {
+                if let Some(v) = map.get_mut(&input) {
+                    v.push(c.name.clone());
+                }
+            }
+        }
+        map
+    }
+
+    /// Total floating-point operations across all compute nodes that perform
+    /// actual arithmetic. Data-movement nodes (pad, dilate, shift — zero
+    /// arithmetic per point) are excluded, matching how the paper reports
+    /// operator FLOPs.
+    pub fn flops(&self) -> u64 {
+        self.compute_ops().map(ComputeOp::flops).sum()
+    }
+
+    /// Compute node names in post-order (dependencies before dependents).
+    ///
+    /// Because `ops` is stored topologically this is simply declaration
+    /// order, but the method exists to mirror Algorithm 1's
+    /// `post_order_traverse`.
+    pub fn post_order(&self) -> Vec<String> {
+        self.compute_ops().map(|c| c.name.clone()).collect()
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph {} {{", self.name)?;
+        for op in &self.ops {
+            match op {
+                Op::Placeholder { tensor } => {
+                    let t = self.tensor(tensor).expect("declared tensor");
+                    writeln!(f, "  placeholder {}{:?}", tensor, t.shape)?;
+                }
+                Op::Compute(c) => {
+                    let sp: Vec<String> = c.spatial.iter().map(|a| a.to_string()).collect();
+                    let rd: Vec<String> = c.reduce.iter().map(|a| a.to_string()).collect();
+                    writeln!(
+                        f,
+                        "  {}: {}[{}] = {} over [{}]",
+                        c.name,
+                        c.output,
+                        sp.join(", "),
+                        c.body,
+                        rd.join(", ")
+                    )?;
+                }
+            }
+        }
+        f.write_str("}")
+    }
+}
+
+/// Errors produced while building a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A tensor name was declared twice.
+    DuplicateTensor(String),
+    /// A node name was used twice.
+    DuplicateNode(String),
+    /// A compute body reads a tensor that has not been declared yet.
+    UndeclaredTensor {
+        /// Node whose body contains the read.
+        node: String,
+        /// The missing tensor.
+        tensor: String,
+    },
+    /// A compute body references a variable that is not one of its axes.
+    UnboundVariable {
+        /// Node whose body contains the reference.
+        node: String,
+        /// The unbound variable.
+        var: String,
+    },
+    /// The graph has no compute node.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateTensor(n) => write!(f, "duplicate tensor `{n}`"),
+            GraphError::DuplicateNode(n) => write!(f, "duplicate node `{n}`"),
+            GraphError::UndeclaredTensor { node, tensor } => {
+                write!(f, "node `{node}` reads undeclared tensor `{tensor}`")
+            }
+            GraphError::UnboundVariable { node, var } => {
+                write!(f, "node `{node}` references unbound variable `{var}`")
+            }
+            GraphError::Empty => f.write_str("graph has no compute node"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental, validating builder for [`Graph`] (the user-facing way to
+/// describe a tensor computation, playing the role of FlexTensor's Python
+/// compute descriptions).
+///
+/// # Examples
+///
+/// ```
+/// use flextensor_ir::graph::{GraphBuilder, Axis, Combiner};
+/// use flextensor_ir::expr::Expr;
+///
+/// let mut b = GraphBuilder::new("gemm");
+/// b.placeholder("A", vec![64, 32]);
+/// b.placeholder("B", vec![32, 16]);
+/// b.compute(
+///     "gemm",
+///     "C",
+///     vec![Axis::new("i", 64), Axis::new("j", 16)],
+///     vec![Axis::new("k", 32)],
+///     Expr::load("A", vec![Expr::var("i"), Expr::var("k")])
+///         * Expr::load("B", vec![Expr::var("k"), Expr::var("j")]),
+///     Combiner::Sum,
+/// );
+/// let g = b.finish()?;
+/// assert_eq!(g.output().shape, vec![64, 16]);
+/// # Ok::<(), flextensor_ir::graph::GraphError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    name: String,
+    tensors: Vec<TensorDecl>,
+    ops: Vec<Op>,
+    errors: Vec<GraphError>,
+    attrs: Vec<(String, i64)>,
+}
+
+impl GraphBuilder {
+    /// Starts a new graph with the given name.
+    pub fn new(name: impl Into<String>) -> GraphBuilder {
+        GraphBuilder {
+            name: name.into(),
+            ..GraphBuilder::default()
+        }
+    }
+
+    fn declare_tensor(&mut self, decl: TensorDecl) {
+        if self.tensors.iter().any(|t| t.name == decl.name) {
+            self.errors.push(GraphError::DuplicateTensor(decl.name));
+        } else {
+            self.tensors.push(decl);
+        }
+    }
+
+    /// Records an operator attribute (retrievable via [`Graph::attr`]).
+    pub fn attr(&mut self, key: impl Into<String>, value: i64) -> &mut Self {
+        self.attrs.push((key.into(), value));
+        self
+    }
+
+    /// Declares an input tensor and its placeholder node.
+    pub fn placeholder(&mut self, name: impl Into<String>, shape: Vec<i64>) -> &mut Self {
+        let name = name.into();
+        self.declare_tensor(TensorDecl {
+            name: name.clone(),
+            shape,
+            kind: TensorKind::Input,
+        });
+        self.ops.push(Op::Placeholder { tensor: name });
+        self
+    }
+
+    /// Adds a compute node producing tensor `output` whose shape is the
+    /// extents of `spatial`.
+    pub fn compute(
+        &mut self,
+        node: impl Into<String>,
+        output: impl Into<String>,
+        spatial: Vec<Axis>,
+        reduce: Vec<Axis>,
+        body: Expr,
+        combiner: Combiner,
+    ) -> &mut Self {
+        let node = node.into();
+        let output = output.into();
+        if self.ops.iter().any(|o| o.name() == node) {
+            self.errors.push(GraphError::DuplicateNode(node.clone()));
+        }
+
+        // Validate reads against already-declared tensors (enforces
+        // topological construction order).
+        let mut loads = Vec::new();
+        body.collect_loads(&mut loads);
+        for t in &loads {
+            if !self.tensors.iter().any(|d| &d.name == t) {
+                self.errors.push(GraphError::UndeclaredTensor {
+                    node: node.clone(),
+                    tensor: t.clone(),
+                });
+            }
+        }
+
+        // Validate variables against the axes.
+        let mut vars = Vec::new();
+        body.collect_vars(&mut vars);
+        for v in &vars {
+            let bound = spatial.iter().chain(reduce.iter()).any(|a| &a.name == v);
+            if !bound {
+                self.errors.push(GraphError::UnboundVariable {
+                    node: node.clone(),
+                    var: v.clone(),
+                });
+            }
+        }
+
+        let shape = spatial.iter().map(|a| a.extent).collect();
+        self.declare_tensor(TensorDecl {
+            name: output.clone(),
+            shape,
+            kind: TensorKind::Intermediate,
+        });
+        self.ops.push(Op::Compute(ComputeOp {
+            name: node,
+            output,
+            spatial,
+            reduce,
+            body,
+            combiner,
+        }));
+        self
+    }
+
+    /// Finalizes the graph. The tensor produced by the last compute node
+    /// becomes the graph output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error recorded during construction, or
+    /// [`GraphError::Empty`] if no compute node was added.
+    pub fn finish(mut self) -> Result<Graph, GraphError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        let last_output = self
+            .ops
+            .iter()
+            .rev()
+            .find_map(|o| o.as_compute().map(|c| c.output.clone()))
+            .ok_or(GraphError::Empty)?;
+        for t in &mut self.tensors {
+            if t.name == last_output {
+                t.kind = TensorKind::Output;
+            }
+        }
+        Ok(Graph {
+            name: self.name,
+            tensors: self.tensors,
+            ops: self.ops,
+            attrs: self.attrs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_graph() -> Graph {
+        let mut b = GraphBuilder::new("gemm");
+        b.placeholder("A", vec![8, 4]);
+        b.placeholder("B", vec![4, 6]);
+        b.compute(
+            "gemm",
+            "C",
+            vec![Axis::new("i", 8), Axis::new("j", 6)],
+            vec![Axis::new("k", 4)],
+            Expr::load("A", vec![Expr::var("i"), Expr::var("k")])
+                * Expr::load("B", vec![Expr::var("k"), Expr::var("j")]),
+            Combiner::Sum,
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_gemm_graph() {
+        let g = gemm_graph();
+        assert_eq!(g.num_compute_nodes(), 1);
+        assert_eq!(g.num_nodes_total(), 3);
+        assert_eq!(g.output().name, "C");
+        assert_eq!(g.output().shape, vec![8, 6]);
+        assert_eq!(g.inputs().count(), 2);
+    }
+
+    #[test]
+    fn gemm_flops_is_2nmk() {
+        let g = gemm_graph();
+        assert_eq!(g.flops(), 2 * 8 * 6 * 4);
+    }
+
+    #[test]
+    fn consumers_map_tracks_reads() {
+        let g = gemm_graph();
+        let cs = g.consumers();
+        assert_eq!(cs["A"], vec!["gemm".to_string()]);
+        assert_eq!(cs["B"], vec!["gemm".to_string()]);
+        assert!(cs["C"].is_empty());
+    }
+
+    #[test]
+    fn undeclared_tensor_is_rejected() {
+        let mut b = GraphBuilder::new("bad");
+        b.compute(
+            "n",
+            "O",
+            vec![Axis::new("i", 4)],
+            vec![],
+            Expr::load("missing", vec![Expr::var("i")]),
+            Combiner::Sum,
+        );
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::UndeclaredTensor { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_variable_is_rejected() {
+        let mut b = GraphBuilder::new("bad");
+        b.placeholder("A", vec![4]);
+        b.compute(
+            "n",
+            "O",
+            vec![Axis::new("i", 4)],
+            vec![],
+            Expr::load("A", vec![Expr::var("q")]),
+            Combiner::Sum,
+        );
+        assert!(matches!(b.finish(), Err(GraphError::UnboundVariable { .. })));
+    }
+
+    #[test]
+    fn duplicate_tensor_is_rejected() {
+        let mut b = GraphBuilder::new("bad");
+        b.placeholder("A", vec![4]);
+        b.placeholder("A", vec![4]);
+        assert!(matches!(b.finish(), Err(GraphError::DuplicateTensor(_))));
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let mut b = GraphBuilder::new("empty");
+        b.placeholder("A", vec![4]);
+        assert_eq!(b.finish().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn axis_rejects_nonpositive_extent() {
+        let r = std::panic::catch_unwind(|| Axis::new("i", 0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn post_order_matches_declaration_order() {
+        let mut b = GraphBuilder::new("two");
+        b.placeholder("A", vec![4]);
+        b.compute(
+            "first",
+            "T",
+            vec![Axis::new("i", 4)],
+            vec![],
+            Expr::load("A", vec![Expr::var("i")]) * Expr::float(2.0),
+            Combiner::Sum,
+        );
+        b.compute(
+            "second",
+            "O",
+            vec![Axis::new("i", 4)],
+            vec![],
+            Expr::load("T", vec![Expr::var("i")]) + Expr::float(1.0),
+            Combiner::Sum,
+        );
+        let g = b.finish().unwrap();
+        assert_eq!(g.post_order(), vec!["first".to_string(), "second".to_string()]);
+        assert_eq!(g.root_op().name, "second");
+    }
+}

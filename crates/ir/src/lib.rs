@@ -1,0 +1,54 @@
+//! # flextensor-ir
+//!
+//! Tensor-expression IR, operator library, and front-end static analysis for
+//! the FlexTensor reproduction (Zheng et al., ASPLOS 2020).
+//!
+//! A tensor computation is described as a [*mini-graph*](graph::Graph) of
+//! nested-loop [compute nodes](graph::ComputeOp) connected by tensors —
+//! exactly the structure FlexTensor's front-end analyzes (§4.1 of the
+//! paper). This crate provides:
+//!
+//! * [`expr`] — the scalar expression AST used for compute bodies and index
+//!   arithmetic (loads, arithmetic, `select` for padding).
+//! * [`graph`] — axes, tensors, compute ops, the validating
+//!   [`GraphBuilder`](graph::GraphBuilder), and the mini-graph itself.
+//! * [`ops`] — constructors for every operator in the paper's evaluation
+//!   (Table 1 / Table 3 / §6.4): GEMV, GEMM, Bilinear, direct and transposed
+//!   1D/2D/3D convolution, group / depthwise / dilated convolution, BCM and
+//!   the shift operation.
+//! * [`analysis`] — the statistical (`#sl`, `#rl`, trip counts, order) and
+//!   structural (`#node`, `#in`, `#out`, `#cs`) information of §4.1.
+//! * [`yolo`] — the YOLO-v1 (Table 4) and OverFeat layer configurations.
+//! * [`suite`] — the Table 3 benchmark suite used by every experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use flextensor_ir::{ops, analysis};
+//!
+//! // Describe a 2D convolution purely mathematically...
+//! let g = ops::conv2d(ops::ConvParams::same(1, 64, 192, 3), 112, 112);
+//! // ...and let the front-end analyze it.
+//! let info = analysis::analyze(&g);
+//! assert_eq!(info.num_compute_nodes, 2);       // padding node + conv node
+//! assert_eq!(info.root_reduce, 3);             // rc, rx, ry
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod expr;
+pub mod graph;
+pub mod ops;
+pub mod simplify;
+pub mod suite;
+pub mod yolo;
+
+pub use analysis::{analyze, GraphAnalysis};
+pub use expr::{BinOp, CmpOp, Cond, Expr};
+pub use graph::{
+    Axis, Combiner, ComputeOp, Graph, GraphBuilder, GraphError, Op, TensorDecl, TensorKind,
+};
+pub use ops::ConvParams;
+pub use simplify::simplify;
+pub use suite::OperatorKind;

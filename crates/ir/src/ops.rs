@@ -1,0 +1,814 @@
+//! Constructors for every tensor operator evaluated in the paper.
+//!
+//! Table 1 / Table 3 operators: GEMV, GEMM, Bilinear, 1D/2D/3D convolution,
+//! transposed 1D/2D/3D convolution, group / depthwise / dilated convolution —
+//! plus the two "new operators" of §6.4: block-circulant matrix multiply
+//! (BCM) and the shift operation (SHO).
+//!
+//! Each constructor returns a validated [`Graph`]. Convolutions are built as
+//! multi-node mini-graphs (explicit zero-padding node, and for transposed
+//! convolutions an additional stride-dilation node), matching the node counts
+//! the paper reports in Table 3 (`#node` = 2 for direct convolutions, 3 for
+//! transposed ones, 1 for the matmul family).
+
+use crate::expr::Expr;
+use crate::graph::{Axis, Combiner, Graph, GraphBuilder};
+
+fn v(name: &str) -> Expr {
+    Expr::var(name)
+}
+
+/// Matrix-vector multiply: `O[i] = Σ_k A[i,k] · B[k]`.
+///
+/// # Panics
+///
+/// Panics if any dimension is < 1.
+pub fn gemv(n: i64, k: i64) -> Graph {
+    let mut b = GraphBuilder::new(format!("gemv_n{n}_k{k}"));
+    b.placeholder("A", vec![n, k]);
+    b.placeholder("B", vec![k]);
+    b.compute(
+        "gemv",
+        "O",
+        vec![Axis::new("i", n)],
+        vec![Axis::new("k", k)],
+        Expr::load("A", vec![v("i"), v("k")]) * Expr::load("B", vec![v("k")]),
+        Combiner::Sum,
+    );
+    b.finish().expect("gemv graph is well-formed")
+}
+
+/// Matrix-matrix multiply: `O[i,j] = Σ_k A[i,k] · B[k,j]`.
+///
+/// # Panics
+///
+/// Panics if any dimension is < 1.
+pub fn gemm(n: i64, m: i64, k: i64) -> Graph {
+    let mut b = GraphBuilder::new(format!("gemm_n{n}_m{m}_k{k}"));
+    b.placeholder("A", vec![n, k]);
+    b.placeholder("B", vec![k, m]);
+    b.compute(
+        "gemm",
+        "O",
+        vec![Axis::new("i", n), Axis::new("j", m)],
+        vec![Axis::new("k", k)],
+        Expr::load("A", vec![v("i"), v("k")]) * Expr::load("B", vec![v("k"), v("j")]),
+        Combiner::Sum,
+    );
+    b.finish().expect("gemm graph is well-formed")
+}
+
+/// Bilinear transformation: `O[i,j] = Σ_{k,l} A[i,k] · B[j,k,l] · C[i,l]`.
+///
+/// # Panics
+///
+/// Panics if any dimension is < 1.
+pub fn bilinear(n: i64, m: i64, k: i64, l: i64) -> Graph {
+    let mut b = GraphBuilder::new(format!("bilinear_n{n}_m{m}_k{k}_l{l}"));
+    b.placeholder("A", vec![n, k]);
+    b.placeholder("B", vec![m, k, l]);
+    b.placeholder("C", vec![n, l]);
+    b.compute(
+        "bilinear",
+        "O",
+        vec![Axis::new("i", n), Axis::new("j", m)],
+        vec![Axis::new("k", k), Axis::new("l", l)],
+        Expr::load("A", vec![v("i"), v("k")])
+            * Expr::load("B", vec![v("j"), v("k"), v("l")])
+            * Expr::load("C", vec![v("i"), v("l")]),
+        Combiner::Sum,
+    );
+    b.finish().expect("bilinear graph is well-formed")
+}
+
+/// Parameters shared by all direct convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParams {
+    /// Batch size.
+    pub batch: i64,
+    /// Input channels (total, across groups).
+    pub in_channels: i64,
+    /// Output channels (total, across groups).
+    pub out_channels: i64,
+    /// Kernel size, same along every spatial dimension.
+    pub kernel: i64,
+    /// Stride, same along every spatial dimension.
+    pub stride: i64,
+    /// Zero padding, same along every spatial dimension.
+    pub padding: i64,
+    /// Kernel dilation, same along every spatial dimension.
+    pub dilation: i64,
+    /// Number of groups (1 = dense convolution).
+    pub groups: i64,
+}
+
+impl ConvParams {
+    /// Dense, stride-1, "same"-style convolution (padding = kernel/2).
+    pub fn same(batch: i64, in_channels: i64, out_channels: i64, kernel: i64) -> ConvParams {
+        ConvParams {
+            batch,
+            in_channels,
+            out_channels,
+            kernel,
+            stride: 1,
+            padding: kernel / 2,
+            dilation: 1,
+            groups: 1,
+        }
+    }
+
+    /// Stride/padding override on top of [`ConvParams::same`].
+    pub fn with_stride(mut self, stride: i64) -> ConvParams {
+        self.stride = stride;
+        self
+    }
+
+    /// Dilation override.
+    pub fn with_dilation(mut self, dilation: i64) -> ConvParams {
+        self.dilation = dilation;
+        self
+    }
+
+    /// Groups override.
+    pub fn with_groups(mut self, groups: i64) -> ConvParams {
+        self.groups = groups;
+        self
+    }
+
+    /// Output spatial extent for an input spatial extent `len`.
+    pub fn out_size(&self, len: i64) -> i64 {
+        (len + 2 * self.padding - self.dilation * (self.kernel - 1) - 1) / self.stride + 1
+    }
+
+    fn validate(&self, spatial: &[i64]) {
+        assert!(self.batch >= 1, "batch must be >= 1");
+        assert!(self.in_channels >= 1 && self.out_channels >= 1);
+        assert!(self.kernel >= 1 && self.stride >= 1 && self.dilation >= 1);
+        assert!(self.padding >= 0, "padding must be >= 0");
+        assert!(self.groups >= 1, "groups must be >= 1");
+        assert!(
+            self.in_channels % self.groups == 0 && self.out_channels % self.groups == 0,
+            "channels must divide evenly into groups"
+        );
+        for &s in spatial {
+            assert!(
+                self.out_size(s) >= 1,
+                "kernel {k} (dilation {d}) does not fit input extent {s} with padding {p}",
+                k = self.kernel,
+                d = self.dilation,
+                p = self.padding,
+            );
+        }
+    }
+}
+
+/// Spatial dimension names used by the N-d convolution builders, innermost
+/// last: 1-D uses `i`; 2-D uses `i, j`; 3-D uses `d, i, j`.
+const SPATIAL_NAMES: [&str; 3] = ["d", "i", "j"];
+/// Reduce dimension names paired with [`SPATIAL_NAMES`].
+const REDUCE_NAMES: [&str; 3] = ["rd", "rx", "ry"];
+
+fn spatial_names(ndim: usize) -> &'static [&'static str] {
+    &SPATIAL_NAMES[3 - ndim..]
+}
+
+fn reduce_names(ndim: usize) -> &'static [&'static str] {
+    &REDUCE_NAMES[3 - ndim..]
+}
+
+/// Adds an explicit zero-padding node reading `src` (shape `[batch, ch,
+/// spatial...]`) and producing `dst` padded by `pad` on each side of each
+/// spatial dim. Returns the padded spatial extents.
+fn add_pad_node(
+    b: &mut GraphBuilder,
+    node: &str,
+    src: &str,
+    dst: &str,
+    batch: i64,
+    channels: i64,
+    spatial: &[i64],
+    pad: i64,
+) -> Vec<i64> {
+    let ndim = spatial.len();
+    let names = spatial_names(ndim);
+    let mut axes = vec![Axis::new("b", batch), Axis::new("c", channels)];
+    let mut src_idx = vec![v("b"), v("c")];
+    let mut cond: Option<crate::expr::Cond> = None;
+    let mut out_spatial = Vec::with_capacity(ndim);
+    for (dim, &s) in spatial.iter().enumerate() {
+        let name = names[dim];
+        axes.push(Axis::new(name, s + 2 * pad));
+        out_spatial.push(s + 2 * pad);
+        src_idx.push(v(name) - pad);
+        let inside = v(name).ge(Expr::int(pad)).and(v(name).lt(Expr::int(s + pad)));
+        cond = Some(match cond {
+            None => inside,
+            Some(c) => c.and(inside),
+        });
+    }
+    let body = match cond {
+        Some(c) if pad > 0 => Expr::select(c, Expr::load(src, src_idx), Expr::float(0.0)),
+        // pad == 0: the node degenerates to a copy; keep it so the graph
+        // structure (and Table 3 node counts) are shape-independent.
+        _ => Expr::load(src, src_idx),
+    };
+    b.compute(node, dst, axes, vec![], body, Combiner::Sum);
+    out_spatial
+}
+
+/// Core N-dimensional direct convolution: pad node + conv node.
+fn conv_nd(kind: &str, p: ConvParams, spatial: &[i64]) -> Graph {
+    p.validate(spatial);
+    let ndim = spatial.len();
+    assert!((1..=3).contains(&ndim), "1, 2 or 3 spatial dims supported");
+    let names = spatial_names(ndim);
+    let rnames = reduce_names(ndim);
+    let cpg = p.in_channels / p.groups; // channels per group
+    let kpg = p.out_channels / p.groups; // out-channels per group
+
+    let dims: String = spatial.iter().map(|s| format!("x{s}")).collect();
+    let mut b = GraphBuilder::new(format!(
+        "{kind}_b{}_c{}_k{}{}_ker{}_s{}_p{}_d{}_g{}",
+        p.batch,
+        p.in_channels,
+        p.out_channels,
+        dims,
+        p.kernel,
+        p.stride,
+        p.padding,
+        p.dilation,
+        p.groups
+    ));
+
+    let mut in_shape = vec![p.batch, p.in_channels];
+    in_shape.extend_from_slice(spatial);
+    b.placeholder("I", in_shape);
+    let mut w_shape = vec![p.out_channels, cpg];
+    w_shape.extend(std::iter::repeat(p.kernel).take(ndim));
+    b.placeholder("W", w_shape);
+
+    b.attr("ndim", ndim as i64)
+        .attr("batch", p.batch)
+        .attr("in_channels", p.in_channels)
+        .attr("out_channels", p.out_channels)
+        .attr("kernel", p.kernel)
+        .attr("stride", p.stride)
+        .attr("padding", p.padding)
+        .attr("dilation", p.dilation)
+        .attr("groups", p.groups);
+    for (dim, &s) in spatial.iter().enumerate() {
+        b.attr(format!("spatial{dim}"), s);
+    }
+
+    add_pad_node(
+        &mut b, "pad", "I", "P", p.batch, p.in_channels, spatial, p.padding,
+    );
+
+    // Conv node.
+    let mut sp_axes = vec![Axis::new("b", p.batch), Axis::new("k", p.out_channels)];
+    let mut rd_axes = vec![Axis::new("rc", cpg)];
+    let mut p_idx = vec![v("b")];
+    // Input channel: group base + rc. For dense conv groups == 1 and the
+    // expression simplifies to rc.
+    let in_ch = if p.groups == 1 {
+        v("rc")
+    } else {
+        (v("k") / kpg) * cpg + v("rc")
+    };
+    p_idx.push(in_ch);
+    let mut w_idx = vec![v("k"), v("rc")];
+    for (dim, &s) in spatial.iter().enumerate() {
+        let (sn, rn) = (names[dim], rnames[dim]);
+        sp_axes.push(Axis::new(sn, p.out_size(s)));
+        rd_axes.push(Axis::new(rn, p.kernel));
+        p_idx.push(v(sn) * p.stride + v(rn) * p.dilation);
+        w_idx.push(v(rn));
+    }
+    b.compute(
+        "conv",
+        "O",
+        sp_axes,
+        rd_axes,
+        Expr::load("P", p_idx) * Expr::load("W", w_idx),
+        Combiner::Sum,
+    );
+    b.finish().expect("conv graph is well-formed")
+}
+
+/// 1D sliding-window convolution (Table 1, C1D).
+pub fn conv1d(p: ConvParams, length: i64) -> Graph {
+    conv_nd("c1d", p, &[length])
+}
+
+/// 2D sliding-window convolution (Table 1, C2D). Also the builder behind
+/// group (GRP), depthwise (DEP) and dilated (DIL) convolution via
+/// [`ConvParams`].
+pub fn conv2d(p: ConvParams, h: i64, w: i64) -> Graph {
+    conv_nd("c2d", p, &[h, w])
+}
+
+/// 3D sliding-window convolution (Table 1, C3D).
+pub fn conv3d(p: ConvParams, d: i64, h: i64, w: i64) -> Graph {
+    conv_nd("c3d", p, &[d, h, w])
+}
+
+/// Group convolution (Table 1, GRP): 2D convolution separated into groups.
+pub fn group_conv2d(p: ConvParams, h: i64, w: i64) -> Graph {
+    assert!(p.groups > 1, "group convolution requires groups > 1");
+    conv_nd("grp", p, &[h, w])
+}
+
+/// Depthwise convolution (Table 1, DEP): one filter bank per input channel.
+///
+/// `multiplier` output channels are produced per input channel, so the
+/// output has `in_channels * multiplier` channels.
+pub fn depthwise_conv2d(
+    batch: i64,
+    channels: i64,
+    multiplier: i64,
+    h: i64,
+    w: i64,
+    kernel: i64,
+    stride: i64,
+    padding: i64,
+) -> Graph {
+    let p = ConvParams {
+        batch,
+        in_channels: channels,
+        out_channels: channels * multiplier,
+        kernel,
+        stride,
+        padding,
+        dilation: 1,
+        groups: channels,
+    };
+    conv_nd("dep", p, &[h, w])
+}
+
+/// Dilated convolution (Table 1, DIL).
+pub fn dilated_conv2d(p: ConvParams, h: i64, w: i64) -> Graph {
+    assert!(p.dilation > 1, "dilated convolution requires dilation > 1");
+    conv_nd("dil", p, &[h, w])
+}
+
+/// Core N-dimensional transposed convolution: stride-dilate node + pad node +
+/// convolution with the spatially flipped, channel-transposed kernel
+/// (3 compute nodes, matching Table 3's `#node` for T1D/T2D/T3D).
+fn conv_transpose_nd(kind: &str, p: ConvParams, spatial: &[i64]) -> Graph {
+    assert_eq!(p.groups, 1, "transposed convolution supports groups == 1");
+    assert_eq!(p.dilation, 1, "transposed convolution supports dilation == 1");
+    assert!(p.batch >= 1 && p.kernel >= 1 && p.stride >= 1 && p.padding >= 0);
+    assert!(
+        p.kernel - 1 - p.padding >= 0,
+        "transposed convolution requires padding <= kernel-1"
+    );
+    let ndim = spatial.len();
+    let names = spatial_names(ndim);
+    let rnames = reduce_names(ndim);
+
+    let dims: String = spatial.iter().map(|s| format!("x{s}")).collect();
+    let mut b = GraphBuilder::new(format!(
+        "{kind}_b{}_c{}_k{}{}_ker{}_s{}_p{}",
+        p.batch, p.in_channels, p.out_channels, dims, p.kernel, p.stride, p.padding
+    ));
+
+    let mut in_shape = vec![p.batch, p.in_channels];
+    in_shape.extend_from_slice(spatial);
+    b.placeholder("I", in_shape);
+    // Transposed-conv weight layout: [in_channels, out_channels, kernel...].
+    let mut w_shape = vec![p.in_channels, p.out_channels];
+    w_shape.extend(std::iter::repeat(p.kernel).take(ndim));
+    b.placeholder("W", w_shape);
+
+    b.attr("ndim", ndim as i64)
+        .attr("batch", p.batch)
+        .attr("in_channels", p.in_channels)
+        .attr("out_channels", p.out_channels)
+        .attr("kernel", p.kernel)
+        .attr("stride", p.stride)
+        .attr("padding", p.padding)
+        .attr("transposed", 1);
+    for (dim, &s) in spatial.iter().enumerate() {
+        b.attr(format!("spatial{dim}"), s);
+    }
+
+    // Node 1: stride-expansion (insert stride-1 zeros between elements).
+    let expanded: Vec<i64> = spatial.iter().map(|&s| (s - 1) * p.stride + 1).collect();
+    {
+        let mut axes = vec![Axis::new("b", p.batch), Axis::new("c", p.in_channels)];
+        let mut idx = vec![v("b"), v("c")];
+        let mut cond: Option<crate::expr::Cond> = None;
+        for (dim, &e) in expanded.iter().enumerate() {
+            let name = names[dim];
+            axes.push(Axis::new(name, e));
+            idx.push(v(name) / p.stride);
+            let aligned = v(name).rem(Expr::int(p.stride)).eq_(Expr::int(0));
+            cond = Some(match cond {
+                None => aligned,
+                Some(c) => c.and(aligned),
+            });
+        }
+        let body = match cond {
+            Some(c) if p.stride > 1 => Expr::select(c, Expr::load("I", idx), Expr::float(0.0)),
+            _ => Expr::load("I", idx),
+        };
+        b.compute("dilate", "D", axes, vec![], body, Combiner::Sum);
+    }
+
+    // Node 2: zero-padding by (kernel - 1 - padding).
+    let q = p.kernel - 1 - p.padding;
+    let padded = add_pad_node(
+        &mut b,
+        "pad",
+        "D",
+        "P",
+        p.batch,
+        p.in_channels,
+        &expanded,
+        q,
+    );
+
+    // Node 3: direct convolution with flipped kernel.
+    let mut sp_axes = vec![Axis::new("b", p.batch), Axis::new("k", p.out_channels)];
+    let mut rd_axes = vec![Axis::new("rc", p.in_channels)];
+    let mut p_idx = vec![v("b"), v("rc")];
+    let mut w_idx = vec![v("rc"), v("k")];
+    for (dim, &pe) in padded.iter().enumerate() {
+        let (sn, rn) = (names[dim], rnames[dim]);
+        let out = pe - p.kernel + 1;
+        assert!(out >= 1, "transposed conv output extent must be >= 1");
+        sp_axes.push(Axis::new(sn, out));
+        rd_axes.push(Axis::new(rn, p.kernel));
+        p_idx.push(v(sn) + v(rn));
+        w_idx.push((p.kernel - 1) - v(rn));
+    }
+    b.compute(
+        "conv",
+        "O",
+        sp_axes,
+        rd_axes,
+        Expr::load("P", p_idx) * Expr::load("W", w_idx),
+        Combiner::Sum,
+    );
+    b.finish().expect("transposed conv graph is well-formed")
+}
+
+/// Transposed 1D convolution (Table 1, T1D).
+pub fn conv_transpose1d(p: ConvParams, length: i64) -> Graph {
+    conv_transpose_nd("t1d", p, &[length])
+}
+
+/// Transposed 2D convolution (Table 1, T2D).
+pub fn conv_transpose2d(p: ConvParams, h: i64, w: i64) -> Graph {
+    conv_transpose_nd("t2d", p, &[h, w])
+}
+
+/// Transposed 3D convolution (Table 1, T3D).
+pub fn conv_transpose3d(p: ConvParams, d: i64, h: i64, w: i64) -> Graph {
+    conv_transpose_nd("t3d", p, &[d, h, w])
+}
+
+/// Block-circulant matrix multiply (§6.4, BCM).
+///
+/// The weight matrix is partitioned into `pblocks × qblocks` blocks of size
+/// `block × block`, each block circulant and represented by a single
+/// `block`-vector:
+///
+/// ```text
+/// O[b, p, r] = Σ_{q, s} Wc[p, q, (r - s + block) mod block] · X[b, q, s]
+/// ```
+///
+/// # Panics
+///
+/// Panics if any dimension is < 1.
+pub fn bcm(batch: i64, pblocks: i64, qblocks: i64, block: i64) -> Graph {
+    assert!(batch >= 1 && pblocks >= 1 && qblocks >= 1 && block >= 1);
+    let mut b = GraphBuilder::new(format!("bcm_b{batch}_p{pblocks}_q{qblocks}_k{block}"));
+    b.placeholder("X", vec![batch, qblocks, block]);
+    b.placeholder("Wc", vec![pblocks, qblocks, block]);
+    b.compute(
+        "bcm",
+        "O",
+        vec![
+            Axis::new("b", batch),
+            Axis::new("p", pblocks),
+            Axis::new("r", block),
+        ],
+        vec![Axis::new("q", qblocks), Axis::new("s", block)],
+        Expr::load(
+            "Wc",
+            vec![v("p"), v("q"), (v("r") - v("s") + block).rem(Expr::int(block))],
+        ) * Expr::load("X", vec![v("b"), v("q"), v("s")]),
+        Combiner::Sum,
+    );
+    b.finish().expect("bcm graph is well-formed")
+}
+
+/// Shift operation (§6.4, SHO): the zero-FLOP, zero-parameter alternative to
+/// spatial convolution from Shift-Net.
+///
+/// Each channel is shifted by one of the 9 offsets in `{-1,0,1}²`, selected
+/// by `channel mod 9`:
+///
+/// ```text
+/// O[b, c, i, j] = Ipad[b, c, i + (c mod 3), j + ((c / 3) mod 3)]
+/// ```
+///
+/// # Panics
+///
+/// Panics if any dimension is < 1.
+pub fn shift2d(batch: i64, channels: i64, h: i64, w: i64) -> Graph {
+    assert!(batch >= 1 && channels >= 1 && h >= 1 && w >= 1);
+    let mut b = GraphBuilder::new(format!("sho_b{batch}_c{channels}_h{h}_w{w}"));
+    b.placeholder("I", vec![batch, channels, h, w]);
+    add_pad_node(&mut b, "pad", "I", "P", batch, channels, &[h, w], 1);
+    b.compute(
+        "shift",
+        "O",
+        vec![
+            Axis::new("b", batch),
+            Axis::new("c", channels),
+            Axis::new("i", h),
+            Axis::new("j", w),
+        ],
+        vec![],
+        Expr::load(
+            "P",
+            vec![
+                v("b"),
+                v("c"),
+                v("i") + v("c").rem(Expr::int(3)),
+                v("j") + (v("c") / 3).rem(Expr::int(3)),
+            ],
+        ),
+        Combiner::Sum,
+    );
+    b.finish().expect("shift graph is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_shapes_and_nodes() {
+        let p = ConvParams::same(1, 64, 192, 3);
+        let g = conv2d(p, 112, 112);
+        assert_eq!(g.output().shape, vec![1, 192, 112, 112]);
+        assert_eq!(g.num_compute_nodes(), 2); // pad + conv (Table 3: C2D #node 2)
+        // FLOPs: 2 * b*k*oh*ow * rc*kh*kw (pad node contributes none).
+        assert_eq!(
+            g.flops(),
+            2 * (192 * 112 * 112) as u64 * (64 * 3 * 3) as u64
+        );
+    }
+
+    #[test]
+    fn conv2d_strided_output_shape() {
+        let p = ConvParams::same(8, 3, 64, 7).with_stride(2); // YOLO C1
+        let g = conv2d(p, 448, 448);
+        assert_eq!(g.output().shape, vec![8, 64, 224, 224]);
+    }
+
+    #[test]
+    fn conv1d_and_conv3d_node_counts() {
+        let p = ConvParams::same(1, 32, 64, 3);
+        assert_eq!(conv1d(p, 128).num_compute_nodes(), 2);
+        assert_eq!(conv3d(p, 8, 28, 28).num_compute_nodes(), 2);
+    }
+
+    #[test]
+    fn transposed_conv_has_three_nodes() {
+        let p = ConvParams {
+            batch: 1,
+            in_channels: 16,
+            out_channels: 8,
+            kernel: 4,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let g = conv_transpose2d(p, 14, 14);
+        assert_eq!(g.num_compute_nodes(), 3); // dilate + pad + conv
+        // PyTorch: out = (in-1)*stride - 2*pad + kernel = 13*2 - 2 + 4 = 28.
+        assert_eq!(g.output().shape, vec![1, 8, 28, 28]);
+    }
+
+    #[test]
+    fn group_conv_channel_arithmetic() {
+        let p = ConvParams::same(1, 64, 128, 3).with_groups(4);
+        let g = group_conv2d(p, 28, 28);
+        // Weight shape: [out_channels, in_channels/groups, k, k].
+        assert_eq!(g.tensor("W").unwrap().shape, vec![128, 16, 3, 3]);
+        assert_eq!(
+            g.flops(),
+            2 * (128 * 28 * 28) as u64 * (16 * 3 * 3) as u64
+        );
+    }
+
+    #[test]
+    fn depthwise_conv_shapes() {
+        let g = depthwise_conv2d(1, 32, 2, 56, 56, 3, 1, 1);
+        assert_eq!(g.output().shape, vec![1, 64, 56, 56]);
+        assert_eq!(g.tensor("W").unwrap().shape, vec![64, 1, 3, 3]);
+    }
+
+    #[test]
+    fn dilated_conv_output_shape() {
+        let p = ConvParams {
+            batch: 1,
+            in_channels: 64,
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 2,
+            dilation: 2,
+            groups: 1,
+        };
+        let g = dilated_conv2d(p, 56, 56);
+        assert_eq!(g.output().shape, vec![1, 64, 56, 56]);
+    }
+
+    #[test]
+    fn matmul_family_single_node() {
+        assert_eq!(gemv(1024, 1024).num_compute_nodes(), 1);
+        assert_eq!(gemm(512, 512, 512).num_compute_nodes(), 1);
+        assert_eq!(bilinear(64, 64, 128, 128).num_compute_nodes(), 1);
+    }
+
+    #[test]
+    fn gemv_flops() {
+        assert_eq!(gemv(256, 512).flops(), 2 * 256 * 512);
+    }
+
+    #[test]
+    fn bilinear_flops_counts_two_muls() {
+        // Body has 2 multiplies + 1 accumulate per reduce point.
+        let g = bilinear(8, 8, 4, 4);
+        assert_eq!(g.flops(), 3 * 8 * 8 * 4 * 4);
+    }
+
+    #[test]
+    fn bcm_structure() {
+        let g = bcm(1, 16, 16, 64);
+        assert_eq!(g.output().shape, vec![1, 16, 64]);
+        assert_eq!(g.num_compute_nodes(), 1);
+        assert_eq!(g.flops(), 2 * (16 * 64) as u64 * (16 * 64) as u64);
+    }
+
+    #[test]
+    fn shift_is_zero_flop() {
+        let g = shift2d(1, 64, 28, 28);
+        assert_eq!(g.flops(), 0);
+        assert_eq!(g.output().shape, vec![1, 64, 28, 28]);
+        assert_eq!(g.num_compute_nodes(), 2); // pad + shift
+    }
+
+    #[test]
+    #[should_panic(expected = "groups")]
+    fn group_conv_rejects_groups_one() {
+        group_conv2d(ConvParams::same(1, 8, 8, 3), 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn conv_rejects_indivisible_groups() {
+        conv2d(ConvParams::same(1, 10, 8, 3).with_groups(4), 8, 8);
+    }
+
+    #[test]
+    fn out_size_formula_matches_reference() {
+        let p = ConvParams::same(1, 1, 1, 3).with_stride(2);
+        // (14 + 2*1 - 1*(3-1) - 1)/2 + 1 = 7 (YOLO C14: 14x14 -> 7x7).
+        assert_eq!(p.out_size(14), 7);
+    }
+}
+
+/// Element-wise epilogues that fuse into a producer at writeback (the
+/// sub-graph fusion of §6.6: DNN layers are conv + bias + activation,
+/// fused into one operator before optimization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Epilogue {
+    /// `max(x, 0)`.
+    Relu,
+    /// `max(x, 0) + alpha * min(x, 0)` (YOLO uses `alpha = 0.1`).
+    LeakyRelu(f64),
+    /// Per-channel bias add followed by ReLU; `channel_axis` names which
+    /// output dimension indexes the bias vector.
+    BiasRelu {
+        /// Output dimension holding channels.
+        channel_axis: usize,
+    },
+}
+
+/// Appends an element-wise epilogue node to a graph, producing a new graph
+/// whose output is the epilogue result. The original output becomes an
+/// intermediate; lowering fuses the epilogue at writeback.
+///
+/// # Panics
+///
+/// Panics if `BiasRelu`'s channel axis is out of range.
+pub fn fuse_epilogue(mut graph: Graph, epilogue: Epilogue) -> Graph {
+    use crate::graph::{Op, TensorDecl, TensorKind};
+
+    let root = graph.root_op().clone();
+    let src = root.output.clone();
+    // Demote the old output.
+    for t in &mut graph.tensors {
+        if t.name == src {
+            t.kind = TensorKind::Intermediate;
+        }
+    }
+    let axes: Vec<Axis> = root.spatial.clone();
+    let idx: Vec<Expr> = axes.iter().map(|a| v(&a.name)).collect();
+    let x = Expr::load(&src, idx.clone());
+    let (body, extra_inputs) = match epilogue {
+        Epilogue::Relu => (x.max(Expr::float(0.0)), vec![]),
+        Epilogue::LeakyRelu(alpha) => {
+            let pos = x.clone().max(Expr::float(0.0));
+            let neg = x.min(Expr::float(0.0)) * Expr::float(alpha);
+            (pos + neg, vec![])
+        }
+        Epilogue::BiasRelu { channel_axis } => {
+            assert!(channel_axis < axes.len(), "channel axis out of range");
+            let bias_name = "Bias".to_string();
+            let bias_shape = vec![axes[channel_axis].extent];
+            let biased = x + Expr::load(&bias_name, vec![v(&axes[channel_axis].name)]);
+            (
+                biased.max(Expr::float(0.0)),
+                vec![TensorDecl {
+                    name: bias_name,
+                    shape: bias_shape,
+                    kind: TensorKind::Input,
+                }],
+            )
+        }
+    };
+    for t in extra_inputs {
+        graph.ops.push(Op::Placeholder {
+            tensor: t.name.clone(),
+        });
+        graph.tensors.push(t);
+    }
+    let out_name = format!("{src}_act");
+    graph.tensors.push(TensorDecl {
+        name: out_name.clone(),
+        shape: axes.iter().map(|a| a.extent).collect(),
+        kind: TensorKind::Output,
+    });
+    graph.ops.push(Op::Compute(crate::graph::ComputeOp {
+        name: "epilogue".into(),
+        output: out_name,
+        spatial: axes,
+        reduce: vec![],
+        body,
+        combiner: Combiner::Sum,
+    }));
+    graph.name = format!("{}_fused", graph.name);
+    graph
+}
+
+#[cfg(test)]
+mod epilogue_tests {
+    use super::*;
+
+    #[test]
+    fn relu_fusion_extends_graph() {
+        let g = fuse_epilogue(conv2d(ConvParams::same(1, 4, 8, 3), 6, 6), Epilogue::Relu);
+        assert_eq!(g.num_compute_nodes(), 3); // pad + conv + epilogue
+        assert_eq!(g.output().name, "O_act");
+        assert_eq!(g.anchor_op().name, "conv");
+        assert_eq!(g.epilogue_chain().len(), 1);
+    }
+
+    #[test]
+    fn bias_relu_adds_input() {
+        let g = fuse_epilogue(
+            conv2d(ConvParams::same(1, 4, 8, 3), 6, 6),
+            Epilogue::BiasRelu { channel_axis: 1 },
+        );
+        assert!(g.inputs().any(|t| t.name == "Bias"));
+        assert_eq!(g.tensor("Bias").unwrap().shape, vec![8]);
+    }
+
+    #[test]
+    fn anchor_of_unfused_graph_is_root() {
+        let g = conv2d(ConvParams::same(1, 4, 8, 3), 6, 6);
+        assert_eq!(g.anchor_op().name, g.root_op().name);
+        assert!(g.epilogue_chain().is_empty());
+    }
+
+    #[test]
+    fn shift_anchor_falls_back_to_root() {
+        let g = shift2d(1, 9, 4, 4);
+        assert_eq!(g.anchor_op().name, "shift");
+    }
+
+    #[test]
+    fn leaky_relu_counts_flops() {
+        let g = fuse_epilogue(gemm(4, 4, 4), Epilogue::LeakyRelu(0.1));
+        // gemm 2*n*m*k + epilogue (max + mul + min + add = 4 per point).
+        assert_eq!(g.flops(), 2 * 64 + 4 * 16);
+    }
+}

@@ -1,0 +1,212 @@
+//! Algebraic simplification of scalar expressions.
+//!
+//! Lowering builds index expressions mechanically (`((i0*1 + i1)*4 + i2)*1
+//! + i3`), leaving many identity operations behind. [`simplify`] folds
+//! constants and removes identities, which both makes rendered kernels
+//! readable and speeds up the interpreter (which walks every expression
+//! once per dynamic iteration).
+//!
+//! All rules are exact over the values this IR computes: integer index
+//! arithmetic and finite `f32`-range data. `x * 0 → 0` is applied only
+//! when `x` performs no tensor load (loads can fail on out-of-bounds
+//! indices, and dropping one would change error behavior).
+
+use crate::expr::{BinOp, Cond, Expr};
+
+fn is_int(e: &Expr, v: i64) -> bool {
+    matches!(e, Expr::IConst(c) if *c == v)
+}
+
+fn is_zero(e: &Expr) -> bool {
+    matches!(e, Expr::IConst(0) | Expr::FConst(0.0))
+}
+
+fn is_one(e: &Expr) -> bool {
+    is_int(e, 1) || matches!(e, Expr::FConst(c) if *c == 1.0)
+}
+
+fn has_load(e: &Expr) -> bool {
+    let mut loads = Vec::new();
+    e.collect_loads(&mut loads);
+    !loads.is_empty()
+}
+
+fn fold(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.checked_add(b)?,
+        BinOp::Sub => a.checked_sub(b)?,
+        BinOp::Mul => a.checked_mul(b)?,
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a.div_euclid(b)
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a.rem_euclid(b)
+        }
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    })
+}
+
+/// Simplifies a condition (recursing into its operands).
+pub fn simplify_cond(c: &Cond) -> Cond {
+    match c {
+        Cond::Cmp(op, a, b) => Cond::Cmp(*op, Box::new(simplify(a)), Box::new(simplify(b))),
+        Cond::And(a, b) => Cond::And(Box::new(simplify_cond(a)), Box::new(simplify_cond(b))),
+        Cond::Or(a, b) => Cond::Or(Box::new(simplify_cond(a)), Box::new(simplify_cond(b))),
+        Cond::Not(a) => Cond::Not(Box::new(simplify_cond(a))),
+    }
+}
+
+/// Returns an equivalent, usually smaller expression: folds integer
+/// constants and strips arithmetic identities (`+0`, `*1`, `-0`, `/1`,
+/// `%1`, and load-free `*0`).
+pub fn simplify(e: &Expr) -> Expr {
+    match e {
+        Expr::FConst(_) | Expr::IConst(_) | Expr::Var(_) => e.clone(),
+        Expr::Load { tensor, indices } => Expr::Load {
+            tensor: tensor.clone(),
+            indices: indices.iter().map(simplify).collect(),
+        },
+        Expr::Select(c, a, b) => {
+            let (a, b) = (simplify(a), simplify(b));
+            Expr::Select(Box::new(simplify_cond(c)), Box::new(a), Box::new(b))
+        }
+        Expr::Bin(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            // Constant folding (integers only; float folding could change
+            // rounding, and index math is what matters here).
+            if let (Expr::IConst(x), Expr::IConst(y)) = (&a, &b) {
+                if let Some(v) = fold(*op, *x, *y) {
+                    return Expr::IConst(v);
+                }
+            }
+            match op {
+                BinOp::Add => {
+                    if is_zero(&a) {
+                        return b;
+                    }
+                    if is_zero(&b) {
+                        return a;
+                    }
+                }
+                BinOp::Sub => {
+                    if is_zero(&b) {
+                        return a;
+                    }
+                }
+                BinOp::Mul => {
+                    if is_one(&a) {
+                        return b;
+                    }
+                    if is_one(&b) {
+                        return a;
+                    }
+                    if is_zero(&a) && !has_load(&b) || is_zero(&b) && !has_load(&a) {
+                        return Expr::IConst(0);
+                    }
+                }
+                BinOp::Div => {
+                    if is_one(&b) {
+                        return a;
+                    }
+                }
+                BinOp::Mod => {
+                    if is_int(&b, 1) {
+                        return Expr::IConst(0);
+                    }
+                }
+                BinOp::Min | BinOp::Max => {}
+            }
+            Expr::Bin(*op, Box::new(a), Box::new(b))
+        }
+    }
+}
+
+/// Number of AST nodes — used to check simplification never grows a term.
+pub fn size(e: &Expr) -> usize {
+    match e {
+        Expr::FConst(_) | Expr::IConst(_) | Expr::Var(_) => 1,
+        Expr::Bin(_, a, b) => 1 + size(a) + size(b),
+        Expr::Select(_, a, b) => 1 + size(a) + size(b),
+        Expr::Load { indices, .. } => 1 + indices.iter().map(size).sum::<usize>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Expr {
+        Expr::var(n)
+    }
+
+    #[test]
+    fn strips_identities() {
+        // ((i*1 + 0)*4 + j)*1 + 0 -> i*4 + j
+        let e = ((v("i") * 1 + 0) * 4 + v("j")) * 1 + 0;
+        let s = simplify(&e);
+        assert_eq!(s, v("i") * 4 + v("j"));
+    }
+
+    #[test]
+    fn folds_integer_constants() {
+        let e = (Expr::int(6) * 7 + 2) / 4;
+        assert_eq!(simplify(&e), Expr::IConst(11));
+        let m = Expr::int(-7).rem(Expr::int(3));
+        assert_eq!(simplify(&m), Expr::IConst(2));
+    }
+
+    #[test]
+    fn mul_zero_without_loads_collapses() {
+        let e = v("i") * 0 + v("j");
+        assert_eq!(simplify(&e), v("j"));
+    }
+
+    #[test]
+    fn mul_zero_with_load_is_kept() {
+        let e = Expr::load("A", vec![v("i")]) * 0;
+        let s = simplify(&e);
+        assert!(matches!(s, Expr::Bin(BinOp::Mul, _, _)), "{s}");
+    }
+
+    #[test]
+    fn div_mod_identities() {
+        assert_eq!(simplify(&(v("i") / 1)), v("i"));
+        assert_eq!(simplify(&v("i").rem(Expr::int(1))), Expr::IConst(0));
+        // Division by zero is never folded.
+        let e = Expr::int(4) / 0;
+        assert!(matches!(simplify(&e), Expr::Bin(BinOp::Div, _, _)));
+    }
+
+    #[test]
+    fn recurses_into_loads_and_selects() {
+        let e = Expr::select(
+            (v("i") * 1).lt(Expr::int(2) + 2),
+            Expr::load("A", vec![v("i") + 0]),
+            Expr::float(0.0),
+        );
+        let s = simplify(&e);
+        let txt = format!("{s}");
+        assert!(txt.contains("A[i]"), "{txt}");
+        assert!(txt.contains("< 4"), "{txt}");
+    }
+
+    #[test]
+    fn never_grows() {
+        let exprs = vec![
+            ((v("i") * 3 + v("r")) * 1 + 0) * 2,
+            Expr::load("W", vec![(v("k") - v("s") + 8).rem(Expr::int(8))]),
+            v("a").max(v("b") + 0).min(Expr::int(5) * 2),
+        ];
+        for e in exprs {
+            assert!(size(&simplify(&e)) <= size(&e), "{e}");
+        }
+    }
+}

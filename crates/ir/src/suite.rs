@@ -1,0 +1,408 @@
+//! The benchmark suite of Table 3: twelve operator kinds, each with multiple
+//! test cases spanning the FLOP ranges the paper reports.
+//!
+//! Every evaluation harness (Figs. 5–7, §6.4–§6.6) draws its workloads from
+//! here so that all experiments run the exact same shapes.
+
+use std::fmt;
+
+use crate::graph::Graph;
+use crate::ops::{self, ConvParams};
+use crate::yolo::YOLO_LAYERS;
+
+/// The operator kinds of Table 3 plus the §6.4 "new operators".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorKind {
+    /// Matrix-vector multiply.
+    Gemv,
+    /// Matrix-matrix multiply.
+    Gemm,
+    /// Bilinear transformation.
+    Bilinear,
+    /// 1D convolution.
+    Conv1d,
+    /// Transposed 1D convolution.
+    ConvTranspose1d,
+    /// 2D convolution.
+    Conv2d,
+    /// Transposed 2D convolution.
+    ConvTranspose2d,
+    /// 3D convolution.
+    Conv3d,
+    /// Transposed 3D convolution.
+    ConvTranspose3d,
+    /// Group convolution.
+    GroupConv,
+    /// Depthwise convolution.
+    Depthwise,
+    /// Dilated convolution.
+    Dilated,
+    /// Block-circulant matrix multiply (§6.4).
+    Bcm,
+    /// Shift operation (§6.4).
+    Shift,
+}
+
+impl OperatorKind {
+    /// The paper's abbreviation (Table 3 "Abbr." column).
+    pub fn abbr(&self) -> &'static str {
+        match self {
+            OperatorKind::Gemv => "GMV",
+            OperatorKind::Gemm => "GMM",
+            OperatorKind::Bilinear => "BIL",
+            OperatorKind::Conv1d => "C1D",
+            OperatorKind::ConvTranspose1d => "T1D",
+            OperatorKind::Conv2d => "C2D",
+            OperatorKind::ConvTranspose2d => "T2D",
+            OperatorKind::Conv3d => "C3D",
+            OperatorKind::ConvTranspose3d => "T3D",
+            OperatorKind::GroupConv => "GRP",
+            OperatorKind::Depthwise => "DEP",
+            OperatorKind::Dilated => "DIL",
+            OperatorKind::Bcm => "BCM",
+            OperatorKind::Shift => "SHO",
+        }
+    }
+
+    /// The twelve operators evaluated in Table 3 / Fig. 5 (excludes the
+    /// §6.4 new operators).
+    pub fn table3() -> [OperatorKind; 12] {
+        [
+            OperatorKind::Gemv,
+            OperatorKind::Gemm,
+            OperatorKind::Bilinear,
+            OperatorKind::Conv1d,
+            OperatorKind::ConvTranspose1d,
+            OperatorKind::Conv2d,
+            OperatorKind::ConvTranspose2d,
+            OperatorKind::Conv3d,
+            OperatorKind::ConvTranspose3d,
+            OperatorKind::GroupConv,
+            OperatorKind::Depthwise,
+            OperatorKind::Dilated,
+        ]
+    }
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbr())
+    }
+}
+
+fn tconv(inc: i64, outc: i64, kernel: i64, stride: i64, padding: i64) -> ConvParams {
+    ConvParams {
+        batch: 1,
+        in_channels: inc,
+        out_channels: outc,
+        kernel,
+        stride,
+        padding,
+        dilation: 1,
+        groups: 1,
+    }
+}
+
+/// Builds the test cases of Table 3 for one operator kind (batch size 1,
+/// float32, matching §6.1). The number of cases per kind matches the
+/// "Test Cases" column: GMV 6, GMM 7, BIL 5, C1D 7, T1D 7, C2D 15, T2D 15,
+/// C3D 8, T3D 8, GRP 14, DEP 7, DIL 11.
+pub fn test_cases(kind: OperatorKind) -> Vec<Graph> {
+    match kind {
+        OperatorKind::Gemv => [
+            (128, 128),
+            (250, 250),
+            (500, 500),
+            (1000, 512),
+            (512, 1024),
+            (1000, 1000),
+        ]
+        .iter()
+        .map(|&(n, k)| ops::gemv(n, k))
+        .collect(),
+
+        OperatorKind::Gemm => [
+            (128, 128, 128),
+            (200, 200, 200),
+            (500, 500, 500),
+            (1000, 1000, 256),
+            (1024, 1024, 1024),
+            (1200, 1000, 720),
+            (2048, 1024, 2048),
+        ]
+        .iter()
+        .map(|&(n, m, k)| ops::gemm(n, m, k))
+        .collect(),
+
+        OperatorKind::Bilinear => [
+            (500, 500, 64, 32),
+            (250, 512, 128, 32),
+            (512, 250, 128, 64),
+            (1000, 256, 64, 64),
+            (512, 512, 100, 36),
+        ]
+        .iter()
+        .map(|&(n, m, k, l)| ops::bilinear(n, m, k, l))
+        .collect(),
+
+        OperatorKind::Conv1d => [
+            (64, 128, 1024, 3),
+            (128, 128, 1024, 3),
+            (128, 256, 512, 3),
+            (256, 256, 512, 3),
+            (256, 512, 256, 3),
+            (128, 128, 2048, 3),
+            (64, 256, 1024, 7),
+        ]
+        .iter()
+        .map(|&(c, k, len, ker)| ops::conv1d(ConvParams::same(1, c, k, ker), len))
+        .collect(),
+
+        OperatorKind::ConvTranspose1d => [
+            (128, 64, 512, 4, 2, 1),
+            (128, 128, 512, 4, 2, 1),
+            (256, 128, 256, 4, 2, 1),
+            (256, 256, 256, 4, 2, 1),
+            (512, 256, 128, 4, 2, 1),
+            (128, 128, 1024, 4, 2, 1),
+            (256, 64, 512, 8, 4, 2),
+        ]
+        .iter()
+        .map(|&(c, k, len, ker, st, p)| ops::conv_transpose1d(tconv(c, k, ker, st, p), len))
+        .collect(),
+
+        OperatorKind::Conv2d => YOLO_LAYERS.iter().map(|l| l.graph(1)).collect(),
+
+        OperatorKind::ConvTranspose2d => YOLO_LAYERS
+            .iter()
+            .map(|l| {
+                // Mirror each YOLO layer as a transposed convolution with a
+                // 4x4 stride-2 deconv kernel (the common upsampling config),
+                // preserving the channel structure and FLOP range.
+                ops::conv_transpose2d(
+                    tconv(l.in_channels.max(4), l.out_channels, 4, 2, 1),
+                    l.size / 2,
+                    l.size / 2,
+                )
+            })
+            .collect(),
+
+        OperatorKind::Conv3d => [
+            (3, 64, 8, 112, 3),
+            (64, 64, 8, 56, 3),
+            (64, 128, 8, 56, 3),
+            (128, 128, 4, 28, 3),
+            (128, 256, 4, 28, 3),
+            (256, 256, 4, 14, 3),
+            (256, 512, 2, 14, 3),
+            (512, 512, 2, 7, 3),
+        ]
+        .iter()
+        .map(|&(c, k, d, s, ker)| ops::conv3d(ConvParams::same(1, c, k, ker), d, s, s))
+        .collect(),
+
+        OperatorKind::ConvTranspose3d => [
+            (64, 64, 4, 28, 4, 2, 1),
+            (128, 64, 4, 28, 4, 2, 1),
+            (128, 128, 2, 14, 4, 2, 1),
+            (256, 128, 2, 14, 4, 2, 1),
+            (256, 256, 2, 7, 4, 2, 1),
+            (512, 256, 2, 7, 4, 2, 1),
+            (512, 512, 1, 7, 4, 2, 1),
+            (64, 32, 8, 28, 4, 2, 1),
+        ]
+        .iter()
+        .map(|&(c, k, d, s, ker, st, p)| ops::conv_transpose3d(tconv(c, k, ker, st, p), d, s, s))
+        .collect(),
+
+        OperatorKind::GroupConv => {
+            // ResNeXt / ShuffleNet style group convolutions.
+            let cfgs: [(i64, i64, i64, i64); 14] = [
+                (128, 128, 56, 4),
+                (128, 128, 56, 8),
+                (256, 256, 28, 4),
+                (256, 256, 28, 8),
+                (256, 256, 28, 16),
+                (512, 512, 14, 4),
+                (512, 512, 14, 8),
+                (512, 512, 14, 16),
+                (512, 512, 14, 32),
+                (1024, 1024, 7, 8),
+                (1024, 1024, 7, 16),
+                (1024, 1024, 7, 32),
+                (256, 512, 28, 8),
+                (512, 1024, 14, 8),
+            ];
+            cfgs.iter()
+                .map(|&(c, k, s, g)| {
+                    ops::group_conv2d(ConvParams::same(1, c, k, 3).with_groups(g), s, s)
+                })
+                .collect()
+        }
+
+        OperatorKind::Depthwise => {
+            // MobileNet-style depthwise layers (tiny FLOP counts, Table 3:
+            // 250K–3.6M).
+            let cfgs: [(i64, i64, i64); 7] = [
+                (32, 56, 1),
+                (64, 56, 2),
+                (128, 28, 1),
+                (128, 28, 2),
+                (256, 14, 1),
+                (512, 14, 1),
+                (1024, 7, 1),
+            ];
+            cfgs.iter()
+                .map(|&(c, s, st)| ops::depthwise_conv2d(1, c, 1, s, s, 3, st, 1))
+                .collect()
+        }
+
+        OperatorKind::Dilated => {
+            // DeepLab-style dilated convolutions.
+            let cfgs: [(i64, i64, i64, i64); 11] = [
+                (128, 128, 56, 2),
+                (128, 256, 56, 2),
+                (256, 256, 28, 2),
+                (256, 256, 28, 4),
+                (256, 512, 28, 2),
+                (512, 512, 14, 2),
+                (512, 512, 14, 4),
+                (512, 1024, 14, 2),
+                (1024, 1024, 14, 2),
+                (1024, 1024, 7, 2),
+                (512, 512, 28, 2),
+            ];
+            cfgs.iter()
+                .map(|&(c, k, s, d)| {
+                    let p = ConvParams {
+                        batch: 1,
+                        in_channels: c,
+                        out_channels: k,
+                        kernel: 3,
+                        stride: 1,
+                        padding: d,
+                        dilation: d,
+                        groups: 1,
+                    };
+                    ops::dilated_conv2d(p, s, s)
+                })
+                .collect()
+        }
+
+        OperatorKind::Bcm => [
+            (16, 16, 64),
+            (32, 32, 64),
+            (16, 16, 128),
+            (32, 16, 128),
+            (64, 64, 32),
+        ]
+        .iter()
+        .map(|&(p, q, k)| ops::bcm(1, p, q, k))
+        .collect(),
+
+        OperatorKind::Shift => [
+            (64, 56),
+            (128, 28),
+            (256, 28),
+            (512, 14),
+            (1024, 7),
+        ]
+        .iter()
+        .map(|&(c, s)| ops::shift2d(1, c, s, s))
+        .collect(),
+    }
+}
+
+/// Expected number of test cases per Table 3 row.
+pub fn expected_case_count(kind: OperatorKind) -> usize {
+    match kind {
+        OperatorKind::Gemv => 6,
+        OperatorKind::Gemm => 7,
+        OperatorKind::Bilinear => 5,
+        OperatorKind::Conv1d | OperatorKind::ConvTranspose1d => 7,
+        OperatorKind::Conv2d | OperatorKind::ConvTranspose2d => 15,
+        OperatorKind::Conv3d | OperatorKind::ConvTranspose3d => 8,
+        OperatorKind::GroupConv => 14,
+        OperatorKind::Depthwise => 7,
+        OperatorKind::Dilated => 11,
+        OperatorKind::Bcm | OperatorKind::Shift => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_counts_match_table3() {
+        for kind in OperatorKind::table3() {
+            assert_eq!(
+                test_cases(kind).len(),
+                expected_case_count(kind),
+                "operator {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn gemv_flops_range() {
+        // Table 3: GMV 16K–1M... our smallest is 2*128*128 = 32K, largest 2M;
+        // within the same order of magnitude as the paper's range.
+        for g in test_cases(OperatorKind::Gemv) {
+            let f = g.flops();
+            assert!((16_000..=4_000_000).contains(&f), "{}: {f}", g.name);
+        }
+    }
+
+    #[test]
+    fn gemm_flops_range() {
+        // Table 3: GMM 32K–8.6G.
+        for g in test_cases(OperatorKind::Gemm) {
+            let f = g.flops();
+            assert!(f <= 8_600_000_000, "{}: {f}", g.name);
+        }
+        let max = test_cases(OperatorKind::Gemm)
+            .iter()
+            .map(|g| g.flops())
+            .max()
+            .unwrap();
+        assert!(max > 8_000_000_000, "largest GEMM should be ~8.6G: {max}");
+    }
+
+    #[test]
+    fn depthwise_flops_are_tiny() {
+        // Table 3: DEP 250K–3.6M.
+        for g in test_cases(OperatorKind::Depthwise) {
+            let f = g.flops();
+            assert!((100_000..=8_000_000).contains(&f), "{}: {f}", g.name);
+        }
+    }
+
+    #[test]
+    fn conv2d_cases_are_the_yolo_layers() {
+        let cases = test_cases(OperatorKind::Conv2d);
+        assert_eq!(cases[0].output().shape, vec![1, 64, 224, 224]);
+        assert_eq!(cases[14].output().shape, vec![1, 1024, 7, 7]);
+    }
+
+    #[test]
+    fn all_graphs_have_positive_output() {
+        let mut all: Vec<OperatorKind> = OperatorKind::table3().to_vec();
+        all.push(OperatorKind::Bcm);
+        all.push(OperatorKind::Shift);
+        for kind in all {
+            for g in test_cases(kind) {
+                assert!(g.output().num_elements() > 0, "{}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn group_conv_flops_range() {
+        // Table 3: GRP 20M–900M.
+        for g in test_cases(OperatorKind::GroupConv) {
+            let f = g.flops();
+            assert!((10_000_000..=1_000_000_000).contains(&f), "{}: {f}", g.name);
+        }
+    }
+}

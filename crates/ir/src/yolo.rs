@@ -1,0 +1,250 @@
+//! Network layer configurations used throughout the paper's evaluation:
+//! the 15 distinct YOLO-v1 convolution layers of Table 4 (the C2D case
+//! study of §6.3 and Figs. 1, 6, 7), the full 24-conv-layer YOLO-v1 and the
+//! 5-conv-layer OverFeat networks used for the end-to-end DNN study (§6.6).
+
+use crate::graph::Graph;
+use crate::ops::{conv2d, ConvParams};
+
+/// One convolution layer configuration (a row of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    /// Layer label, e.g. `"C1"`.
+    pub name: &'static str,
+    /// Input channels (`C`).
+    pub in_channels: i64,
+    /// Output channels (`K`).
+    pub out_channels: i64,
+    /// Input height = width (`H/W`).
+    pub size: i64,
+    /// Kernel size (`k`).
+    pub kernel: i64,
+    /// Stride (`st`).
+    pub stride: i64,
+    /// Zero padding (YOLO uses "same" padding: `k / 2`).
+    pub padding: i64,
+}
+
+impl ConvLayer {
+    /// Builds the layer's mini-graph at the given batch size.
+    pub fn graph(&self, batch: i64) -> Graph {
+        conv2d(self.params(batch), self.size, self.size)
+    }
+
+    /// Convolution parameters at the given batch size.
+    pub fn params(&self, batch: i64) -> ConvParams {
+        ConvParams {
+            batch,
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            dilation: 1,
+            groups: 1,
+        }
+    }
+
+    /// Output spatial extent.
+    pub fn out_size(&self) -> i64 {
+        self.params(1).out_size(self.size)
+    }
+
+    /// FLOPs at the given batch size (multiply-add counted as 2).
+    pub fn flops(&self, batch: i64) -> u64 {
+        let o = self.out_size();
+        2 * (batch * self.out_channels * o * o) as u64
+            * (self.in_channels * self.kernel * self.kernel) as u64
+    }
+
+    /// Whether a Winograd fast algorithm applies (3×3, stride 1, dilation 1)
+    /// — the condition under which cuDNN switches algorithms (§6.3).
+    pub fn winograd_eligible(&self) -> bool {
+        self.kernel == 3 && self.stride == 1
+    }
+}
+
+const fn layer(
+    name: &'static str,
+    in_channels: i64,
+    out_channels: i64,
+    size: i64,
+    kernel: i64,
+    stride: i64,
+) -> ConvLayer {
+    ConvLayer {
+        name,
+        in_channels,
+        out_channels,
+        size,
+        kernel,
+        stride,
+        padding: kernel / 2,
+    }
+}
+
+/// The 15 distinctive convolution layers of YOLO-v1 (Table 4).
+pub const YOLO_LAYERS: [ConvLayer; 15] = [
+    layer("C1", 3, 64, 448, 7, 2),
+    layer("C2", 64, 192, 112, 3, 1),
+    layer("C3", 192, 128, 56, 1, 1),
+    layer("C4", 128, 256, 56, 3, 1),
+    layer("C5", 256, 256, 56, 1, 1),
+    layer("C6", 256, 512, 56, 3, 1),
+    layer("C7", 512, 256, 28, 1, 1),
+    layer("C8", 256, 512, 28, 3, 1),
+    layer("C9", 512, 512, 28, 1, 1),
+    layer("C10", 512, 1024, 28, 3, 1),
+    layer("C11", 1024, 512, 14, 1, 1),
+    layer("C12", 512, 1024, 14, 3, 1),
+    layer("C13", 1024, 1024, 14, 3, 1),
+    layer("C14", 1024, 1024, 14, 3, 2),
+    layer("C15", 1024, 1024, 7, 3, 1),
+];
+
+/// Looks up a Table 4 layer by label (`"C1"` … `"C15"`).
+pub fn yolo_layer(name: &str) -> Option<&'static ConvLayer> {
+    YOLO_LAYERS.iter().find(|l| l.name == name)
+}
+
+/// The full 24-conv-layer YOLO-v1 network (§6.6), expressed as (layer,
+/// multiplicity) over the distinct Table 4 configurations. Multiplicities
+/// sum to 24.
+pub const YOLO_V1_FULL: [(&str, usize); 15] = [
+    ("C1", 1),
+    ("C2", 1),
+    ("C3", 1),
+    ("C4", 1),
+    ("C5", 1),
+    ("C6", 1),
+    ("C7", 4),
+    ("C8", 4),
+    ("C9", 1),
+    ("C10", 1),
+    ("C11", 2),
+    ("C12", 2),
+    ("C13", 1),
+    ("C14", 1),
+    ("C15", 2),
+];
+
+/// The 5 convolution layers of OverFeat (fast model), used in §6.6.
+pub const OVERFEAT_LAYERS: [ConvLayer; 5] = [
+    ConvLayer {
+        name: "OF1",
+        in_channels: 3,
+        out_channels: 96,
+        size: 231,
+        kernel: 11,
+        stride: 4,
+        padding: 0,
+    },
+    ConvLayer {
+        name: "OF2",
+        in_channels: 96,
+        out_channels: 256,
+        size: 24,
+        kernel: 5,
+        stride: 1,
+        padding: 0,
+    },
+    ConvLayer {
+        name: "OF3",
+        in_channels: 256,
+        out_channels: 512,
+        size: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    },
+    ConvLayer {
+        name: "OF4",
+        in_channels: 512,
+        out_channels: 1024,
+        size: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    },
+    ConvLayer {
+        name: "OF5",
+        in_channels: 1024,
+        out_channels: 1024,
+        size: 12,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_distinct_layers() {
+        assert_eq!(YOLO_LAYERS.len(), 15);
+        for (i, l) in YOLO_LAYERS.iter().enumerate() {
+            assert_eq!(l.name, format!("C{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn full_network_has_24_conv_layers() {
+        let total: usize = YOLO_V1_FULL.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 24);
+        for (name, _) in YOLO_V1_FULL {
+            assert!(yolo_layer(name).is_some(), "unknown layer {name}");
+        }
+    }
+
+    #[test]
+    fn c1_shapes() {
+        let l = yolo_layer("C1").unwrap();
+        assert_eq!(l.out_size(), 224);
+        let g = l.graph(1);
+        assert_eq!(g.output().shape, vec![1, 64, 224, 224]);
+    }
+
+    #[test]
+    fn c14_stride_two_halves_resolution() {
+        let l = yolo_layer("C14").unwrap();
+        assert_eq!(l.out_size(), 7);
+    }
+
+    #[test]
+    fn flops_match_graph_flops() {
+        for l in &YOLO_LAYERS {
+            assert_eq!(l.flops(1), l.graph(1).flops(), "layer {}", l.name);
+        }
+    }
+
+    #[test]
+    fn flops_in_paper_range() {
+        // Table 3 reports C2D FLOPs between 77M and 3.7G at batch 1 (the
+        // range is approximate; C10 computes ~7.4 GFLOPs by direct count).
+        for l in &YOLO_LAYERS {
+            let f = l.flops(1);
+            assert!(f >= 70_000_000, "{}: {f}", l.name);
+            assert!(f <= 8_000_000_000, "{}: {f}", l.name);
+        }
+    }
+
+    #[test]
+    fn winograd_eligibility() {
+        assert!(yolo_layer("C4").unwrap().winograd_eligible());
+        assert!(yolo_layer("C6").unwrap().winograd_eligible());
+        assert!(!yolo_layer("C1").unwrap().winograd_eligible()); // 7x7 s2
+        assert!(!yolo_layer("C3").unwrap().winograd_eligible()); // 1x1
+        assert!(!yolo_layer("C14").unwrap().winograd_eligible()); // s2
+    }
+
+    #[test]
+    fn overfeat_output_sizes_are_positive() {
+        for l in &OVERFEAT_LAYERS {
+            assert!(l.out_size() >= 1, "layer {}", l.name);
+            let g = l.graph(1);
+            assert_eq!(g.output().shape[1], l.out_channels);
+        }
+    }
+}

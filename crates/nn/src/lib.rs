@@ -1,0 +1,388 @@
+//! # flextensor-nn
+//!
+//! A minimal dense neural network — exactly what the Q-learning back-end of
+//! FlexTensor needs (§5.1): fully-connected layers with ReLU activations,
+//! mean-squared-error loss, the AdaDelta optimizer (Zeiler, 2012), Xavier
+//! initialization, and cheap whole-network cloning for the target network
+//! of Mnih et al.'s stabilized Q-learning.
+//!
+//! Everything is implemented from scratch on `Vec<f64>` — no BLAS, no
+//! autograd — because the Q-network is tiny (four layers over a few dozen
+//! features) and exploration calls it millions of times.
+//!
+//! # Examples
+//!
+//! ```
+//! use flextensor_nn::{Mlp, AdaDelta};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! // 4 fully-connected layers (the paper's Q-network shape).
+//! let mut net = Mlp::new(&[8, 32, 32, 4], &mut rng);
+//! let mut opt = AdaDelta::new(net.num_params());
+//! let x = vec![0.5; 8];
+//! let y = vec![1.0, 0.0, 0.0, 0.0];
+//! for _ in 0..200 {
+//!     net.train_batch(&[x.clone()], &[y.clone()], &mut opt);
+//! }
+//! let out = net.forward(&x);
+//! assert!((out[0] - 1.0).abs() < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// One fully-connected layer: `y = W·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+struct Linear {
+    inputs: usize,
+    outputs: usize,
+    /// Row-major `outputs × inputs`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Linear {
+    fn new(inputs: usize, outputs: usize, rng: &mut impl Rng) -> Linear {
+        // Xavier/Glorot uniform initialization.
+        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
+        let w = (0..inputs * outputs)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Linear {
+            inputs,
+            outputs,
+            w,
+            b: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// A multilayer perceptron: linear layers with ReLU between them (linear
+/// output layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths; `dims = [in, h1, ..., out]`
+    /// yields `dims.len() - 1` fully-connected layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given or any width is zero.
+    pub fn new(dims: &[usize], rng: &mut impl Rng) -> Mlp {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        assert!(dims.iter().all(|&d| d > 0), "layer widths must be positive");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Runs the network on one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Mlp::input_dim`].
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Forward pass retaining activations per layer (for backprop).
+    fn forward_cached(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut acts = vec![x.to_vec()];
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(next.clone());
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let out = acts.last().expect("at least the input activation").clone();
+        (acts, out)
+    }
+
+    /// One optimization step on a batch under MSE loss; returns the batch
+    /// loss before the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, shapes mismatch, or `opt` was created
+    /// for a different parameter count.
+    pub fn train_batch(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], opt: &mut AdaDelta) -> f64 {
+        assert!(!xs.is_empty() && xs.len() == ys.len(), "bad batch");
+        assert_eq!(opt.len(), self.num_params(), "optimizer size mismatch");
+        let mut grads = vec![0.0; self.num_params()];
+        let mut loss = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            assert_eq!(y.len(), self.output_dim(), "target width mismatch");
+            let (acts, out) = self.forward_cached(x);
+            // dL/dout for MSE (mean over outputs and batch).
+            let scale = 1.0 / (xs.len() * y.len()) as f64;
+            let mut delta: Vec<f64> = out
+                .iter()
+                .zip(y)
+                .map(|(o, t)| {
+                    loss += (o - t) * (o - t) * scale;
+                    2.0 * (o - t) * scale
+                })
+                .collect();
+            // Backprop through layers.
+            let mut offset = self.num_params();
+            for (li, layer) in self.layers.iter().enumerate().rev() {
+                offset -= layer.num_params();
+                let input = &acts[li];
+                let (gw, gb) =
+                    grads[offset..offset + layer.num_params()].split_at_mut(layer.w.len());
+                for o in 0..layer.outputs {
+                    gb[o] += delta[o];
+                    let row = &mut gw[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (g, xi) in row.iter_mut().zip(input) {
+                        *g += delta[o] * xi;
+                    }
+                }
+                if li > 0 {
+                    // Propagate delta through W and the ReLU derivative at
+                    // the previous activation.
+                    let mut prev = vec![0.0; layer.inputs];
+                    for o in 0..layer.outputs {
+                        let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                        for (p, wi) in prev.iter_mut().zip(row) {
+                            *p += delta[o] * wi;
+                        }
+                    }
+                    for (p, a) in prev.iter_mut().zip(&acts[li]) {
+                        if *a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+        // Apply AdaDelta updates.
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for w in layer.w.iter_mut().chain(layer.b.iter_mut()) {
+                *w += opt.step(offset, grads[offset]);
+                offset += 1;
+            }
+        }
+        loss
+    }
+
+    /// Copies all parameters from another network of identical shape (the
+    /// target-network update of stabilized Q-learning).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.num_params(), other.num_params(), "shape mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.w.copy_from_slice(&b.w);
+            a.b.copy_from_slice(&b.b);
+        }
+    }
+}
+
+/// The AdaDelta optimizer (Zeiler, 2012): per-parameter adaptive learning
+/// rates with no global learning-rate hyperparameter — the optimizer the
+/// paper trains its Q-network with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaDelta {
+    rho: f64,
+    eps: f64,
+    acc_grad: Vec<f64>,
+    acc_update: Vec<f64>,
+}
+
+impl AdaDelta {
+    /// Creates optimizer state for `n` parameters with the standard
+    /// hyperparameters (ρ = 0.95, ε = 1e-6).
+    pub fn new(n: usize) -> AdaDelta {
+        AdaDelta {
+            rho: 0.95,
+            eps: 1e-6,
+            acc_grad: vec![0.0; n],
+            acc_update: vec![0.0; n],
+        }
+    }
+
+    /// Number of parameters tracked.
+    pub fn len(&self) -> usize {
+        self.acc_grad.len()
+    }
+
+    /// Whether the optimizer tracks zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.acc_grad.is_empty()
+    }
+
+    /// Computes the update for parameter `i` given its gradient, updating
+    /// internal state. Returns the delta to *add* to the parameter.
+    pub fn step(&mut self, i: usize, grad: f64) -> f64 {
+        let g2 = &mut self.acc_grad[i];
+        *g2 = self.rho * *g2 + (1.0 - self.rho) * grad * grad;
+        let update = -((self.acc_update[i] + self.eps).sqrt() / (*g2 + self.eps).sqrt()) * grad;
+        let u2 = &mut self.acc_update[i];
+        *u2 = self.rho * *u2 + (1.0 - self.rho) * update * update;
+        update
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn shapes_and_param_counts() {
+        let net = Mlp::new(&[10, 20, 20, 3], &mut rng(0));
+        assert_eq!(net.input_dim(), 10);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.num_params(), 10 * 20 + 20 + 20 * 20 + 20 + 20 * 3 + 3);
+        assert_eq!(net.forward(&vec![0.1; 10]).len(), 3);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(&[4, 8, 2], &mut rng(7));
+        let b = Mlp::new(&[4, 8, 2], &mut rng(7));
+        assert_eq!(a, b);
+        let c = Mlp::new(&[4, 8, 2], &mut rng(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn loss_decreases_when_fitting_a_linear_map() {
+        let mut net = Mlp::new(&[3, 16, 16, 1], &mut rng(1));
+        let mut opt = AdaDelta::new(net.num_params());
+        let xs: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let t = i as f64 / 32.0;
+                vec![t, 1.0 - t, t * t]
+            })
+            .collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![2.0 * x[0] - x[1] + 0.5 * x[2]])
+            .collect();
+        let first = net.train_batch(&xs, &ys, &mut opt);
+        let mut last = first;
+        for _ in 0..500 {
+            last = net.train_batch(&xs, &ys, &mut opt);
+        }
+        assert!(last < first * 0.1, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn fits_xor_like_nonlinearity() {
+        let mut net = Mlp::new(&[2, 16, 16, 1], &mut rng(3));
+        let mut opt = AdaDelta::new(net.num_params());
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![vec![0.0], vec![1.0], vec![1.0], vec![0.0]];
+        for _ in 0..3000 {
+            net.train_batch(&xs, &ys, &mut opt);
+        }
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = net.forward(x)[0];
+            assert!((p - y[0]).abs() < 0.3, "xor({x:?}) = {p}, want {}", y[0]);
+        }
+    }
+
+    #[test]
+    fn target_network_copy() {
+        let mut a = Mlp::new(&[4, 8, 2], &mut rng(4));
+        let b = Mlp::new(&[4, 8, 2], &mut rng(5));
+        assert_ne!(a, b);
+        a.copy_params_from(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adadelta_moves_against_gradient() {
+        let mut opt = AdaDelta::new(1);
+        let d = opt.step(0, 1.0);
+        assert!(d < 0.0);
+        let d2 = opt.step(0, -1.0);
+        assert!(d2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn forward_checks_width() {
+        let net = Mlp::new(&[4, 8, 2], &mut rng(0));
+        net.forward(&[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimizer size mismatch")]
+    fn train_checks_optimizer() {
+        let mut net = Mlp::new(&[2, 4, 1], &mut rng(0));
+        let mut opt = AdaDelta::new(3);
+        net.train_batch(&[vec![0.0, 0.0]], &[vec![0.0]], &mut opt);
+    }
+}

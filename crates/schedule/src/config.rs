@@ -1,0 +1,345 @@
+//! Schedule configurations: the points of the schedule space (§4.2).
+//!
+//! A [`NodeConfig`] records every decision the explorer makes for one
+//! compute node — multi-way split factors per loop, the reorder
+//! permutation, fusion depth, unrolling, vectorization, caching, and the
+//! FPGA pipeline parameters. [`NodeConfig::encode`] flattens a config into
+//! the integer vector of Fig. 3e; that vector is the representation
+//! exploration moves through and the Q-network's input feature.
+
+use std::fmt;
+
+use flextensor_ir::graph::ComputeOp;
+
+/// Number of sub-loops each *spatial* loop is split into (block / vthread /
+/// thread / inner on GPU; parallel / L2-tile / L1-tile / vector on CPU).
+pub const SPATIAL_PARTS: usize = 4;
+/// Number of sub-loops each *reduce* loop is split into (outer / mid /
+/// inner).
+pub const REDUCE_PARTS: usize = 3;
+
+/// The hardware targets of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetKind {
+    /// Multicore CPU (OpenMP-style parallel + SIMD).
+    Cpu,
+    /// CUDA-style GPU (grid/block/thread, shared memory).
+    Gpu,
+    /// FPGA with the three-stage read/compute/write pipeline of §5.2.
+    Fpga,
+}
+
+impl fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TargetKind::Cpu => "cpu",
+            TargetKind::Gpu => "gpu",
+            TargetKind::Fpga => "fpga",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete schedule decision for one compute node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NodeConfig {
+    /// Per spatial axis: [`SPATIAL_PARTS`] split factors whose product
+    /// equals the axis extent (outermost factor first).
+    pub spatial_splits: Vec<Vec<i64>>,
+    /// Per reduce axis: [`REDUCE_PARTS`] split factors whose product equals
+    /// the axis extent.
+    pub reduce_splits: Vec<Vec<i64>>,
+    /// Permutation over spatial axes controlling the layout order of the
+    /// fused block / thread / parallel indices (outermost axis first).
+    pub reorder: Vec<usize>,
+    /// How many leading (per `reorder`) outermost sub-loops fuse into the
+    /// parallel / grid loop. Always ≥ 1.
+    pub fuse_outer: usize,
+    /// Whether inner loops are unrolled.
+    pub unroll: bool,
+    /// Whether the innermost spatial sub-loop is vectorized (CPU) /
+    /// drives coalescing (GPU).
+    pub vectorize: bool,
+    /// GPU: stage input tiles into shared memory (the `cache` primitive).
+    pub cache_shared: bool,
+    /// Graph-level: inline data-movement producers (pad / dilate) into the
+    /// consumer body instead of materializing them (the `inline` /
+    /// `compute_at` primitives).
+    pub inline_data: bool,
+    /// FPGA: memory partition factor (the `partition` primitive).
+    pub fpga_partition: i64,
+    /// FPGA: number of pipeline stages overlapped (the `pipeline`
+    /// primitive); 1 = no overlap, 3 = full read/compute/write overlap.
+    pub fpga_pipeline: i64,
+}
+
+impl NodeConfig {
+    /// The identity ("do nothing") schedule for an op: no tiling (all
+    /// factors 1 except the innermost which carries the whole extent), no
+    /// reordering, no unrolling.
+    pub fn naive(op: &ComputeOp) -> NodeConfig {
+        let spatial_splits = op
+            .spatial
+            .iter()
+            .map(|a| {
+                let mut f = vec![1; SPATIAL_PARTS];
+                f[SPATIAL_PARTS - 1] = a.extent;
+                f
+            })
+            .collect();
+        let reduce_splits = op
+            .reduce
+            .iter()
+            .map(|a| {
+                let mut f = vec![1; REDUCE_PARTS];
+                f[REDUCE_PARTS - 1] = a.extent;
+                f
+            })
+            .collect();
+        NodeConfig {
+            spatial_splits,
+            reduce_splits,
+            reorder: (0..op.spatial.len()).collect(),
+            fuse_outer: 1,
+            unroll: false,
+            vectorize: false,
+            cache_shared: false,
+            inline_data: true,
+            fpga_partition: 1,
+            fpga_pipeline: 1,
+        }
+    }
+
+    /// Validates this config against the op it schedules.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant: factor-count or product mismatches, an invalid reorder
+    /// permutation, or an out-of-range fuse depth.
+    pub fn validate(&self, op: &ComputeOp) -> Result<(), String> {
+        if self.spatial_splits.len() != op.spatial.len() {
+            return Err(format!(
+                "expected {} spatial splits, got {}",
+                op.spatial.len(),
+                self.spatial_splits.len()
+            ));
+        }
+        if self.reduce_splits.len() != op.reduce.len() {
+            return Err(format!(
+                "expected {} reduce splits, got {}",
+                op.reduce.len(),
+                self.reduce_splits.len()
+            ));
+        }
+        for (axis, f) in op.spatial.iter().zip(&self.spatial_splits) {
+            if f.len() != SPATIAL_PARTS {
+                return Err(format!("axis {}: expected {SPATIAL_PARTS} factors", axis.name));
+            }
+            let prod: i64 = f.iter().product();
+            if prod != axis.extent || f.iter().any(|&x| x < 1) {
+                return Err(format!(
+                    "axis {}: factors {:?} do not multiply to extent {}",
+                    axis.name, f, axis.extent
+                ));
+            }
+        }
+        for (axis, f) in op.reduce.iter().zip(&self.reduce_splits) {
+            if f.len() != REDUCE_PARTS {
+                return Err(format!("axis {}: expected {REDUCE_PARTS} factors", axis.name));
+            }
+            let prod: i64 = f.iter().product();
+            if prod != axis.extent || f.iter().any(|&x| x < 1) {
+                return Err(format!(
+                    "axis {}: factors {:?} do not multiply to extent {}",
+                    axis.name, f, axis.extent
+                ));
+            }
+        }
+        let mut seen = vec![false; op.spatial.len()];
+        if self.reorder.len() != op.spatial.len() {
+            return Err("reorder length mismatch".into());
+        }
+        for &i in &self.reorder {
+            if i >= op.spatial.len() || seen[i] {
+                return Err(format!("invalid reorder permutation {:?}", self.reorder));
+            }
+            seen[i] = true;
+        }
+        if self.fuse_outer < 1 || self.fuse_outer > op.spatial.len() {
+            return Err(format!(
+                "fuse_outer {} out of range 1..={}",
+                self.fuse_outer,
+                op.spatial.len()
+            ));
+        }
+        if self.fpga_partition < 1 || self.fpga_pipeline < 1 || self.fpga_pipeline > 3 {
+            return Err("invalid FPGA parameters".into());
+        }
+        Ok(())
+    }
+
+    /// Flattens the config into the integer vector of Fig. 3e:
+    /// `[spatial factors..., reduce factors..., reorder..., fuse, unroll,
+    /// vectorize, cache, inline, partition, pipeline]`.
+    pub fn encode(&self) -> Vec<i64> {
+        let mut v = Vec::new();
+        for f in &self.spatial_splits {
+            v.extend_from_slice(f);
+        }
+        for f in &self.reduce_splits {
+            v.extend_from_slice(f);
+        }
+        v.extend(self.reorder.iter().map(|&i| i as i64));
+        v.push(self.fuse_outer as i64);
+        v.push(self.unroll as i64);
+        v.push(self.vectorize as i64);
+        v.push(self.cache_shared as i64);
+        v.push(self.inline_data as i64);
+        v.push(self.fpga_partition);
+        v.push(self.fpga_pipeline);
+        v
+    }
+
+    /// Reconstructs a config from [`NodeConfig::encode`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the vector length does not match the op's shape.
+    pub fn decode(op: &ComputeOp, v: &[i64]) -> Result<NodeConfig, String> {
+        let ns = op.spatial.len();
+        let nr = op.reduce.len();
+        let expect = ns * SPATIAL_PARTS + nr * REDUCE_PARTS + ns + 7;
+        if v.len() != expect {
+            return Err(format!("expected encoding length {expect}, got {}", v.len()));
+        }
+        let mut it = v.iter().copied();
+        let mut take = |n: usize| -> Vec<i64> { (&mut it).take(n).collect() };
+        let spatial_splits = (0..ns).map(|_| take(SPATIAL_PARTS)).collect();
+        let reduce_splits = (0..nr).map(|_| take(REDUCE_PARTS)).collect();
+        let reorder = take(ns).into_iter().map(|x| x as usize).collect();
+        let rest = take(7);
+        Ok(NodeConfig {
+            spatial_splits,
+            reduce_splits,
+            reorder,
+            fuse_outer: rest[0] as usize,
+            unroll: rest[1] != 0,
+            vectorize: rest[2] != 0,
+            cache_shared: rest[3] != 0,
+            inline_data: rest[4] != 0,
+            fpga_partition: rest[5],
+            fpga_pipeline: rest[6],
+        })
+    }
+
+    /// Product of the level-`k` spatial factors over all axes.
+    pub fn spatial_level_product(&self, k: usize) -> i64 {
+        self.spatial_splits.iter().map(|f| f[k]).product()
+    }
+
+    /// Product of the level-`k` reduce factors over all axes.
+    pub fn reduce_level_product(&self, k: usize) -> i64 {
+        self.reduce_splits.iter().map(|f| f[k]).product()
+    }
+}
+
+impl fmt::Display for NodeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.encode())
+    }
+}
+
+/// A schedule decision for a whole mini-graph: one [`NodeConfig`] for the
+/// root (arithmetic) node, plus graph-level choices. Data-movement nodes
+/// (pad / dilate) are either inlined into the root (the default, chosen by
+/// Algorithm 1 in `flextensor::optimize`) or materialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphConfig {
+    /// Schedule of the root compute node.
+    pub root: NodeConfig,
+}
+
+impl GraphConfig {
+    /// Wraps a root-node config.
+    pub fn new(root: NodeConfig) -> GraphConfig {
+        GraphConfig { root }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+
+    fn gemm_op() -> flextensor_ir::graph::ComputeOp {
+        ops::gemm(64, 32, 16).root_op().clone()
+    }
+
+    #[test]
+    fn naive_config_validates() {
+        let op = gemm_op();
+        let c = NodeConfig::naive(&op);
+        c.validate(&op).unwrap();
+        assert_eq!(c.spatial_splits, vec![vec![1, 1, 1, 64], vec![1, 1, 1, 32]]);
+        assert_eq!(c.reduce_splits, vec![vec![1, 1, 16]]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.spatial_splits[0] = vec![2, 4, 4, 2];
+        c.reorder = vec![1, 0];
+        c.unroll = true;
+        c.cache_shared = true;
+        c.fpga_partition = 4;
+        let v = c.encode();
+        let d = NodeConfig::decode(&op, &v).unwrap();
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn bad_product_rejected() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.spatial_splits[0] = vec![2, 2, 2, 2]; // 16 != 64
+        assert!(c.validate(&op).is_err());
+    }
+
+    #[test]
+    fn bad_reorder_rejected() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.reorder = vec![0, 0];
+        assert!(c.validate(&op).is_err());
+        c.reorder = vec![0];
+        assert!(c.validate(&op).is_err());
+    }
+
+    #[test]
+    fn bad_fuse_rejected() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.fuse_outer = 0;
+        assert!(c.validate(&op).is_err());
+        c.fuse_outer = 3;
+        assert!(c.validate(&op).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_length() {
+        let op = gemm_op();
+        assert!(NodeConfig::decode(&op, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn level_products() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.spatial_splits = vec![vec![2, 2, 4, 4], vec![4, 1, 8, 1]];
+        assert_eq!(c.spatial_level_product(0), 8);
+        assert_eq!(c.spatial_level_product(2), 32);
+        assert_eq!(c.reduce_level_product(2), 16);
+    }
+}

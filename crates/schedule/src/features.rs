@@ -1,0 +1,102 @@
+//! Summary features of a lowered kernel, consumed by the performance
+//! models in `flextensor-sim`.
+//!
+//! Lowering computes these exactly (from the schedule configuration and
+//! interval analysis of the tensor index expressions), so the models never
+//! have to re-derive tiling structure from the loop nest.
+
+use crate::config::TargetKind;
+
+/// FPGA-specific features (the inputs of the §5.2 pipeline model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaFeatures {
+    /// Number of parallel processing elements instantiated.
+    pub pe: i64,
+    /// Sequential rounds of PE execution (`workload / #PE`).
+    pub rounds: i64,
+    /// On-chip buffer bytes resident per round (BRAM usage).
+    pub buffer_bytes: i64,
+    /// DDR bytes actually streamed per round after on-chip reuse across
+    /// rounds (weights cached on chip are not re-fetched every round) —
+    /// drives the read stage R.
+    pub stream_bytes: i64,
+    /// Output bytes drained per round (drives the write stage W).
+    pub write_bytes: i64,
+    /// Memory partition factor (multiplies effective on-chip bandwidth).
+    pub partition: i64,
+    /// Pipeline stages overlapped (1 = sequential, 3 = full overlap).
+    pub pipeline: i64,
+}
+
+/// Schedule- and shape-dependent features of one lowered kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelFeatures {
+    /// Target the kernel was lowered for.
+    pub target: TargetKind,
+    /// Floating-point operations performed by the root node.
+    pub flops: u64,
+    /// Number of output elements.
+    pub output_elements: i64,
+    /// Output bytes (float32).
+    pub output_bytes: i64,
+    /// Total bytes of all graph input tensors (compulsory traffic floor).
+    pub input_bytes_total: i64,
+    /// Number of distinct tensor loads in the (inlined) root body.
+    pub body_loads: usize,
+    /// Iterations of the reduction domain per output element.
+    pub reduce_size: i64,
+    /// GPU grid size (number of thread blocks) / CPU total outer chunks.
+    pub grid: i64,
+    /// Extent of the CPU parallel loop (fused outermost factors).
+    pub parallel_chunks: i64,
+    /// Product of virtual-thread (register-tile) factors.
+    pub vthreads: i64,
+    /// Threads per block (product of thread-level factors).
+    pub block_threads: i64,
+    /// Spatial points computed per thread (product of innermost factors).
+    pub thread_tile: i64,
+    /// Outer reduce factor product (shared-memory staging steps).
+    pub reduce_outer: i64,
+    /// Middle reduce factor product.
+    pub reduce_mid: i64,
+    /// Inner reduce factor product (accumulation in registers).
+    pub reduce_inner: i64,
+    /// Whether inner loops are unrolled.
+    pub unroll: bool,
+    /// Vector length of the innermost loop (1 when not vectorized).
+    pub vector_len: i64,
+    /// Whether the innermost (fastest-varying) loop walks the output's
+    /// last dimension — coalescing on GPU, unit-stride SIMD on CPU.
+    pub contiguous_inner: bool,
+    /// Whether input tiles are staged into shared memory.
+    pub cache_shared: bool,
+    /// Bytes staged into shared memory per block per outer-reduce step.
+    pub shared_bytes_per_block: i64,
+    /// Register-resident bytes per thread (accumulators + per-step input
+    /// fragments) — the occupancy-limiting register proxy.
+    pub thread_reg_bytes: i64,
+    /// Per-core innermost tile footprint (CPU L1 proxy), bytes.
+    pub l1_tile_bytes: i64,
+    /// Per-core middle tile footprint (CPU L2 proxy), bytes.
+    pub l2_tile_bytes: i64,
+    /// Whether data-movement producers (pad / dilate) were inlined.
+    pub inline_data: bool,
+    /// Extra DRAM traffic in bytes caused by materializing producers
+    /// (write + read of each intermediate), 0 when inlined.
+    pub data_node_bytes: i64,
+    /// FPGA pipeline features (populated only for FPGA targets).
+    pub fpga: Option<FpgaFeatures>,
+}
+
+impl KernelFeatures {
+    /// Total threads launched on a GPU (`grid * block_threads`).
+    pub fn total_threads(&self) -> i64 {
+        self.grid * self.block_threads
+    }
+
+    /// Arithmetic intensity proxy: FLOPs per byte of compulsory traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = (self.input_bytes_total + self.output_bytes).max(1) as f64;
+        self.flops as f64 / bytes
+    }
+}

@@ -1,0 +1,206 @@
+//! Conservative interval analysis over index expressions.
+//!
+//! Used by lowering to compute *tile footprints*: given ranges for the loop
+//! variables that vary inside a tile, the interval of each tensor index
+//! expression bounds how many distinct elements the tile touches per
+//! dimension. Footprints drive shared-memory sizing, cache-fit estimation,
+//! and register-pressure proxies in the performance models.
+
+use std::collections::HashMap;
+
+use flextensor_ir::expr::{BinOp, Expr};
+
+/// An inclusive integer interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl Interval {
+    /// A single point.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// `[lo, hi]`, normalizing a reversed pair.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// Number of integers covered.
+    pub fn len(&self) -> i64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether the interval covers exactly one point.
+    pub fn is_empty(&self) -> bool {
+        false // intervals are always non-empty by construction
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Variable environment: loop variable → value interval.
+pub type IntervalEnv = HashMap<String, Interval>;
+
+/// Evaluates the interval of `expr` under `env`. Variables absent from
+/// `env` are treated as the single point 0 (i.e. fixed at the tile origin),
+/// which is the convention lowering uses for outer loops.
+pub fn eval_interval(expr: &Expr, env: &IntervalEnv) -> Interval {
+    match expr {
+        Expr::IConst(v) => Interval::point(*v),
+        Expr::FConst(v) => Interval::point(*v as i64),
+        Expr::Var(name) => env.get(name).copied().unwrap_or(Interval::point(0)),
+        Expr::Bin(op, a, b) => {
+            let x = eval_interval(a, env);
+            let y = eval_interval(b, env);
+            match op {
+                BinOp::Add => Interval::new(x.lo + y.lo, x.hi + y.hi),
+                BinOp::Sub => Interval::new(x.lo - y.hi, x.hi - y.lo),
+                BinOp::Mul => {
+                    let c = [x.lo * y.lo, x.lo * y.hi, x.hi * y.lo, x.hi * y.hi];
+                    Interval::new(
+                        *c.iter().min().expect("non-empty"),
+                        *c.iter().max().expect("non-empty"),
+                    )
+                }
+                BinOp::Div => {
+                    if y.lo == y.hi && y.lo != 0 {
+                        let d = y.lo;
+                        let c = [x.lo / d, x.hi / d];
+                        Interval::new(*c.iter().min().unwrap(), *c.iter().max().unwrap())
+                    } else {
+                        // Unknown divisor: be conservative.
+                        Interval::new(-x.lo.abs().max(x.hi.abs()), x.lo.abs().max(x.hi.abs()))
+                    }
+                }
+                BinOp::Mod => {
+                    if y.lo == y.hi && y.lo > 0 {
+                        let m = y.lo;
+                        if x.lo >= 0 && x.hi < m {
+                            x // already within [0, m)
+                        } else {
+                            // The result wraps, so a single interval cannot
+                            // be exact. Since intervals here size tile
+                            // *footprints*, bound the result's length by the
+                            // argument's length: a wrap-around index (e.g. a
+                            // circulant `(r - s + k) % k`) touches at most
+                            // as many distinct elements as its argument has
+                            // values.
+                            Interval::new(0, (m - 1).min(x.len() - 1))
+                        }
+                    } else {
+                        Interval::new(x.lo.min(0), x.hi.max(0))
+                    }
+                }
+                BinOp::Min => Interval::new(x.lo.min(y.lo), x.hi.min(y.hi)),
+                BinOp::Max => Interval::new(x.lo.max(y.lo), x.hi.max(y.hi)),
+            }
+        }
+        Expr::Select(_, a, b) => eval_interval(a, env).hull(eval_interval(b, env)),
+        // A load used as an index is out of scope for index analysis; treat
+        // as unknown-at-origin.
+        Expr::Load { .. } => Interval::point(0),
+    }
+}
+
+/// Computes the footprint (number of distinct elements, conservatively) a
+/// set of index expressions touches as the variables in `env` range over
+/// their intervals: the product of per-dimension interval lengths.
+pub fn footprint(indices: &[Expr], env: &IntervalEnv) -> i64 {
+    indices
+        .iter()
+        .map(|ix| eval_interval(ix, env).len())
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64, i64)]) -> IntervalEnv {
+        pairs
+            .iter()
+            .map(|&(n, lo, hi)| (n.to_string(), Interval::new(lo, hi)))
+            .collect()
+    }
+
+    #[test]
+    fn affine_conv_index() {
+        // i*2 + rx where i in [0,7], rx in [0,2] -> [0, 16].
+        let e = Expr::var("i") * 2 + Expr::var("rx");
+        let iv = eval_interval(&e, &env(&[("i", 0, 7), ("rx", 0, 2)]));
+        assert_eq!((iv.lo, iv.hi), (0, 16));
+        assert_eq!(iv.len(), 17);
+    }
+
+    #[test]
+    fn missing_vars_are_origin() {
+        let e = Expr::var("outer") * 100 + Expr::var("inner");
+        let iv = eval_interval(&e, &env(&[("inner", 0, 3)]));
+        assert_eq!((iv.lo, iv.hi), (0, 3));
+    }
+
+    #[test]
+    fn sub_flips_bounds() {
+        let e = Expr::int(10) - Expr::var("i");
+        let iv = eval_interval(&e, &env(&[("i", 0, 4)]));
+        assert_eq!((iv.lo, iv.hi), (6, 10));
+    }
+
+    #[test]
+    fn mod_with_constant_divisor() {
+        let e = Expr::var("i").rem(Expr::int(8));
+        let iv = eval_interval(&e, &env(&[("i", 0, 100)]));
+        assert_eq!((iv.lo, iv.hi), (0, 7));
+        // Tight when the argument already fits.
+        let iv2 = eval_interval(&e, &env(&[("i", 2, 5)]));
+        assert_eq!((iv2.lo, iv2.hi), (2, 5));
+    }
+
+    #[test]
+    fn div_by_constant() {
+        let e = Expr::var("i") / 4;
+        let iv = eval_interval(&e, &env(&[("i", 0, 15)]));
+        assert_eq!((iv.lo, iv.hi), (0, 3));
+    }
+
+    #[test]
+    fn select_takes_hull() {
+        let e = Expr::select(
+            Expr::var("i").lt(Expr::int(2)),
+            Expr::var("i"),
+            Expr::int(0),
+        );
+        let iv = eval_interval(&e, &env(&[("i", 0, 9)]));
+        assert_eq!((iv.lo, iv.hi), (0, 9));
+    }
+
+    #[test]
+    fn footprint_is_product_of_dims() {
+        // A[i, j*1 + rx] with i in [0,3], j in [0,7], rx in [0,2].
+        let idx = vec![Expr::var("i"), Expr::var("j") + Expr::var("rx")];
+        let fp = footprint(&idx, &env(&[("i", 0, 3), ("j", 0, 7), ("rx", 0, 2)]));
+        assert_eq!(fp, 4 * 10);
+    }
+
+    #[test]
+    fn mul_handles_negatives() {
+        let e = Expr::var("i") * -3;
+        let iv = eval_interval(&e, &env(&[("i", 0, 4)]));
+        assert_eq!((iv.lo, iv.hi), (-12, 0));
+    }
+}

@@ -1,0 +1,825 @@
+//! Lowering: (mini-graph, schedule config, target) → loop nest + features.
+//!
+//! This implements §5.3 of the paper — the "optimized schedule
+//! implementation" — producing the target-specific structures of Fig. 4:
+//!
+//! * **CPU** (Fig. 4a): multi-level tiling via recursive split/reorder, a
+//!   fused+parallelized outermost loop, unroll, and a vectorized innermost
+//!   loop.
+//! * **GPU** (Fig. 4b): outer factors fused and bound to `blockIdx`,
+//!   virtual-thread register tiling, a fused `threadIdx` level, optional
+//!   shared-memory staging of input tiles per outer-reduce step, and
+//!   register accumulation.
+//! * **FPGA** (Fig. 4c): a PE array (`#PE` = product of inner spatial
+//!   factors) executing the workload in rounds under the three-stage
+//!   read/compute/write pipeline; buffering and partitioning are recorded
+//!   for the §5.2 analytical model.
+//!
+//! Data-movement producers (pad / dilate nodes) are inlined into the root
+//! body by default (`inline` / `compute_at` primitives); with
+//! `inline_data = false` they are materialized as separate naive nests.
+
+use flextensor_ir::expr::Expr;
+use flextensor_ir::graph::{ComputeOp, Graph};
+
+use crate::config::{NodeConfig, TargetKind};
+use crate::features::{FpgaFeatures, KernelFeatures};
+use crate::interval::{footprint, Interval, IntervalEnv};
+use crate::nest::{LoopKind, Stmt};
+
+/// A fully lowered kernel: an executable statement sequence plus the
+/// feature summary consumed by the performance models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredKernel {
+    /// Target the kernel was lowered for.
+    pub target: TargetKind,
+    /// Top-level statements, executed in order (materialized producers
+    /// first, then the scheduled root nest).
+    pub stmts: Vec<Stmt>,
+    /// Cost-model features.
+    pub features: KernelFeatures,
+}
+
+impl LoweredKernel {
+    /// Pretty-prints the lowered code.
+    pub fn render(&self) -> String {
+        self.stmts.iter().map(|s| s.to_string()).collect()
+    }
+}
+
+/// Errors produced during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lowering failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Returns the data-movement producer chain of the root op: compute nodes
+/// with no reduce axes whose outputs the root (transitively) reads.
+fn data_producers<'g>(graph: &'g Graph, root: &ComputeOp) -> Vec<&'g ComputeOp> {
+    let mut out: Vec<&ComputeOp> = Vec::new();
+    let mut frontier = root.input_tensors();
+    while let Some(t) = frontier.pop() {
+        if let Some(p) = graph
+            .compute_ops()
+            .find(|c| c.output == t && c.reduce.is_empty() && c.name != root.name)
+        {
+            if !out.iter().any(|o| o.name == p.name) {
+                out.push(p);
+                frontier.extend(p.input_tensors());
+            }
+        }
+    }
+    // Topological order (producers of producers first).
+    out.reverse();
+    out
+}
+
+/// Substitutes loads of producer tensors with the producer's body, with the
+/// producer's spatial variables replaced by the load's index expressions.
+/// Applied to fixpoint so chains (dilate → pad → conv) inline fully.
+fn inline_producers(graph: &Graph, root: &ComputeOp, body: &Expr) -> Expr {
+    fn rewrite(graph: &Graph, root_name: &str, e: &Expr) -> (Expr, bool) {
+        match e {
+            Expr::Load { tensor, indices } => {
+                // First rewrite inside the indices themselves.
+                let mut changed = false;
+                let new_indices: Vec<Expr> = indices
+                    .iter()
+                    .map(|ix| {
+                        let (r, c) = rewrite(graph, root_name, ix);
+                        changed |= c;
+                        r
+                    })
+                    .collect();
+                if let Some(p) = graph
+                    .compute_ops()
+                    .find(|c| &c.output == tensor && c.reduce.is_empty() && c.name != root_name)
+                {
+                    // Rename producer vars to fresh temporaries, then
+                    // substitute the temporaries with the index expressions
+                    // (avoids capture when index exprs mention names that
+                    // collide with producer axis names).
+                    let mut b = p.body.clone();
+                    let temps: Vec<String> = (0..p.spatial.len())
+                        .map(|i| format!("__inl_{}_{i}", p.name))
+                        .collect();
+                    for (axis, tmp) in p.spatial.iter().zip(&temps) {
+                        b = b.substitute(&axis.name, &Expr::Var(tmp.clone()));
+                    }
+                    for (tmp, ix) in temps.iter().zip(&new_indices) {
+                        b = b.substitute(tmp, ix);
+                    }
+                    (b, true)
+                } else {
+                    (
+                        Expr::Load {
+                            tensor: tensor.clone(),
+                            indices: new_indices,
+                        },
+                        changed,
+                    )
+                }
+            }
+            Expr::Bin(op, a, bx) => {
+                let (ra, ca) = rewrite(graph, root_name, a);
+                let (rb, cb) = rewrite(graph, root_name, bx);
+                (Expr::Bin(*op, Box::new(ra), Box::new(rb)), ca || cb)
+            }
+            Expr::Select(c, a, bx) => {
+                let (ra, ca) = rewrite(graph, root_name, a);
+                let (rb, cb) = rewrite(graph, root_name, bx);
+                // Conditions only contain index arithmetic; no loads there.
+                (
+                    Expr::Select(c.clone(), Box::new(ra), Box::new(rb)),
+                    ca || cb,
+                )
+            }
+            _ => (e.clone(), false),
+        }
+    }
+    let mut cur = body.clone();
+    for _ in 0..8 {
+        let (next, changed) = rewrite(graph, &root.name, &cur);
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// Builds a naive serial nest executing a data-movement producer.
+fn naive_producer_nest(op: &ComputeOp) -> Stmt {
+    let mut stmt = Stmt::Store {
+        tensor: op.output.clone(),
+        indices: op.spatial.iter().map(|a| Expr::var(&a.name)).collect(),
+        value: op.body.clone(),
+        reduce: false,
+        combiner: op.combiner,
+    };
+    for a in op.spatial.iter().rev() {
+        stmt = Stmt::loop_(&a.name, a.extent, LoopKind::Serial, vec![stmt]);
+    }
+    stmt
+}
+
+/// Per-axis sub-loop variable names for spatial level `k`.
+fn svar(axis: &str, level: usize) -> String {
+    format!("{axis}.{level}")
+}
+
+/// Reconstructs the original axis index from its per-level variables:
+/// `((v0*f1 + v1)*f2 + v2)*f3 + v3`.
+fn rebuild_index(axis: &str, factors: &[i64]) -> Expr {
+    let mut e = Expr::var(svar(axis, 0));
+    for (level, &f) in factors.iter().enumerate().skip(1) {
+        e = e * f + Expr::var(svar(axis, level));
+    }
+    e
+}
+
+/// Replaces fused-level variables: decomposes `fused_var` into the level-
+/// `level` variables of `axes` (in the given order, last axis fastest).
+/// Returns substitutions var-name → expression.
+fn decompose_fused(
+    fused_var: &str,
+    axes: &[(String, i64)], // (axis name, factor at this level)
+    level: usize,
+) -> Vec<(String, Expr)> {
+    let mut subs = Vec::new();
+    let mut stride = 1i64;
+    // Build from fastest (last) to slowest.
+    for (name, f) in axes.iter().rev() {
+        let e = if stride == 1 {
+            Expr::var(fused_var).rem(Expr::int(*f))
+        } else {
+            (Expr::var(fused_var) / stride).rem(Expr::int(*f))
+        };
+        subs.push((svar(name, level), e));
+        stride *= f;
+    }
+    subs
+}
+
+struct LowerCtx<'g> {
+    root: &'g ComputeOp,
+    cfg: &'g NodeConfig,
+    body: Expr,
+    /// Spatial axis order per the reorder permutation.
+    order: Vec<usize>,
+}
+
+impl<'g> LowerCtx<'g> {
+    fn new(graph: &'g Graph, cfg: &'g NodeConfig) -> Result<LowerCtx<'g>, LowerError> {
+        // Schedule the anchor (the arithmetic core); element-wise consumer
+        // nodes are fused as epilogue passes after the main nest.
+        let root = graph.anchor_op();
+        cfg.validate(root).map_err(LowerError)?;
+        let body = if cfg.inline_data {
+            inline_producers(graph, root, &root.body)
+        } else {
+            root.body.clone()
+        };
+        Ok(LowerCtx {
+            root,
+            cfg,
+            body,
+            order: cfg.reorder.clone(),
+        })
+    }
+
+    fn spatial_factor(&self, axis_idx: usize, level: usize) -> i64 {
+        self.cfg.spatial_splits[axis_idx][level]
+    }
+
+    /// The store statement with all axis variables rewritten into their
+    /// per-level reconstruction.
+    fn store_stmt(&self) -> Stmt {
+        let mut value = self.body.clone();
+        let mut indices: Vec<Expr> = Vec::new();
+        for (i, a) in self.root.spatial.iter().enumerate() {
+            let idx = rebuild_index(&a.name, &self.cfg.spatial_splits[i]);
+            value = value.substitute(&a.name, &idx);
+            indices.push(idx);
+        }
+        for (i, a) in self.root.reduce.iter().enumerate() {
+            let idx = rebuild_index(&a.name, &self.cfg.reduce_splits[i]);
+            value = value.substitute(&a.name, &idx);
+        }
+        Stmt::Store {
+            tensor: self.root.output.clone(),
+            indices: indices.iter().map(flextensor_ir::simplify::simplify).collect(),
+            value: flextensor_ir::simplify::simplify(&value),
+            reduce: !self.root.reduce.is_empty(),
+            combiner: self.root.combiner,
+        }
+    }
+
+    /// Wraps `inner` in per-axis spatial loops at `level` (reorder order,
+    /// outermost first), with the given loop kind.
+    fn wrap_spatial_level(&self, inner: Vec<Stmt>, level: usize, kind: LoopKind) -> Vec<Stmt> {
+        let mut body = inner;
+        for &ax in self.order.iter().rev() {
+            let f = self.spatial_factor(ax, level);
+            let name = svar(&self.root.spatial[ax].name, level);
+            body = vec![Stmt::loop_(name, f, kind, body)];
+        }
+        body
+    }
+
+    /// Wraps `inner` in per-axis reduce loops at `level`.
+    fn wrap_reduce_level(&self, inner: Vec<Stmt>, level: usize, kind: LoopKind) -> Vec<Stmt> {
+        let mut body = inner;
+        for (i, a) in self.root.reduce.iter().enumerate().rev() {
+            let f = self.cfg.reduce_splits[i][level];
+            body = vec![Stmt::loop_(svar(&a.name, level), f, kind, body)];
+        }
+        body
+    }
+
+    /// Wraps `inner` in a fused loop over the level-`level` factors of the
+    /// axes `axes_subset` (indices into spatial axes, reorder order), and
+    /// substitutes the decomposition into every statement below.
+    fn wrap_fused(
+        &self,
+        inner: Vec<Stmt>,
+        axes_subset: &[usize],
+        level: usize,
+        fused_name: &str,
+        kind: LoopKind,
+    ) -> Vec<Stmt> {
+        let pairs: Vec<(String, i64)> = axes_subset
+            .iter()
+            .map(|&ax| {
+                (
+                    self.root.spatial[ax].name.clone(),
+                    self.spatial_factor(ax, level),
+                )
+            })
+            .collect();
+        let extent: i64 = pairs.iter().map(|(_, f)| f).product();
+        let subs = decompose_fused(fused_name, &pairs, level);
+        let inner = inner
+            .into_iter()
+            .map(|s| substitute_stmt(s, &subs))
+            .collect();
+        vec![Stmt::loop_(fused_name, extent, kind, inner)]
+    }
+}
+
+/// Substitutes variables in every expression of a statement tree.
+fn substitute_stmt(stmt: Stmt, subs: &[(String, Expr)]) -> Stmt {
+    let sub_expr = |mut e: Expr| {
+        for (name, val) in subs {
+            e = e.substitute(name, val);
+        }
+        e
+    };
+    match stmt {
+        Stmt::For {
+            var,
+            extent,
+            kind,
+            body,
+        } => Stmt::For {
+            var,
+            extent,
+            kind,
+            body: body.into_iter().map(|s| substitute_stmt(s, subs)).collect(),
+        },
+        Stmt::Store {
+            tensor,
+            indices,
+            value,
+            reduce,
+            combiner,
+        } => Stmt::Store {
+            tensor,
+            indices: indices.into_iter().map(sub_expr).collect(),
+            value: sub_expr(value),
+            reduce,
+            combiner,
+        },
+        s @ Stmt::StageIn { .. } => s,
+    }
+}
+
+/// Interval environment covering the variation of each original axis over
+/// the given spatial levels and reduce levels. E.g. for spatial levels
+/// {1,2,3} the axis `i` varies over `[0, f1*f2*f3 - 1]` (a per-block tile).
+fn tile_env(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    spatial_levels: &[usize],
+    reduce_levels: &[usize],
+) -> IntervalEnv {
+    let mut env = IntervalEnv::new();
+    for (i, a) in root.spatial.iter().enumerate() {
+        let tile: i64 = spatial_levels
+            .iter()
+            .map(|&l| cfg.spatial_splits[i][l])
+            .product();
+        env.insert(a.name.clone(), Interval::new(0, tile - 1));
+    }
+    for (i, a) in root.reduce.iter().enumerate() {
+        let tile: i64 = reduce_levels
+            .iter()
+            .map(|&l| cfg.reduce_splits[i][l])
+            .product();
+        env.insert(a.name.clone(), Interval::new(0, tile - 1));
+    }
+    env
+}
+
+/// Collects the distinct loads of the (inlined) body together with their
+/// index expressions, keyed by tensor name.
+fn body_load_groups(body: &Expr) -> Vec<(String, Vec<Vec<Expr>>)> {
+    let mut groups: Vec<(String, Vec<Vec<Expr>>)> = Vec::new();
+    fn walk(e: &Expr, groups: &mut Vec<(String, Vec<Vec<Expr>>)>) {
+        match e {
+            Expr::Load { tensor, indices } => {
+                for ix in indices {
+                    walk(ix, groups);
+                }
+                match groups.iter_mut().find(|(t, _)| t == tensor) {
+                    Some((_, v)) => v.push(indices.clone()),
+                    None => groups.push((tensor.clone(), vec![indices.clone()])),
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                walk(a, groups);
+                walk(b, groups);
+            }
+            Expr::Select(_, a, b) => {
+                walk(a, groups);
+                walk(b, groups);
+            }
+            _ => {}
+        }
+    }
+    walk(body, &mut groups);
+    groups
+}
+
+/// Sum over tensors of the footprint (bytes) of all loads of that tensor
+/// under `env` (taking the hull across load sites of the same tensor).
+fn loads_footprint_bytes(groups: &[(String, Vec<Vec<Expr>>)], env: &IntervalEnv) -> i64 {
+    let mut total = 0i64;
+    for (_, sites) in groups {
+        let fp = sites.iter().map(|ix| footprint(ix, env)).max().unwrap_or(0);
+        total += fp * 4;
+    }
+    total
+}
+
+/// Lowers a mini-graph under a schedule configuration for a target.
+///
+/// # Errors
+///
+/// Returns [`LowerError`] when the configuration does not validate against
+/// the graph's root op.
+pub fn lower(graph: &Graph, cfg: &NodeConfig, target: TargetKind) -> Result<LoweredKernel, LowerError> {
+    let ctx = LowerCtx::new(graph, cfg)?;
+    let root = ctx.root;
+
+    // ---- common feature material -------------------------------------
+    let groups = body_load_groups(&ctx.body);
+    let output_elements = root.spatial_size();
+    let reduce_size = root.reduce_size();
+    let input_bytes_total: i64 = graph.inputs().map(|t| t.bytes()).sum();
+
+    // Tile environments at the levels the models care about.
+    let block_env = tile_env(root, cfg, &[1, 2, 3], &[1, 2]); // per-block, per outer-reduce step
+    // Registers hold the accumulators plus the operands of one reduce
+    // iteration (two when unrolling interleaves iterations) — not the whole
+    // staged tile, which lives in shared memory / cache.
+    let thread_env = tile_env(root, cfg, &[3], &[]);
+    let l1_env = tile_env(root, cfg, &[3], &[2]);
+    let l2_env = tile_env(root, cfg, &[2, 3], &[1, 2]);
+
+    let shared_bytes_per_block = loads_footprint_bytes(&groups, &block_env);
+    let thread_input_bytes = loads_footprint_bytes(&groups, &thread_env);
+    let thread_tile: i64 = cfg.spatial_level_product(3);
+    let thread_reg_bytes = thread_tile * cfg.spatial_level_product(1) * 4
+        + thread_input_bytes * if cfg.unroll { 2 } else { 1 };
+    let l1_tile_bytes = loads_footprint_bytes(&groups, &l1_env) + thread_tile * 4;
+    let l2_tile_bytes =
+        loads_footprint_bytes(&groups, &l2_env) + cfg.spatial_level_product(2) * thread_tile * 4;
+
+    // Innermost-contiguity: the fastest-varying spatial sub-loop belongs to
+    // the reorder-last axis; it is contiguous iff that axis is the last
+    // output dimension.
+    let contiguous_inner = ctx
+        .order
+        .last()
+        .is_some_and(|&ax| ax == root.spatial.len() - 1);
+
+    let data_producers_list = data_producers(graph, root);
+    let data_node_bytes: i64 = if cfg.inline_data {
+        0
+    } else {
+        data_producers_list
+            .iter()
+            .map(|p| {
+                let out_bytes = p.spatial_size() * 4;
+                // write once + read back by consumer
+                2 * out_bytes
+            })
+            .sum()
+    };
+
+    let vector_len = if cfg.vectorize {
+        ctx.order
+            .last()
+            .map(|&ax| cfg.spatial_splits[ax][3])
+            .unwrap_or(1)
+    } else {
+        1
+    };
+
+    let mut features = KernelFeatures {
+        target,
+        flops: root.flops(),
+        output_elements,
+        output_bytes: output_elements * 4,
+        input_bytes_total,
+        body_loads: groups.len(),
+        reduce_size,
+        grid: cfg.spatial_level_product(0),
+        parallel_chunks: ctx
+            .order
+            .iter()
+            .take(cfg.fuse_outer)
+            .map(|&ax| cfg.spatial_splits[ax][0])
+            .product(),
+        vthreads: cfg.spatial_level_product(1),
+        block_threads: cfg.spatial_level_product(2),
+        thread_tile,
+        reduce_outer: cfg.reduce_level_product(0),
+        reduce_mid: cfg.reduce_level_product(1),
+        reduce_inner: cfg.reduce_level_product(2),
+        unroll: cfg.unroll,
+        vector_len,
+        contiguous_inner,
+        cache_shared: cfg.cache_shared,
+        shared_bytes_per_block,
+        thread_reg_bytes,
+        l1_tile_bytes,
+        l2_tile_bytes,
+        inline_data: cfg.inline_data,
+        data_node_bytes,
+        fpga: None,
+    };
+
+    // ---- build the nest ------------------------------------------------
+    let store = ctx.store_stmt();
+    let inner_kind = if cfg.unroll {
+        LoopKind::Unrolled
+    } else {
+        LoopKind::Serial
+    };
+
+    let nest = match target {
+        TargetKind::Cpu => {
+            // innermost: vectorized last-axis inner loop.
+            let mut body = vec![store];
+            // a.3 loops (reorder order); last one vectorized when requested.
+            for (pos, &ax) in ctx.order.iter().enumerate().rev() {
+                let f = ctx.spatial_factor(ax, 3);
+                let kind = if pos == ctx.order.len() - 1 && cfg.vectorize {
+                    LoopKind::Vectorized
+                } else {
+                    inner_kind
+                };
+                body = vec![Stmt::loop_(
+                    svar(&root.spatial[ax].name, 3),
+                    f,
+                    kind,
+                    body,
+                )];
+            }
+            body = ctx.wrap_reduce_level(body, 2, inner_kind);
+            body = ctx.wrap_reduce_level(body, 1, LoopKind::Serial);
+            body = ctx.wrap_spatial_level(body, 2, LoopKind::Serial);
+            body = ctx.wrap_reduce_level(body, 0, LoopKind::Serial);
+            body = ctx.wrap_spatial_level(body, 1, LoopKind::Serial);
+            // Unfused level-0 loops (axes beyond fuse_outer) stay serial.
+            for &ax in ctx.order.iter().skip(cfg.fuse_outer).rev() {
+                let f = ctx.spatial_factor(ax, 0);
+                body = vec![Stmt::loop_(
+                    svar(&root.spatial[ax].name, 0),
+                    f,
+                    LoopKind::Serial,
+                    body,
+                )];
+            }
+            let fused_axes: Vec<usize> =
+                ctx.order.iter().take(cfg.fuse_outer).copied().collect();
+            ctx.wrap_fused(body, &fused_axes, 0, "par", LoopKind::Parallel)
+        }
+        TargetKind::Gpu => {
+            let mut body = vec![store];
+            body = ctx.wrap_reduce_level(body, 2, inner_kind);
+            body = ctx.wrap_spatial_level(body, 3, inner_kind);
+            body = ctx.wrap_reduce_level(body, 1, LoopKind::Serial);
+            // Shared-memory staging once per outer reduce step.
+            if cfg.cache_shared {
+                let mut staged: Vec<Stmt> = groups
+                    .iter()
+                    .map(|(t, sites)| Stmt::StageIn {
+                        tensor: t.clone(),
+                        bytes: sites
+                            .iter()
+                            .map(|ix| footprint(ix, &block_env))
+                            .max()
+                            .unwrap_or(0)
+                            * 4,
+                    })
+                    .collect();
+                staged.extend(body);
+                body = staged;
+            }
+            body = ctx.wrap_reduce_level(body, 0, LoopKind::Serial);
+            body = ctx.wrap_fused(body, &ctx.order.clone(), 2, "thread", LoopKind::ThreadIdx);
+            body = ctx.wrap_spatial_level(body, 1, LoopKind::VThread);
+            ctx.wrap_fused(body, &ctx.order.clone(), 0, "block", LoopKind::BlockIdx)
+        }
+        TargetKind::Fpga => {
+            // PE array: levels 2 and 3 are spatial hardware parallelism;
+            // levels 0 and 1 are sequential rounds.
+            let pe: i64 = cfg.spatial_level_product(2) * cfg.spatial_level_product(3);
+            let rounds: i64 = cfg.spatial_level_product(0) * cfg.spatial_level_product(1);
+            let round_env = tile_env(root, cfg, &[2, 3], &[0, 1, 2]);
+            // BRAM must hold the full per-round tile; DDR streaming is
+            // cheaper: a tensor is fetched from DDR a bounded number of
+            // times over the whole run (on-chip reuse across rounds, e.g.
+            // weights stay resident while spatial rounds advance).
+            const DDR_REFETCH_CAP: f64 = 8.0;
+            let mut buffer_bytes = 0i64;
+            let mut stream_bytes = 0i64;
+            for (tensor, sites) in &groups {
+                let fp = sites
+                    .iter()
+                    .map(|ix| footprint(ix, &round_env))
+                    .max()
+                    .unwrap_or(0)
+                    * 4;
+                buffer_bytes += fp;
+                let total = graph.tensor(tensor).map(|t| t.bytes()).unwrap_or(fp);
+                let amortized =
+                    ((total as f64 * DDR_REFETCH_CAP / rounds.max(1) as f64).ceil() as i64).max(1);
+                stream_bytes += fp.min(amortized);
+            }
+            let write_bytes = pe * 4;
+            features.fpga = Some(FpgaFeatures {
+                pe,
+                rounds,
+                buffer_bytes,
+                stream_bytes,
+                write_bytes,
+                partition: cfg.fpga_partition,
+                pipeline: cfg.fpga_pipeline,
+            });
+
+            let mut body = vec![store];
+            body = ctx.wrap_reduce_level(body, 2, inner_kind);
+            body = ctx.wrap_spatial_level(body, 3, LoopKind::Unrolled);
+            body = ctx.wrap_spatial_level(body, 2, LoopKind::Unrolled);
+            body = ctx.wrap_reduce_level(body, 1, LoopKind::Serial);
+            body = ctx.wrap_reduce_level(body, 0, LoopKind::Serial);
+            body = ctx.wrap_spatial_level(body, 1, LoopKind::Serial);
+            ctx.wrap_fused(body, &ctx.order.clone(), 0, "round", LoopKind::Pipelined)
+        }
+    };
+
+    // Materialized producers execute first; epilogue consumers (bias,
+    // activation) run after the main nest. At the model level the epilogue
+    // is fused at writeback — its FLOPs count, but it adds no extra DRAM
+    // round trip (the anchor's intermediate stays in registers).
+    let mut stmts: Vec<Stmt> = Vec::new();
+    if !cfg.inline_data {
+        for p in &data_producers_list {
+            stmts.push(naive_producer_nest(p));
+        }
+    }
+    stmts.extend(nest);
+    for e in graph.epilogue_chain() {
+        features.flops += e.flops();
+        stmts.push(naive_producer_nest(e));
+    }
+
+    Ok(LoweredKernel {
+        target,
+        stmts,
+        features,
+    })
+}
+
+/// Convenience: lower with the naive (identity) schedule.
+pub fn lower_naive(graph: &Graph, target: TargetKind) -> LoweredKernel {
+    let cfg = NodeConfig::naive(graph.anchor_op());
+    lower(graph, &cfg, target).expect("naive config always validates")
+}
+
+/// Intermediate tensors that must be materialized (allocated) when running
+/// the kernel: producer outputs when `inline_data` is false.
+pub fn materialized_intermediates(graph: &Graph, cfg: &NodeConfig) -> Vec<String> {
+    if cfg.inline_data {
+        return Vec::new();
+    }
+    data_producers(graph, graph.anchor_op())
+        .iter()
+        .map(|p| p.output.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops::{self, ConvParams};
+
+    fn tiled_gemm_cfg(op: &ComputeOp) -> NodeConfig {
+        let mut c = NodeConfig::naive(op);
+        c.spatial_splits = vec![vec![4, 2, 4, 2], vec![2, 2, 4, 2]];
+        c.reduce_splits = vec![vec![4, 2, 2]];
+        c.cache_shared = true;
+        c.unroll = true;
+        c.vectorize = true;
+        c
+    }
+
+    #[test]
+    fn gpu_gemm_nest_structure() {
+        let g = ops::gemm(64, 32, 16);
+        let cfg = tiled_gemm_cfg(g.root_op());
+        let k = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+        assert_eq!(k.stmts.len(), 1);
+        // block(8) * vthread(2*2) * thread(16) * inner(2*2) = 64*32 stores
+        // per full reduce... store executions = spatial * reduce = 64*32*16.
+        assert_eq!(k.stmts[0].store_executions(), 64 * 32 * 16);
+        let txt = k.render();
+        assert!(txt.contains("blockIdx block in 0..8"), "{txt}");
+        assert!(txt.contains("threadIdx thread in 0..16"), "{txt}");
+        assert!(txt.contains("stage A"), "{txt}");
+        assert!(txt.contains("stage B"), "{txt}");
+    }
+
+    #[test]
+    fn gpu_features_products() {
+        let g = ops::gemm(64, 32, 16);
+        let cfg = tiled_gemm_cfg(g.root_op());
+        let k = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+        let f = &k.features;
+        assert_eq!(f.grid, 8);
+        assert_eq!(f.vthreads, 4);
+        assert_eq!(f.block_threads, 16);
+        assert_eq!(f.thread_tile, 4);
+        assert_eq!(f.reduce_outer, 4);
+        assert_eq!(f.reduce_mid, 2);
+        assert_eq!(f.reduce_inner, 2);
+        assert!(f.contiguous_inner);
+        // Shared tile per block per r0 step: block tiles are i:2*4*2=16,
+        // j:2*4*2=16, k per step:2*2=4, so A is 16x4 and B is 4x16 elems.
+        assert_eq!(f.shared_bytes_per_block, (16 * 4 + 4 * 16) * 4);
+    }
+
+    #[test]
+    fn cpu_nest_has_parallel_and_vectorized_loops() {
+        let g = ops::gemm(64, 32, 16);
+        let mut cfg = tiled_gemm_cfg(g.root_op());
+        cfg.fuse_outer = 2;
+        let k = lower(&g, &cfg, TargetKind::Cpu).unwrap();
+        let txt = k.render();
+        assert!(txt.contains("parallel par in 0..8"), "{txt}");
+        assert!(txt.contains("vectorize j.3 in 0..2"), "{txt}");
+        assert_eq!(k.stmts[0].store_executions(), 64 * 32 * 16);
+    }
+
+    #[test]
+    fn fpga_features_pipeline_model_inputs() {
+        let g = ops::gemm(64, 32, 16);
+        let mut cfg = tiled_gemm_cfg(g.root_op());
+        cfg.fpga_partition = 4;
+        cfg.fpga_pipeline = 3;
+        let k = lower(&g, &cfg, TargetKind::Fpga).unwrap();
+        let f = k.features.fpga.expect("fpga features");
+        assert_eq!(f.pe, (4 * 2) * (4 * 2)); // level2 * level3 products
+        assert_eq!(f.rounds, (4 * 2) * (2 * 2));
+        assert_eq!(f.partition, 4);
+        assert_eq!(f.pipeline, 3);
+        assert!(f.buffer_bytes > 0);
+    }
+
+    #[test]
+    fn conv_inlines_padding_by_default() {
+        let g = ops::conv2d(ConvParams::same(1, 4, 8, 3), 8, 8);
+        let k = lower_naive(&g, TargetKind::Gpu);
+        // Single nest (pad inlined), body reads I directly via select.
+        assert_eq!(k.stmts.len(), 1);
+        let txt = k.render();
+        assert!(txt.contains("select"), "{txt}");
+        assert!(txt.contains("I["), "{txt}");
+        assert!(!txt.contains("P["), "padding must be inlined:\n{txt}");
+    }
+
+    #[test]
+    fn conv_materializes_padding_when_asked() {
+        let g = ops::conv2d(ConvParams::same(1, 4, 8, 3), 8, 8);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.inline_data = false;
+        let k = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+        assert_eq!(k.stmts.len(), 2); // pad nest + conv nest
+        assert!(k.features.data_node_bytes > 0);
+        assert_eq!(
+            materialized_intermediates(&g, &cfg),
+            vec!["P".to_string()]
+        );
+    }
+
+    #[test]
+    fn transposed_conv_inlines_two_producers() {
+        let p = ConvParams {
+            batch: 1,
+            in_channels: 4,
+            out_channels: 4,
+            kernel: 4,
+            stride: 2,
+            padding: 1,
+            dilation: 1,
+            groups: 1,
+        };
+        let g = ops::conv_transpose2d(p, 6, 6);
+        let k = lower_naive(&g, TargetKind::Cpu);
+        let txt = k.render();
+        assert!(!txt.contains("P["), "{txt}");
+        assert!(!txt.contains("D["), "{txt}");
+        assert!(txt.contains("I["), "{txt}");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = ops::gemm(64, 32, 16);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits[0] = vec![3, 1, 1, 1];
+        assert!(lower(&g, &cfg, TargetKind::Gpu).is_err());
+    }
+
+    #[test]
+    fn grid_accounts_reorder() {
+        let g = ops::gemm(64, 32, 16);
+        let mut cfg = tiled_gemm_cfg(g.root_op());
+        cfg.reorder = vec![1, 0];
+        cfg.fuse_outer = 1;
+        let k = lower(&g, &cfg, TargetKind::Cpu).unwrap();
+        // parallel loop fuses only axis j's level-0 factor (2).
+        assert_eq!(k.features.parallel_chunks, 2);
+        // reorder makes axis i innermost; i is not the last output dim.
+        assert!(!k.features.contiguous_inner);
+    }
+}

@@ -1,0 +1,259 @@
+//! The schedule primitives of Table 2, as a structured, printable
+//! description of what a [`NodeConfig`](crate::config::NodeConfig) does on a
+//! given target.
+//!
+//! This is the human-readable "schedule" view (Fig. 3d): examples and the
+//! benchmark harnesses print it so a reader can see exactly which
+//! primitives the explorer chose.
+
+use std::fmt;
+
+use flextensor_ir::graph::ComputeOp;
+
+use crate::config::{NodeConfig, TargetKind};
+
+/// One applied schedule primitive (a row of Table 2 with its parameters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Primitive {
+    /// Divide a loop into sub-loops with the given factors.
+    Split {
+        /// Loop being split.
+        loop_name: String,
+        /// Sub-loop extents, outermost first.
+        factors: Vec<i64>,
+    },
+    /// Change loop execution order.
+    Reorder {
+        /// New order, outermost first.
+        order: Vec<String>,
+    },
+    /// Merge adjacent loops into one hyper-loop.
+    Fuse {
+        /// Loops being fused, outermost first.
+        loops: Vec<String>,
+        /// Name of the fused loop.
+        into: String,
+    },
+    /// Unroll inner loops.
+    Unroll {
+        /// Loops being unrolled.
+        loops: Vec<String>,
+    },
+    /// Vectorize a loop.
+    Vectorize {
+        /// The vectorized loop.
+        loop_name: String,
+        /// Vector length.
+        length: i64,
+    },
+    /// Inline a producer node into its consumer.
+    Inline {
+        /// Inlined node name.
+        node: String,
+    },
+    /// CPU: run a loop across threads.
+    Parallel {
+        /// The parallelized loop.
+        loop_name: String,
+    },
+    /// GPU: bind a loop to a hardware index.
+    Bind {
+        /// The bound loop.
+        loop_name: String,
+        /// `"blockIdx"`, `"threadIdx"` or `"vthread"`.
+        to: &'static str,
+    },
+    /// GPU: stage a tensor tile into shared memory.
+    Cache {
+        /// Cached tensor.
+        tensor: String,
+    },
+    /// FPGA: buffer input rows on chip.
+    Buffer {
+        /// Buffered bytes per round.
+        bytes: i64,
+    },
+    /// FPGA: overlap pipeline stages.
+    Pipeline {
+        /// Number of overlapped stages.
+        stages: i64,
+    },
+    /// FPGA: partition on-chip memory to raise bandwidth.
+    Partition {
+        /// Partition factor.
+        factor: i64,
+    },
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Primitive::Split { loop_name, factors } => {
+                write!(f, "split: {loop_name} -> {factors:?}")
+            }
+            Primitive::Reorder { order } => write!(f, "reorder: {}", order.join(", ")),
+            Primitive::Fuse { loops, into } => {
+                write!(f, "fuse: ({}) -> {into}", loops.join(", "))
+            }
+            Primitive::Unroll { loops } => write!(f, "unroll: {}", loops.join(", ")),
+            Primitive::Vectorize { loop_name, length } => {
+                write!(f, "vectorize: {loop_name} (x{length})")
+            }
+            Primitive::Inline { node } => write!(f, "inline: {node}"),
+            Primitive::Parallel { loop_name } => write!(f, "parallel: {loop_name}"),
+            Primitive::Bind { loop_name, to } => write!(f, "bind: {loop_name} -> {to}"),
+            Primitive::Cache { tensor } => write!(f, "cache(shared): {tensor}"),
+            Primitive::Buffer { bytes } => write!(f, "buffer: {bytes} B per round"),
+            Primitive::Pipeline { stages } => write!(f, "pipeline: {stages} stages"),
+            Primitive::Partition { factor } => write!(f, "partition: x{factor}"),
+        }
+    }
+}
+
+/// Expands a node config into the primitive sequence it applies on the
+/// given target (the Fig. 3d view of a schedule).
+pub fn describe(op: &ComputeOp, cfg: &NodeConfig, target: TargetKind) -> Vec<Primitive> {
+    let mut out = Vec::new();
+    for (a, fs) in op.spatial.iter().zip(&cfg.spatial_splits) {
+        out.push(Primitive::Split {
+            loop_name: a.name.clone(),
+            factors: fs.clone(),
+        });
+    }
+    for (a, fs) in op.reduce.iter().zip(&cfg.reduce_splits) {
+        out.push(Primitive::Split {
+            loop_name: a.name.clone(),
+            factors: fs.clone(),
+        });
+    }
+    out.push(Primitive::Reorder {
+        order: cfg
+            .reorder
+            .iter()
+            .map(|&i| op.spatial[i].name.clone())
+            .collect(),
+    });
+    if cfg.inline_data {
+        out.push(Primitive::Inline {
+            node: "data producers (pad/dilate)".into(),
+        });
+    }
+    match target {
+        TargetKind::Cpu => {
+            let fused: Vec<String> = cfg
+                .reorder
+                .iter()
+                .take(cfg.fuse_outer)
+                .map(|&i| format!("{}.0", op.spatial[i].name))
+                .collect();
+            out.push(Primitive::Fuse {
+                loops: fused,
+                into: "par".into(),
+            });
+            out.push(Primitive::Parallel {
+                loop_name: "par".into(),
+            });
+            if cfg.vectorize {
+                let last = cfg.reorder.last().copied().unwrap_or(0);
+                out.push(Primitive::Vectorize {
+                    loop_name: format!("{}.3", op.spatial[last].name),
+                    length: cfg.spatial_splits[last][3],
+                });
+            }
+        }
+        TargetKind::Gpu => {
+            out.push(Primitive::Bind {
+                loop_name: "block".into(),
+                to: "blockIdx",
+            });
+            for &i in &cfg.reorder {
+                out.push(Primitive::Bind {
+                    loop_name: format!("{}.1", op.spatial[i].name),
+                    to: "vthread",
+                });
+            }
+            out.push(Primitive::Bind {
+                loop_name: "thread".into(),
+                to: "threadIdx",
+            });
+            if cfg.cache_shared {
+                for t in op.input_tensors() {
+                    out.push(Primitive::Cache { tensor: t });
+                }
+            }
+        }
+        TargetKind::Fpga => {
+            out.push(Primitive::Pipeline {
+                stages: cfg.fpga_pipeline,
+            });
+            out.push(Primitive::Partition {
+                factor: cfg.fpga_partition,
+            });
+        }
+    }
+    if cfg.unroll {
+        out.push(Primitive::Unroll {
+            loops: op.spatial.iter().map(|a| format!("{}.3", a.name)).collect(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+
+    #[test]
+    fn gpu_schedule_lists_binds_and_caches() {
+        let g = ops::gemm(64, 32, 16);
+        let op = g.root_op();
+        let mut cfg = NodeConfig::naive(op);
+        cfg.cache_shared = true;
+        let prims = describe(op, &cfg, TargetKind::Gpu);
+        let text: Vec<String> = prims.iter().map(|p| p.to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("bind: block -> blockIdx")));
+        assert!(text.iter().any(|s| s.contains("cache(shared): A")));
+        assert!(text.iter().any(|s| s.contains("cache(shared): B")));
+    }
+
+    #[test]
+    fn cpu_schedule_lists_parallel_and_vectorize() {
+        let g = ops::gemm(64, 32, 16);
+        let op = g.root_op();
+        let mut cfg = NodeConfig::naive(op);
+        cfg.vectorize = true;
+        cfg.fuse_outer = 2;
+        let prims = describe(op, &cfg, TargetKind::Cpu);
+        let text: Vec<String> = prims.iter().map(|p| p.to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("parallel: par")));
+        assert!(text.iter().any(|s| s.contains("vectorize: j.3")));
+        assert!(text.iter().any(|s| s.contains("fuse: (i.0, j.0)")));
+    }
+
+    #[test]
+    fn fpga_schedule_lists_pipeline_and_partition() {
+        let g = ops::gemm(64, 32, 16);
+        let op = g.root_op();
+        let mut cfg = NodeConfig::naive(op);
+        cfg.fpga_pipeline = 3;
+        cfg.fpga_partition = 8;
+        let prims = describe(op, &cfg, TargetKind::Fpga);
+        let text: Vec<String> = prims.iter().map(|p| p.to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("pipeline: 3 stages")));
+        assert!(text.iter().any(|s| s.contains("partition: x8")));
+    }
+
+    #[test]
+    fn every_axis_gets_a_split() {
+        let g = ops::conv2d(ops::ConvParams::same(1, 8, 8, 3), 14, 14);
+        let op = g.root_op();
+        let cfg = NodeConfig::naive(op);
+        let prims = describe(op, &cfg, TargetKind::Gpu);
+        let splits = prims
+            .iter()
+            .filter(|p| matches!(p, Primitive::Split { .. }))
+            .count();
+        assert_eq!(splits, op.spatial.len() + op.reduce.len());
+    }
+}

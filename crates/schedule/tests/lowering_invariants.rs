@@ -1,0 +1,155 @@
+//! Property-based tests of lowering invariants: for any valid schedule
+//! configuration, the generated nest performs exactly `spatial × reduce`
+//! store executions, features match the configuration's level products,
+//! and rendering round-trips structurally.
+
+use flextensor_ir::ops::{self, ConvParams};
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_schedule::lower::lower;
+use flextensor_schedule::nest::{LoopKind, Stmt};
+use proptest::prelude::*;
+
+fn factorization(n: i64, parts: usize) -> impl Strategy<Value = Vec<i64>> {
+    let primes = {
+        let mut out = Vec::new();
+        let mut m = n;
+        let mut d = 2;
+        while d * d <= m {
+            while m % d == 0 {
+                out.push(d);
+                m /= d;
+            }
+            d += 1;
+        }
+        if m > 1 {
+            out.push(m);
+        }
+        out
+    };
+    proptest::collection::vec(0..parts, primes.len()).prop_map(move |slots| {
+        let mut f = vec![1i64; parts];
+        for (&p, &s) in primes.iter().zip(&slots) {
+            f[s] *= p;
+        }
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dynamic store count equals the full iteration domain regardless of
+    /// how the loops were split, reordered or fused.
+    #[test]
+    fn store_executions_cover_exactly_the_domain(
+        fk in factorization(16, 4),
+        fi in factorization(12, 4),
+        fj in factorization(12, 4),
+        frc in factorization(6, 3),
+        swap in any::<bool>(),
+        target_idx in 0usize..3,
+    ) {
+        let g = ops::conv2d(ConvParams::same(1, 6, 16, 3), 12, 12);
+        let op = g.root_op();
+        let mut cfg = NodeConfig::naive(op);
+        cfg.spatial_splits[1] = fk;
+        cfg.spatial_splits[2] = fi;
+        cfg.spatial_splits[3] = fj;
+        cfg.reduce_splits[0] = frc;
+        if swap {
+            cfg.reorder = vec![0, 1, 3, 2];
+        }
+        let target = [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga][target_idx];
+        let kernel = lower(&g, &cfg, target).unwrap();
+        let expect = (op.spatial_size() * op.reduce_size()) as u64;
+        let stores: u64 = kernel.stmts.iter().map(Stmt::store_executions).sum();
+        prop_assert_eq!(stores, expect);
+    }
+
+    /// Feature products always reconstruct the configuration's levels.
+    #[test]
+    fn features_match_config_products(
+        fi in factorization(32, 4),
+        fj in factorization(48, 4),
+        fk in factorization(24, 3),
+        cache in any::<bool>(),
+    ) {
+        let g = ops::gemm(32, 48, 24);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits = vec![fi.clone(), fj.clone()];
+        cfg.reduce_splits = vec![fk.clone()];
+        cfg.cache_shared = cache;
+        let f = lower(&g, &cfg, TargetKind::Gpu).unwrap().features;
+        prop_assert_eq!(f.grid, fi[0] * fj[0]);
+        prop_assert_eq!(f.vthreads, fi[1] * fj[1]);
+        prop_assert_eq!(f.block_threads, fi[2] * fj[2]);
+        prop_assert_eq!(f.thread_tile, fi[3] * fj[3]);
+        prop_assert_eq!(f.reduce_outer, fk[0]);
+        prop_assert_eq!(f.reduce_mid, fk[1]);
+        prop_assert_eq!(f.reduce_inner, fk[2]);
+        prop_assert_eq!(f.cache_shared, cache);
+        prop_assert!(f.shared_bytes_per_block > 0);
+    }
+
+    /// Every GPU nest has exactly one blockIdx loop and one threadIdx
+    /// fused loop, with threadIdx strictly inside blockIdx.
+    #[test]
+    fn gpu_nests_have_canonical_binding_structure(
+        fi in factorization(16, 4),
+        fj in factorization(16, 4),
+    ) {
+        let g = ops::gemm(16, 16, 8);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits = vec![fi, fj];
+        let kernel = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+        let mut blocks = 0;
+        let mut threads = 0;
+        kernel.stmts[0].visit(&mut |s| {
+            if let Stmt::For { kind, .. } = s {
+                match kind {
+                    LoopKind::BlockIdx => blocks += 1,
+                    LoopKind::ThreadIdx => threads += 1,
+                    _ => {}
+                }
+            }
+        });
+        prop_assert_eq!(blocks, 1);
+        prop_assert_eq!(threads, 1);
+        // The outermost statement must be the blockIdx loop.
+        let outer_is_block = matches!(
+            &kernel.stmts[0],
+            Stmt::For { kind: LoopKind::BlockIdx, .. }
+        );
+        prop_assert!(outer_is_block, "outermost loop is not blockIdx");
+    }
+}
+
+#[test]
+fn rendered_nests_mention_every_bound_variable() {
+    let g = ops::gemm(8, 8, 8);
+    let mut cfg = NodeConfig::naive(g.root_op());
+    cfg.spatial_splits = vec![vec![2, 1, 2, 2], vec![2, 2, 2, 1]];
+    cfg.reduce_splits = vec![vec![2, 2, 2]];
+    let k = lower(&g, &cfg, TargetKind::Cpu).unwrap();
+    let txt = k.render();
+    for var in ["par", "k.0", "k.1", "k.2"] {
+        assert!(txt.contains(var), "missing {var} in:\n{txt}");
+    }
+}
+
+#[test]
+fn cpu_fpga_nests_have_no_gpu_bindings() {
+    let g = ops::gemm(16, 16, 8);
+    let cfg = NodeConfig::naive(g.root_op());
+    for target in [TargetKind::Cpu, TargetKind::Fpga] {
+        let k = lower(&g, &cfg, target).unwrap();
+        k.stmts[0].visit(&mut |s| {
+            if let Stmt::For { kind, .. } = s {
+                assert!(
+                    !matches!(kind, LoopKind::BlockIdx | LoopKind::ThreadIdx | LoopKind::VThread),
+                    "{target}: GPU binding in nest"
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,274 @@
+//! Device specifications for the platforms of the paper's evaluation
+//! (§6.1): NVIDIA V100, P100 and Titan X (Pascal) GPUs, the Intel Xeon
+//! E5-2699 v4 CPU, and the Xilinx VU9P FPGA.
+//!
+//! These numbers parameterize the analytical performance models; they are
+//! public datasheet values, not measurements.
+
+use flextensor_schedule::config::TargetKind;
+
+/// A CUDA-style GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sms: i64,
+    /// FP32 cores per SM.
+    pub cores_per_sm: i64,
+    /// Boost clock in GHz.
+    pub clock_ghz: f64,
+    /// Device-memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Shared memory per SM in bytes.
+    pub shared_per_sm: i64,
+    /// Maximum shared memory usable by one block, bytes.
+    pub shared_per_block: i64,
+    /// Register file per SM in bytes.
+    pub regfile_per_sm: i64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: i64,
+    /// Maximum threads per block.
+    pub max_threads_per_block: i64,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: i64,
+    /// Kernel launch overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl GpuSpec {
+    /// Peak FP32 throughput in FLOP/s (FMA counted as 2).
+    pub fn peak_flops(&self) -> f64 {
+        self.sms as f64 * self.cores_per_sm as f64 * 2.0 * self.clock_ghz * 1e9
+    }
+}
+
+/// NVIDIA Tesla V100 (16 GB), the paper's primary GPU.
+pub fn v100() -> GpuSpec {
+    GpuSpec {
+        name: "V100",
+        sms: 80,
+        cores_per_sm: 64,
+        clock_ghz: 1.53,
+        mem_bw_gbps: 900.0,
+        shared_per_sm: 96 * 1024,
+        shared_per_block: 96 * 1024,
+        regfile_per_sm: 256 * 1024,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        launch_overhead_s: 5e-6,
+    }
+}
+
+/// NVIDIA Tesla P100 (16 GB).
+pub fn p100() -> GpuSpec {
+    GpuSpec {
+        name: "P100",
+        sms: 56,
+        cores_per_sm: 64,
+        clock_ghz: 1.48,
+        mem_bw_gbps: 732.0,
+        shared_per_sm: 64 * 1024,
+        shared_per_block: 48 * 1024,
+        regfile_per_sm: 256 * 1024,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        launch_overhead_s: 5e-6,
+    }
+}
+
+/// NVIDIA Titan X (Pascal).
+pub fn titan_x() -> GpuSpec {
+    GpuSpec {
+        name: "TitanX",
+        sms: 28,
+        cores_per_sm: 128,
+        clock_ghz: 1.53,
+        mem_bw_gbps: 480.0,
+        shared_per_sm: 96 * 1024,
+        shared_per_block: 48 * 1024,
+        regfile_per_sm: 256 * 1024,
+        max_warps_per_sm: 64,
+        max_threads_per_block: 1024,
+        max_blocks_per_sm: 32,
+        launch_overhead_s: 5e-6,
+    }
+}
+
+/// A multicore CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: i64,
+    /// Sustained all-core clock in GHz.
+    pub clock_ghz: f64,
+    /// FP32 SIMD lanes (8 for AVX2).
+    pub vector_width: i64,
+    /// FMA issue ports per core.
+    pub fma_ports: i64,
+    /// L1 data cache per core, bytes.
+    pub l1_bytes: i64,
+    /// L2 cache per core, bytes.
+    pub l2_bytes: i64,
+    /// Shared L3 cache, bytes.
+    pub l3_bytes: i64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Parallel-region spawn overhead in seconds.
+    pub spawn_overhead_s: f64,
+}
+
+impl CpuSpec {
+    /// Peak FP32 throughput in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.cores as f64
+            * self.clock_ghz
+            * 1e9
+            * self.vector_width as f64
+            * self.fma_ports as f64
+            * 2.0
+    }
+}
+
+/// Intel Xeon E5-2699 v4 (22 cores, AVX2), the paper's CPU.
+pub fn xeon_e5_2699_v4() -> CpuSpec {
+    CpuSpec {
+        name: "Xeon E5-2699 v4",
+        cores: 22,
+        clock_ghz: 2.2,
+        vector_width: 8,
+        fma_ports: 2,
+        l1_bytes: 32 * 1024,
+        l2_bytes: 256 * 1024,
+        l3_bytes: 55 * 1024 * 1024,
+        mem_bw_gbps: 76.8,
+        spawn_overhead_s: 4e-6,
+    }
+}
+
+/// An FPGA running the three-stage read/compute/write pipeline of §5.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// DSP slices available.
+    pub dsps: i64,
+    /// DSP slices consumed per FP32 multiply-accumulate PE.
+    pub dsps_per_mac: i64,
+    /// Total BRAM capacity in bytes.
+    pub bram_bytes: i64,
+    /// Achievable kernel clock in GHz.
+    pub clock_ghz: f64,
+    /// Off-chip DDR bandwidth in GB/s.
+    pub ddr_bw_gbps: f64,
+    /// Per-BRAM-bank port bandwidth in GB/s (partitioning multiplies it).
+    pub bank_bw_gbps: f64,
+}
+
+impl FpgaSpec {
+    /// Maximum instantiable FP32 MAC PEs.
+    pub fn max_pe(&self) -> i64 {
+        self.dsps / self.dsps_per_mac
+    }
+
+    /// Peak FP32 throughput in FLOP/s at full PE utilization.
+    pub fn peak_flops(&self) -> f64 {
+        self.max_pe() as f64 * 2.0 * self.clock_ghz * 1e9
+    }
+}
+
+/// Xilinx Virtex UltraScale+ VU9P, the paper's FPGA.
+pub fn vu9p() -> FpgaSpec {
+    FpgaSpec {
+        name: "VU9P",
+        dsps: 6840,
+        dsps_per_mac: 5,
+        bram_bytes: 9 * 1024 * 1024,
+        clock_ghz: 0.25,
+        ddr_bw_gbps: 19.2,
+        bank_bw_gbps: 2.0,
+    }
+}
+
+/// A target device: spec + target kind, the unit the evaluator dispatches
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// A GPU device.
+    Gpu(GpuSpec),
+    /// A CPU device.
+    Cpu(CpuSpec),
+    /// An FPGA device.
+    Fpga(FpgaSpec),
+}
+
+impl Device {
+    /// The schedule target kind for this device.
+    pub fn target(&self) -> TargetKind {
+        match self {
+            Device::Gpu(_) => TargetKind::Gpu,
+            Device::Cpu(_) => TargetKind::Cpu,
+            Device::Fpga(_) => TargetKind::Fpga,
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Device::Gpu(s) => s.name,
+            Device::Cpu(s) => s.name,
+            Device::Fpga(s) => s.name,
+        }
+    }
+
+    /// Peak FP32 FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        match self {
+            Device::Gpu(s) => s.peak_flops(),
+            Device::Cpu(s) => s.peak_flops(),
+            Device::Fpga(s) => s.peak_flops(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_peak_is_about_15_7_tflops() {
+        let p = v100().peak_flops();
+        assert!((15.0e12..16.5e12).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn xeon_peak_is_about_1_5_tflops() {
+        let p = xeon_e5_2699_v4().peak_flops();
+        assert!((1.2e12..1.8e12).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn vu9p_pe_budget() {
+        let f = vu9p();
+        assert_eq!(f.max_pe(), 1368);
+        // ~684 GFLOPS peak at 250 MHz.
+        assert!((0.5e12..0.8e12).contains(&f.peak_flops()));
+    }
+
+    #[test]
+    fn device_dispatch() {
+        assert_eq!(Device::Gpu(v100()).target(), TargetKind::Gpu);
+        assert_eq!(Device::Cpu(xeon_e5_2699_v4()).name(), "Xeon E5-2699 v4");
+        assert!(Device::Fpga(vu9p()).peak_flops() > 0.0);
+    }
+
+    #[test]
+    fn gpu_ordering_by_bandwidth() {
+        assert!(v100().mem_bw_gbps > p100().mem_bw_gbps);
+        assert!(p100().mem_bw_gbps > titan_x().mem_bw_gbps);
+    }
+}

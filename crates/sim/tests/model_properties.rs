@@ -1,0 +1,157 @@
+//! Property-based tests of the performance models: physical sanity
+//! invariants that must hold for *any* schedule configuration — times are
+//! positive and finite, throughput never exceeds device peak, and the
+//! models respond monotonically to the resources they meter.
+
+use flextensor_ir::ops;
+use flextensor_schedule::config::NodeConfig;
+use flextensor_sim::model::Evaluator;
+use flextensor_sim::spec::{v100, vu9p, xeon_e5_2699_v4, Device};
+use proptest::prelude::*;
+
+/// Scatter prime factors of `n` over `parts` slots.
+fn factorization(n: i64, parts: usize) -> impl Strategy<Value = Vec<i64>> {
+    let primes = {
+        let mut out = Vec::new();
+        let mut m = n;
+        let mut d = 2;
+        while d * d <= m {
+            while m % d == 0 {
+                out.push(d);
+                m /= d;
+            }
+            d += 1;
+        }
+        if m > 1 {
+            out.push(m);
+        }
+        out
+    };
+    proptest::collection::vec(0..parts, primes.len()).prop_map(move |slots| {
+        let mut f = vec![1i64; parts];
+        for (&p, &s) in primes.iter().zip(&slots) {
+            f[s] *= p;
+        }
+        f
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any valid config on any device: the model either rejects it or
+    /// returns a positive, finite time with throughput strictly below the
+    /// device's theoretical peak.
+    #[test]
+    fn any_config_times_are_physical(
+        fi in factorization(64, 4),
+        fj in factorization(96, 4),
+        fk in factorization(48, 3),
+        unroll in any::<bool>(),
+        cache in any::<bool>(),
+        inline in any::<bool>(),
+        device_idx in 0usize..3,
+    ) {
+        let g = ops::gemm(64, 96, 48);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits = vec![fi, fj];
+        cfg.reduce_splits = vec![fk];
+        cfg.unroll = unroll;
+        cfg.cache_shared = cache;
+        cfg.inline_data = inline;
+        cfg.vectorize = true;
+        let device = [
+            Device::Gpu(v100()),
+            Device::Cpu(xeon_e5_2699_v4()),
+            Device::Fpga(vu9p()),
+        ][device_idx].clone();
+        let peak = device.peak_flops();
+        let ev = Evaluator::new(device);
+        if let Some(cost) = ev.evaluate(&g, &cfg) {
+            prop_assert!(cost.seconds.is_finite() && cost.seconds > 0.0);
+            let flops_per_s = cost.flops as f64 / cost.seconds;
+            prop_assert!(
+                flops_per_s < peak,
+                "throughput {:.2e} exceeds peak {:.2e}",
+                flops_per_s,
+                peak
+            );
+        }
+    }
+
+    /// Scaling the workload up (more FLOPs, same schedule shape) never
+    /// makes the modeled kernel faster.
+    #[test]
+    fn bigger_workloads_take_longer(scale in 1i64..5) {
+        let base = ops::gemm(64, 64, 32);
+        let big = ops::gemm(64 * scale, 64, 32);
+        let mk = |g: &flextensor_ir::graph::Graph| {
+            let mut c = NodeConfig::naive(g.root_op());
+            let n = g.root_op().spatial[0].extent;
+            c.spatial_splits = vec![vec![n / 8, 1, 8, 1], vec![4, 1, 16, 1]];
+            c.reduce_splits = vec![vec![8, 1, 4]];
+            c.cache_shared = true;
+            c
+        };
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let t1 = ev.evaluate(&base, &mk(&base)).unwrap().seconds;
+        let t2 = ev.evaluate(&big, &mk(&big)).unwrap().seconds;
+        prop_assert!(t2 >= t1 * 0.99, "scale {scale}: {t1} -> {t2}");
+    }
+
+    /// The FPGA model obeys the §5.2 structure: halving #PE (at equal
+    /// everything else) cannot make compute-bound kernels faster.
+    #[test]
+    fn fewer_pes_never_faster_when_compute_bound(pe_exp in 2u32..6) {
+        let g = ops::gemm(256, 256, 256);
+        let mk = |pe_j: i64| {
+            let mut c = NodeConfig::naive(g.root_op());
+            c.spatial_splits = vec![vec![256 / 16, 1, 16, 1], vec![256 / pe_j, 1, pe_j, 1]];
+            c.reduce_splits = vec![vec![64, 2, 2]];
+            c.fpga_pipeline = 3;
+            c.fpga_partition = 8;
+            c
+        };
+        let ev = Evaluator::new(Device::Fpga(vu9p()));
+        let pe = 1i64 << pe_exp;
+        let more = ev.evaluate(&g, &mk(pe)).map(|c| c.seconds);
+        let fewer = ev.evaluate(&g, &mk(pe / 2)).map(|c| c.seconds);
+        if let (Some(m), Some(f)) = (more, fewer) {
+            prop_assert!(m <= f * 1.01, "pe {pe}: {m} vs pe/2: {f}");
+        }
+    }
+}
+
+#[test]
+fn evaluator_is_pure() {
+    // Same config, same device -> identical cost every call.
+    let g = ops::gemm(128, 128, 128);
+    let mut cfg = NodeConfig::naive(g.root_op());
+    cfg.spatial_splits = vec![vec![8, 1, 16, 1], vec![8, 1, 16, 1]];
+    cfg.reduce_splits = vec![vec![32, 2, 2]];
+    cfg.cache_shared = true;
+    let ev = Evaluator::new(Device::Gpu(v100()));
+    let a = ev.evaluate(&g, &cfg).unwrap();
+    for _ in 0..5 {
+        assert_eq!(ev.evaluate(&g, &cfg).unwrap().seconds, a.seconds);
+    }
+}
+
+#[test]
+fn faster_memory_means_faster_memory_bound_kernels() {
+    // GEMV is bandwidth bound: V100 (900 GB/s) must beat Titan X (480).
+    let g = ops::gemv(8192, 8192);
+    let mut cfg = NodeConfig::naive(g.root_op());
+    cfg.spatial_splits = vec![vec![32, 1, 256, 1]];
+    cfg.reduce_splits = vec![vec![8192 / 8, 1, 8]];
+    cfg.cache_shared = true;
+    let t_v100 = Evaluator::new(Device::Gpu(v100()))
+        .evaluate(&g, &cfg)
+        .unwrap()
+        .seconds;
+    let t_titan = Evaluator::new(Device::Gpu(flextensor_sim::spec::titan_x()))
+        .evaluate(&g, &cfg)
+        .unwrap()
+        .seconds;
+    assert!(t_v100 < t_titan, "v100 {t_v100} vs titan {t_titan}");
+}

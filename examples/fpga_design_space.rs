@@ -1,0 +1,90 @@
+//! The §5.2 FPGA story: schedules are evaluated with the analytical
+//! three-stage pipeline model (`time = rounds × max(R, C, W)`), under DSP
+//! and BRAM resource constraints — synthesis is far too slow to measure.
+//!
+//! This example sweeps the PE-array shape for one convolution on the VU9P
+//! model, prints the R/C/W breakdown and feasibility of each design, and
+//! then lets FlexTensor search the same space.
+//!
+//! ```sh
+//! cargo run --release --example fpga_design_space
+//! ```
+
+use flextensor::{optimize, OptimizeOptions, Task};
+use flextensor_ir::ops::{self, ConvParams};
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_schedule::lower::lower;
+use flextensor_sim::fpga::fpga_time;
+use flextensor_sim::spec::{vu9p, Device};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = vu9p();
+    let g = ops::conv2d(ConvParams::same(1, 128, 128, 3), 28, 28);
+    println!(
+        "workload: {} ({:.2} GFLOPs)  device: {} ({} DSPs -> {} PEs max, {} KiB BRAM)\n",
+        g.name,
+        g.flops() as f64 / 1e9,
+        spec.name,
+        spec.dsps,
+        spec.max_pe(),
+        spec.bram_bytes / 1024
+    );
+
+    println!("PE-array sweep (PEs over output channels x width, pipeline 3, partition 8):");
+    println!("{:>10} {:>8} {:>10} {:>10} {:>10} {:>12}", "PEs(kxj)", "rounds", "R(us)", "C(us)", "W(us)", "GFLOPS");
+    for (pk, pj) in [(8, 4), (16, 4), (32, 7), (64, 7), (64, 14), (128, 14)] {
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits = vec![
+            vec![1, 1, 1, 1],
+            vec![128 / pk, 1, pk, 1],
+            vec![28, 1, 1, 1],
+            vec![28 / pj, 1, 1, pj],
+        ];
+        cfg.fpga_pipeline = 3;
+        cfg.fpga_partition = 8;
+        cfg.unroll = true;
+        let kernel = lower(&g, &cfg, TargetKind::Fpga)?;
+        let fp = kernel.features.fpga.as_ref().expect("fpga features");
+        match fpga_time(&spec, &kernel.features, 0.85) {
+            Some(t) => {
+                // Reconstruct the per-round stage times the model used.
+                let bw = spec.ddr_bw_gbps.min(spec.bank_bw_gbps * fp.partition as f64) * 1e9;
+                let r = fp.stream_bytes as f64 / bw * 1e6;
+                let c = (kernel.features.flops as f64 / 2.0 / fp.rounds as f64)
+                    / (fp.pe as f64 * 0.85)
+                    / (spec.clock_ghz * 1e9)
+                    * 1e6;
+                let w = fp.write_bytes as f64 / bw * 1e6;
+                println!(
+                    "{:>10} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>12.0}",
+                    format!("{pk}x{pj}"),
+                    fp.rounds,
+                    r,
+                    c,
+                    w,
+                    g.flops() as f64 / t / 1e9
+                );
+            }
+            None => println!(
+                "{:>10} {:>8} {:>44}",
+                format!("{pk}x{pj}"),
+                fp.rounds,
+                "INFEASIBLE (exceeds DSP or BRAM budget)"
+            ),
+        }
+    }
+
+    println!("\nletting FlexTensor explore the full FPGA schedule space...");
+    let task = Task::new(g, Device::Fpga(spec));
+    let r = optimize(&task, &OptimizeOptions::quick())?;
+    let fp = r.kernel.features.fpga.as_ref().expect("fpga features");
+    println!(
+        "found: {} PEs, {} rounds, pipeline {}, partition x{} -> {:.0} GFLOPS",
+        fp.pe,
+        fp.rounds,
+        fp.pipeline,
+        fp.partition,
+        r.gflops()
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Tune every distinct YOLO-v1 convolution layer (Table 4) for the V100
+//! model and compare against the simulated cuDNN baseline — a miniature of
+//! the paper's Fig. 6a experiment, sized for an example.
+//!
+//! ```sh
+//! cargo run --release --example yolo_gpu_sweep            # quick budget
+//! cargo run --release --example yolo_gpu_sweep -- 120     # more trials
+//! ```
+
+use flextensor::{optimize, Method, OptimizeOptions, SearchOptions, Task};
+use flextensor_ir::suite::OperatorKind;
+use flextensor_ir::yolo::YOLO_LAYERS;
+use flextensor_sim::library;
+use flextensor_sim::spec::{v100, Device};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let gpu = v100();
+    let opts = OptimizeOptions {
+        method: Method::QMethod,
+        search: SearchOptions {
+            trials,
+            ..SearchOptions::default()
+        },
+    };
+    println!("layer   cuDNN(GF)  FlexTensor(GF)  speedup  best split of k-axis");
+    let mut product = 1.0f64;
+    let mut wins = 0;
+    for layer in &YOLO_LAYERS {
+        let g = layer.graph(1);
+        let flops = g.flops() as f64;
+        let cudnn = library::cudnn_time(OperatorKind::Conv2d, &g, &gpu)
+            .map(|t| flops / t / 1e9)
+            .unwrap_or(0.0);
+        let task = Task::new(g, Device::Gpu(gpu.clone()));
+        let r = optimize(&task, &opts)?;
+        let speedup = r.gflops() / cudnn;
+        product *= speedup;
+        if speedup > 1.0 {
+            wins += 1;
+        }
+        println!(
+            "{:<6} {:>10.0} {:>15.0} {:>8.2}  {:?}",
+            layer.name,
+            cudnn,
+            r.gflops(),
+            speedup,
+            r.config.spatial_splits[1]
+        );
+    }
+    let geomean = product.powf(1.0 / YOLO_LAYERS.len() as f64);
+    println!("\nFlexTensor beats cuDNN on {wins}/15 layers; geomean speedup {geomean:.2}x");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+set -x
+cd /root/repo
+B="cargo run --release -q -p flextensor-bench --bin"
+$B sec65_vs_autotvm -- --trials 150 --cases 4 > results/logs/sec65.txt 2>&1
+$B fig06d_exploration_time -- --rounds 12 --max-trials 300 > results/logs/fig06d.txt 2>&1
+$B fig07_convergence -- --trials 150 --rounds 12 > results/logs/fig07.txt 2>&1
+$B sec66_dnn_e2e -- --trials 120 --rounds 10 > results/logs/sec66.txt 2>&1
+$B ablation -- --trials 100 --layer C8 > results/logs/ablation.txt 2>&1
+echo AUTOTVM_EXPERIMENTS_DONE

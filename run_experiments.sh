@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table and figure; logs land in results/logs/.
+set -x
+cd /root/repo
+B="cargo run --release -q -p flextensor-bench --bin"
+$B fig01_motivation                      > results/logs/fig01.txt 2>&1
+$B table03_benchmarks                    > results/logs/table03.txt 2>&1
+$B table04_yolo                          > results/logs/table04.txt 2>&1
+$B fig06a_gpu_conv2d -- --trials 150     > results/logs/fig06a.txt 2>&1
+$B fig06b_cpu_conv2d -- --trials 150     > results/logs/fig06b.txt 2>&1
+$B fig06c_fpga_conv2d -- --trials 150    > results/logs/fig06c.txt 2>&1
+$B sec64_new_ops -- --trials 100         > results/logs/sec64.txt 2>&1
+$B fig05_gpu_overall -- --trials 60      > results/logs/fig05.txt 2>&1
+$B sec65_vs_autotvm -- --trials 150 --cases 3 > results/logs/sec65.txt 2>&1
+$B fig06d_exploration_time -- --rounds 12 --max-trials 300 > results/logs/fig06d.txt 2>&1
+$B fig07_convergence -- --trials 150 --rounds 12 > results/logs/fig07.txt 2>&1
+$B sec66_dnn_e2e -- --trials 120 --rounds 10 > results/logs/sec66.txt 2>&1
+$B ablation -- --trials 100 --layer C8   > results/logs/ablation.txt 2>&1
+echo ALL_EXPERIMENTS_DONE

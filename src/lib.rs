@@ -1,0 +1,1 @@
+//! Workspace-level crate: hosts examples and integration tests only.

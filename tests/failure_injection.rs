@@ -1,0 +1,133 @@
+//! Failure-injection tests: malformed kernels, configs and inputs must be
+//! rejected with errors — never silently produce wrong results or panic.
+
+use flextensor_interp::eval::{Buffer, Store};
+use flextensor_interp::machine::run_kernel;
+use flextensor_interp::reference::random_inputs;
+use flextensor_ir::expr::Expr;
+use flextensor_ir::graph::Combiner;
+use flextensor_ir::ops::{self, ConvParams};
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_schedule::lower::{lower, lower_naive, LoweredKernel};
+use flextensor_schedule::nest::{LoopKind, Stmt};
+
+fn kernel_with(stmts: Vec<Stmt>) -> LoweredKernel {
+    let g = ops::gemm(4, 4, 4);
+    let mut k = lower_naive(&g, TargetKind::Cpu);
+    k.stmts = stmts;
+    k
+}
+
+#[test]
+fn unbound_variable_is_a_runtime_error() {
+    let g = ops::gemm(4, 4, 4);
+    let k = kernel_with(vec![Stmt::Store {
+        tensor: "O".into(),
+        indices: vec![Expr::var("nonexistent"), Expr::int(0)],
+        value: Expr::float(1.0),
+        reduce: false,
+        combiner: Combiner::Sum,
+    }]);
+    let err = run_kernel(&g, &k, &random_inputs(&g, 0)).unwrap_err();
+    assert!(err.0.contains("unbound variable"), "{err}");
+}
+
+#[test]
+fn unknown_tensor_store_is_a_runtime_error() {
+    let g = ops::gemm(4, 4, 4);
+    let k = kernel_with(vec![Stmt::Store {
+        tensor: "nope".into(),
+        indices: vec![Expr::int(0), Expr::int(0)],
+        value: Expr::float(1.0),
+        reduce: false,
+        combiner: Combiner::Sum,
+    }]);
+    let err = run_kernel(&g, &k, &random_inputs(&g, 0)).unwrap_err();
+    assert!(err.0.contains("unknown tensor"), "{err}");
+}
+
+#[test]
+fn out_of_bounds_store_is_a_runtime_error() {
+    let g = ops::gemm(4, 4, 4);
+    let k = kernel_with(vec![Stmt::loop_(
+        "i",
+        10, // extent exceeds the 4x4 output
+        LoopKind::Serial,
+        vec![Stmt::Store {
+            tensor: "O".into(),
+            indices: vec![Expr::var("i"), Expr::int(0)],
+            value: Expr::float(1.0),
+            reduce: false,
+            combiner: Combiner::Sum,
+        }],
+    )]);
+    let err = run_kernel(&g, &k, &random_inputs(&g, 0)).unwrap_err();
+    assert!(err.0.contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn rank_mismatch_is_a_runtime_error() {
+    let g = ops::gemm(4, 4, 4);
+    let k = kernel_with(vec![Stmt::Store {
+        tensor: "O".into(),
+        indices: vec![Expr::int(0)], // O is 2-D
+        value: Expr::float(1.0),
+        reduce: false,
+        combiner: Combiner::Sum,
+    }]);
+    let err = run_kernel(&g, &k, &random_inputs(&g, 0)).unwrap_err();
+    assert!(err.0.contains("rank mismatch"), "{err}");
+}
+
+#[test]
+fn wrong_shaped_input_is_rejected() {
+    let g = ops::gemm(4, 4, 4);
+    let k = lower_naive(&g, TargetKind::Cpu);
+    let mut inputs = Store::new();
+    inputs.insert("A".into(), Buffer::zeros(&[4, 5])); // wrong k
+    inputs.insert("B".into(), Buffer::zeros(&[4, 4]));
+    let err = run_kernel(&g, &k, &inputs).unwrap_err();
+    assert!(err.0.contains("shape"), "{err}");
+}
+
+#[test]
+fn invalid_configs_never_reach_execution() {
+    let g = ops::conv2d(ConvParams::same(1, 4, 8, 3), 6, 6);
+    let op = g.root_op();
+    // Factor product mismatch.
+    let mut c1 = NodeConfig::naive(op);
+    c1.spatial_splits[1] = vec![3, 1, 1, 1];
+    assert!(lower(&g, &c1, TargetKind::Gpu).is_err());
+    // Bad permutation.
+    let mut c2 = NodeConfig::naive(op);
+    c2.reorder = vec![0, 0, 1, 2];
+    assert!(lower(&g, &c2, TargetKind::Gpu).is_err());
+    // Pipeline out of range.
+    let mut c3 = NodeConfig::naive(op);
+    c3.fpga_pipeline = 9;
+    assert!(lower(&g, &c3, TargetKind::Fpga).is_err());
+}
+
+#[test]
+fn search_rejects_nothing_but_still_converges_under_heavy_infeasibility() {
+    // A GPU space where most random points are infeasible (huge single
+    // axis forces oversized blocks for many configurations).
+    use flextensor_explore::methods::{search, Method, SearchOptions};
+    use flextensor_sim::model::Evaluator;
+    use flextensor_sim::spec::{v100, Device};
+    let g = ops::gemm(4096, 2, 4096);
+    let ev = Evaluator::new(Device::Gpu(v100()));
+    let r = search(
+        &g,
+        &ev,
+        Method::QMethod,
+        &SearchOptions {
+            trials: 15,
+            ..SearchOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(r.best_cost.seconds.is_finite());
+    // Infeasible evaluations were recorded but never become "best".
+    assert!(r.best_cost.gflops() > 0.0);
+}

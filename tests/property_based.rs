@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * any divisible split configuration lowers to a kernel that computes
+//!   the operator's definition exactly (the schedule-correctness property);
+//! * config encode/decode is a bijection on valid configs;
+//! * space directions preserve validity and factor products;
+//! * interval analysis soundly bounds concrete index values.
+
+use flextensor_explore::space::Space;
+use flextensor_interp::machine::check_against_reference;
+use flextensor_interp::reference::random_inputs;
+use flextensor_ir::expr::Expr;
+use flextensor_ir::ops;
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_schedule::interval::{eval_interval, Interval, IntervalEnv};
+use flextensor_schedule::lower::lower;
+use proptest::prelude::*;
+
+/// Strategy: an ordered 4-way factorization of `n` (by scattering prime
+/// factors over the levels).
+fn factorization(n: i64, parts: usize) -> impl Strategy<Value = Vec<i64>> {
+    let primes = prime_factors(n);
+    proptest::collection::vec(0..parts, primes.len()).prop_map(move |slots| {
+        let mut f = vec![1i64; parts];
+        for (&p, &s) in primes.iter().zip(&slots) {
+            f[s] *= p;
+        }
+        f
+    })
+}
+
+fn prime_factors(mut n: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        while n % d == 0 {
+            out.push(d);
+            n /= d;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any divisible split of a small GEMM computes the right product on
+    /// every target.
+    #[test]
+    fn scheduled_gemm_is_always_correct(
+        fi in factorization(8, 4),
+        fj in factorization(12, 4),
+        fk in factorization(10, 3),
+        reorder_swap in any::<bool>(),
+        unroll in any::<bool>(),
+        cache in any::<bool>(),
+        target_idx in 0usize..3,
+    ) {
+        let g = ops::gemm(8, 12, 10);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits = vec![fi, fj];
+        cfg.reduce_splits = vec![fk];
+        if reorder_swap {
+            cfg.reorder = vec![1, 0];
+        }
+        cfg.unroll = unroll;
+        cfg.cache_shared = cache;
+        cfg.vectorize = true;
+        let target = [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga][target_idx];
+        let kernel = lower(&g, &cfg, target).expect("valid config lowers");
+        let inputs = random_inputs(&g, 5);
+        let diff = check_against_reference(&g, &kernel, &inputs).expect("runs");
+        prop_assert!(diff < 1e-9, "diff {diff}");
+    }
+
+    /// Any divisible split of a small padded conv2d is correct (exercises
+    /// producer inlining + select-guarded loads under arbitrary tiling).
+    #[test]
+    fn scheduled_conv_is_always_correct(
+        fk in factorization(4, 4),
+        fi in factorization(6, 4),
+        fj in factorization(6, 4),
+        frc in factorization(3, 3),
+        inline in any::<bool>(),
+    ) {
+        let g = ops::conv2d(ops::ConvParams::same(1, 3, 4, 3), 6, 6);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits[1] = fk;
+        cfg.spatial_splits[2] = fi;
+        cfg.spatial_splits[3] = fj;
+        cfg.reduce_splits[0] = frc;
+        cfg.inline_data = inline;
+        let kernel = lower(&g, &cfg, TargetKind::Gpu).expect("valid config lowers");
+        let inputs = random_inputs(&g, 6);
+        let diff = check_against_reference(&g, &kernel, &inputs).expect("runs");
+        prop_assert!(diff < 1e-9, "diff {diff}");
+    }
+
+    /// encode -> decode is the identity on valid configs.
+    #[test]
+    fn config_encoding_roundtrips(
+        fi in factorization(16, 4),
+        fj in factorization(24, 4),
+        fk in factorization(12, 3),
+        unroll in any::<bool>(),
+        cache in any::<bool>(),
+        inline in any::<bool>(),
+        fuse in 1usize..=2,
+        partition in prop::sample::select(vec![1i64, 2, 4, 8, 16]),
+        pipeline in 1i64..=3,
+    ) {
+        let g = ops::gemm(16, 24, 12);
+        let op = g.root_op();
+        let mut cfg = NodeConfig::naive(op);
+        cfg.spatial_splits = vec![fi, fj];
+        cfg.reduce_splits = vec![fk];
+        cfg.unroll = unroll;
+        cfg.cache_shared = cache;
+        cfg.inline_data = inline;
+        cfg.fuse_outer = fuse;
+        cfg.fpga_partition = partition;
+        cfg.fpga_pipeline = pipeline;
+        prop_assert!(cfg.validate(op).is_ok());
+        let decoded = NodeConfig::decode(op, &cfg.encode()).expect("decodes");
+        prop_assert_eq!(cfg, decoded);
+    }
+
+    /// Every applicable direction from a random point yields another valid
+    /// point, with split products conserved.
+    #[test]
+    fn directions_preserve_validity(seed in any::<u64>(), target_idx in 0usize..3) {
+        use rand::SeedableRng;
+        let g = ops::conv2d(ops::ConvParams::same(1, 8, 16, 3), 12, 12);
+        let target = [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga][target_idx];
+        let space = Space::new(&g, target);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = space.random_point(&mut rng);
+        prop_assert!(p.validate(space.op()).is_ok());
+        for &d in space.directions() {
+            if let Some(n) = space.apply(&p, d) {
+                prop_assert!(n.validate(space.op()).is_ok(), "direction {d:?}");
+            }
+        }
+    }
+
+    /// Interval analysis soundly bounds concrete evaluations of affine
+    /// conv-style index expressions.
+    #[test]
+    fn interval_analysis_is_sound_for_affine_indices(
+        stride in 1i64..4,
+        dil in 1i64..3,
+        hi_i in 0i64..8,
+        hi_r in 0i64..4,
+        offset in -3i64..4,
+    ) {
+        let e = Expr::var("i") * stride + Expr::var("r") * dil + offset;
+        let mut env = IntervalEnv::new();
+        env.insert("i".into(), Interval::new(0, hi_i));
+        env.insert("r".into(), Interval::new(0, hi_r));
+        let iv = eval_interval(&e, &env);
+        for i in 0..=hi_i {
+            for r in 0..=hi_r {
+                let v = i * stride + r * dil + offset;
+                prop_assert!(iv.lo <= v && v <= iv.hi, "{v} outside [{}, {}]", iv.lo, iv.hi);
+            }
+        }
+    }
+}
