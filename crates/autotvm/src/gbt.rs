@@ -31,7 +31,12 @@ impl RegressionTree {
     /// # Panics
     ///
     /// Panics if `xs` is empty or row widths differ from each other.
-    pub fn fit(xs: &[Vec<f64>], ys: &[f64], max_depth: usize, min_samples: usize) -> RegressionTree {
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        max_depth: usize,
+        min_samples: usize,
+    ) -> RegressionTree {
         assert!(!xs.is_empty() && xs.len() == ys.len(), "bad training set");
         let idx: Vec<usize> = (0..xs.len()).collect();
         let mut nodes = Vec::new();
@@ -56,6 +61,7 @@ impl RegressionTree {
         let nfeat = xs[idx[0]].len();
         let base_sse: f64 = idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        #[allow(clippy::needless_range_loop)] // `f` is data (stored in the split)
         for f in 0..nfeat {
             let mut vals: Vec<(f64, f64)> = idx.iter().map(|&i| (xs[i][f], ys[i])).collect();
             vals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -167,13 +173,7 @@ impl Gbt {
 
     /// Predicts one row.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.shrinkage
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(x))
-                    .sum::<f64>()
+        self.base + self.shrinkage * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     /// Whether the model has been fit.

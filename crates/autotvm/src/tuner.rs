@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use flextensor_explore::pool::{EvalPool, EvalStats};
 use flextensor_ir::graph::Graph;
 use flextensor_sim::model::{Cost, Evaluator};
 use rand::rngs::StdRng;
@@ -34,6 +35,11 @@ pub struct TuneOptions {
     pub measure_repeats: u32,
     /// Stop early once the best time reaches this many seconds.
     pub stop_when_seconds: Option<f64>,
+    /// Evaluation worker threads per measured batch (1 = serial, 0 = all
+    /// cores). Results are identical for every value.
+    pub eval_workers: usize,
+    /// Approximate entry bound for the evaluation memo cache.
+    pub cache_capacity: usize,
 }
 
 impl Default for TuneOptions {
@@ -46,6 +52,8 @@ impl Default for TuneOptions {
             measure_overhead_s: 0.8,
             measure_repeats: 10,
             stop_when_seconds: None,
+            eval_workers: 1,
+            cache_capacity: 1 << 20,
         }
     }
 }
@@ -80,6 +88,9 @@ pub struct TuneResult {
     pub exploration_time_s: f64,
     /// Template space size.
     pub space_size: f64,
+    /// Evaluation-layer statistics: fresh evaluations, cache hit rate,
+    /// worker count, and real wall-clock spent evaluating.
+    pub eval_stats: EvalStats,
 }
 
 /// Errors from tuning.
@@ -99,8 +110,13 @@ impl std::error::Error for TuneError {}
 /// # Errors
 ///
 /// Returns [`TuneError`] when no feasible configuration is found.
-pub fn tune(graph: &Graph, evaluator: &Evaluator, opts: &TuneOptions) -> Result<TuneResult, TuneError> {
+pub fn tune(
+    graph: &Graph,
+    evaluator: &Evaluator,
+    opts: &TuneOptions,
+) -> Result<TuneResult, TuneError> {
     let template = Template::new(graph, evaluator.target());
+    let mut pool = EvalPool::new(graph, evaluator, opts.eval_workers, opts.cache_capacity);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
     let mut xs: Vec<Vec<f64>> = Vec::new();
@@ -129,9 +145,7 @@ pub fn tune(graph: &Graph, evaluator: &Evaluator, opts: &TuneOptions) -> Result<
                     let next = template.mutate(&cur, &mut rng);
                     let next_score = model.predict(&template.features(&next));
                     let temp = 1.0 - step as f64 / 20.0;
-                    if next_score > cur_score
-                        || rng.gen_bool((0.1 * temp).clamp(0.0, 1.0))
-                    {
+                    if next_score > cur_score || rng.gen_bool((0.1 * temp).clamp(0.0, 1.0)) {
                         cur = next;
                         cur_score = next_score;
                     }
@@ -147,25 +161,30 @@ pub fn tune(graph: &Graph, evaluator: &Evaluator, opts: &TuneOptions) -> Result<
         }
 
         // ---- measure ----------------------------------------------------
-        for idx in batch {
-            let cfg = template.to_config(&idx);
-            let cost = evaluator.evaluate(graph, &cfg);
-            measurements += 1;
-            let score = match cost {
+        // The whole batch goes through the evaluation pool at once —
+        // fresh points fan out over the workers, repeats come back from
+        // the memo cache for free. The reduction below runs in batch
+        // order, so the tuner is deterministic in the worker count.
+        let configs: Vec<_> = batch.iter().map(|idx| template.to_config(idx)).collect();
+        let outcomes = pool.evaluate_batch(&configs);
+        for (idx, oc) in batch.iter().zip(outcomes) {
+            if oc.fresh {
+                measurements += 1;
+                time_s += opts.measure_overhead_s;
+                if let Some(c) = oc.cost {
+                    time_s += opts.measure_repeats as f64 * c.seconds;
+                }
+            }
+            let score = match oc.cost {
                 Some(c) => {
-                    time_s += opts.measure_overhead_s
-                        + opts.measure_repeats as f64 * c.seconds;
                     if best.as_ref().is_none_or(|(_, b)| c.seconds < *b) {
                         best = Some((idx.clone(), c.seconds));
                     }
                     1.0 / c.seconds
                 }
-                None => {
-                    time_s += opts.measure_overhead_s;
-                    0.0
-                }
+                None => 0.0,
             };
-            xs.push(template.features(&idx));
+            xs.push(template.features(idx));
             ys.push(score);
             if let (Some(target), Some((_, s))) = (opts.stop_when_seconds, best.as_ref()) {
                 if *s <= target {
@@ -195,6 +214,7 @@ pub fn tune(graph: &Graph, evaluator: &Evaluator, opts: &TuneOptions) -> Result<
         measurements,
         exploration_time_s: time_s,
         space_size: template.size(),
+        eval_stats: pool.stats(),
     })
 }
 

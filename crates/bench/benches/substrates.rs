@@ -63,7 +63,9 @@ fn bench_space(c: &mut Criterion) {
             }
         })
     });
-    c.bench_function("space/features", |b| b.iter(|| space.features(black_box(&p))));
+    c.bench_function("space/features", |b| {
+        b.iter(|| space.features(black_box(&p)))
+    });
 }
 
 fn bench_nn(c: &mut Criterion) {
@@ -76,19 +78,27 @@ fn bench_nn(c: &mut Criterion) {
         b.iter(|| net.train_batch(black_box(&xs), black_box(&ys), &mut opt))
     });
     let x = vec![0.3; 40];
-    c.bench_function("nn/q_network_forward", |b| b.iter(|| net.forward(black_box(&x))));
+    c.bench_function("nn/q_network_forward", |b| {
+        b.iter(|| net.forward(black_box(&x)))
+    });
 }
 
 fn bench_gbt(c: &mut Criterion) {
     let xs: Vec<Vec<f64>> = (0..256)
-        .map(|i| (0..10).map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0).collect())
+        .map(|i| {
+            (0..10)
+                .map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0)
+                .collect()
+        })
         .collect();
     let ys: Vec<f64> = xs.iter().map(|x| x.iter().sum::<f64>()).collect();
     c.bench_function("gbt/fit_256x10_20trees", |b| {
         b.iter(|| Gbt::fit(black_box(&xs), black_box(&ys), 20, 4, 0.3))
     });
     let model = Gbt::fit(&xs, &ys, 20, 4, 0.3);
-    c.bench_function("gbt/predict", |b| b.iter(|| model.predict(black_box(&xs[0]))));
+    c.bench_function("gbt/predict", |b| {
+        b.iter(|| model.predict(black_box(&xs[0])))
+    });
 }
 
 fn bench_interpreter(c: &mut Criterion) {

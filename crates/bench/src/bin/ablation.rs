@@ -86,7 +86,11 @@ fn main() {
     t3.row(vec![
         format!(
             "cache_shared = {}",
-            if flipped_cache.cache_shared { "on" } else { "off" }
+            if flipped_cache.cache_shared {
+                "on"
+            } else {
+                "off"
+            }
         ),
         format!("{:.0}", eval(&flipped_cache)),
     ]);

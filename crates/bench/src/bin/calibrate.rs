@@ -27,7 +27,12 @@ fn main() {
         },
     };
     let mut table = Table::new(&[
-        "layer", "pytorch", "cudnn", "flextensor", "ft/cudnn", "measurements",
+        "layer",
+        "pytorch",
+        "cudnn",
+        "flextensor",
+        "ft/cudnn",
+        "measurements",
     ]);
     let mut speedups = Vec::new();
     for layer in &YOLO_LAYERS {
@@ -49,5 +54,8 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("geomean FlexTensor/cuDNN speedup: {:.2}x", geomean(&speedups));
+    println!(
+        "geomean FlexTensor/cuDNN speedup: {:.2}x",
+        geomean(&speedups)
+    );
 }

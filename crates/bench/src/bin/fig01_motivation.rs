@@ -144,7 +144,10 @@ fn main() {
             cfg.unroll = true;
             cfg.vectorize = true;
             cfg.fuse_outer = 2;
-            let t = ev.evaluate(&g, &cfg).map(|c| c.seconds).unwrap_or(f64::INFINITY);
+            let t = ev
+                .evaluate(&g, &cfg)
+                .map(|c| c.seconds)
+                .unwrap_or(f64::INFINITY);
             series[d].push(if t.is_finite() { 1.0 / t } else { 0.0 });
         }
     }

@@ -29,7 +29,9 @@ fn main() {
         let g = layer.graph(1);
         let flops = g.flops() as f64;
         let to_gf = |t: f64| flops / t / 1e9;
-        let native = library::pytorch_gpu_time(&g, &gpu).map(to_gf).unwrap_or(0.0);
+        let native = library::pytorch_gpu_time(&g, &gpu)
+            .map(to_gf)
+            .unwrap_or(0.0);
         let cudnn = library::cudnn_time(OperatorKind::Conv2d, &g, &gpu)
             .map(to_gf)
             .unwrap_or(0.0);
@@ -59,11 +61,6 @@ fn main() {
     println!(
         "\ngeomean speedup vs cuDNN: {:.2}x, vs PyTorch: {:.2}x (paper: 1.5x / 1.56x)",
         geomean(&sp),
-        geomean(
-            &ft.iter()
-                .zip(&py)
-                .map(|(f, p)| f / p)
-                .collect::<Vec<_>>()
-        )
+        geomean(&ft.iter().zip(&py).map(|(f, p)| f / p).collect::<Vec<_>>())
     );
 }

@@ -25,7 +25,13 @@ fn main() {
         },
     };
     println!("== Figure 6(b): C2D on Xeon E5-2699 v4, GFLOPS ==\n");
-    let mut t = Table::new(&["layer", "PyTorch(MKL-DNN)", "FlexTensor", "speedup", "veclen"]);
+    let mut t = Table::new(&[
+        "layer",
+        "PyTorch(MKL-DNN)",
+        "FlexTensor",
+        "speedup",
+        "veclen",
+    ]);
     let (mut mk, mut ft, mut sp) = (vec![], vec![], vec![]);
     for layer in &YOLO_LAYERS {
         let g = layer.graph(1);

@@ -24,7 +24,14 @@ fn main() {
         },
     };
     println!("== Figure 6(c): C2D on VU9P, GFLOPS ==\n");
-    let mut t = Table::new(&["layer", "Hand-Optimized", "FlexTensor", "speedup", "#PE", "pipeline"]);
+    let mut t = Table::new(&[
+        "layer",
+        "Hand-Optimized",
+        "FlexTensor",
+        "speedup",
+        "#PE",
+        "pipeline",
+    ]);
     let (mut ho, mut ft, mut sp) = (vec![], vec![], vec![]);
     for layer in &YOLO_LAYERS {
         let g = layer.graph(1);

@@ -8,11 +8,14 @@
 //! time and 52.9% of AutoTVM's.
 //!
 //! Flags: `--rounds N` (AutoTVM rounds, default 16), `--max-trials N`
-//! (P/Q trial cap, default 400), `--layers N` (first N layers, default 15).
+//! (P/Q trial cap, default 400), `--layers N` (first N layers, default 15),
+//! `--workers N` (evaluation threads, default 1; 0 = all cores — results
+//! are identical, only wall-clock changes).
 
 use flextensor_autotvm::tuner::{tune, TuneOptions};
-use flextensor_bench::harness::{arg, save_csv, Table};
+use flextensor_bench::harness::{arg, eval_summary, fmt_time, save_csv, Table};
 use flextensor_explore::methods::{search, Method, SearchOptions};
+use flextensor_explore::pool::EvalStats;
 use flextensor_ir::yolo::YOLO_LAYERS;
 use flextensor_sim::model::Evaluator;
 use flextensor_sim::spec::{v100, Device};
@@ -21,6 +24,7 @@ fn main() {
     let rounds: usize = arg("rounds", 16);
     let max_trials: usize = arg("max-trials", 400);
     let nlayers: usize = arg("layers", 15);
+    let workers: usize = arg("workers", 1);
     let ev = Evaluator::new(Device::Gpu(v100()));
     println!("== Figure 6(d): exploration time to reach AutoTVM's converged performance ==\n");
     let mut t = Table::new(&[
@@ -32,6 +36,14 @@ fn main() {
         "Q/AutoTVM",
     ]);
     let (mut qp, mut qa) = (Vec::new(), Vec::new());
+    let mut pool_stats = EvalStats::default();
+    let mut add_stats = |s: &EvalStats| {
+        pool_stats.evaluated += s.evaluated;
+        pool_stats.cache_hits += s.cache_hits;
+        pool_stats.cache_misses += s.cache_misses;
+        pool_stats.workers = s.workers;
+        pool_stats.wall_clock_s += s.wall_clock_s;
+    };
     for layer in YOLO_LAYERS.iter().take(nlayers) {
         let g = layer.graph(1);
         let at = tune(
@@ -40,10 +52,12 @@ fn main() {
             &TuneOptions {
                 rounds,
                 batch: 64,
+                eval_workers: workers,
                 ..TuneOptions::default()
             },
         )
         .expect("autotvm");
+        add_stats(&at.eval_stats);
         let target = at.best_cost.seconds;
         let run = |m: Method| {
             let opts = SearchOptions {
@@ -51,15 +65,17 @@ fn main() {
                 starts: if m == Method::PMethod { 2 } else { 8 },
                 initial_samples: 16,
                 stop_when_seconds: Some(target),
+                eval_workers: workers,
                 ..SearchOptions::default()
             };
             search(&g, &ev, m, &opts).expect("search")
         };
         let p = run(Method::PMethod);
         let q = run(Method::QMethod);
-        let reached = |r: &flextensor_explore::methods::SearchResult| {
-            r.best_cost.seconds <= target * 1.001
-        };
+        add_stats(&p.eval_stats);
+        add_stats(&q.eval_stats);
+        let reached =
+            |r: &flextensor_explore::methods::SearchResult| r.best_cost.seconds <= target * 1.001;
         let note = |ok: bool, t: f64| {
             if ok {
                 format!("{t:.0}")
@@ -95,5 +111,10 @@ fn main() {
         "\nQ-method needs {:.1}% of P-method's time and {:.1}% of AutoTVM's (paper: 27.6% / 52.9%)",
         100.0 * avg(&qp),
         100.0 * avg(&qa)
+    );
+    println!("Evaluation layer: {}", eval_summary(&pool_stats));
+    println!(
+        "(modeled exploration above; real evaluation wall-clock was {} — rerun with a different --workers to compare)",
+        fmt_time(pool_stats.wall_clock_s)
     );
 }

@@ -3,10 +3,12 @@
 //! AutoTVM.
 //!
 //! Flags: `--trials N` (P/Q trials, default 150), `--rounds N` (AutoTVM
-//! rounds, default 16), `--points N` (rows per curve, default 12).
+//! rounds, default 16), `--points N` (rows per curve, default 12),
+//! `--workers N` (evaluation threads, default 1; 0 = all cores — the
+//! curves are identical, only real wall-clock changes).
 
 use flextensor_autotvm::tuner::{tune, TuneOptions};
-use flextensor_bench::harness::{arg, ascii_plot, save_csv, Table};
+use flextensor_bench::harness::{arg, ascii_plot, eval_summary, save_csv, Table};
 use flextensor_explore::methods::{search, Method, SearchOptions};
 use flextensor_ir::yolo::yolo_layer;
 use flextensor_sim::model::Evaluator;
@@ -27,6 +29,7 @@ fn main() {
     let trials: usize = arg("trials", 150);
     let rounds: usize = arg("rounds", 16);
     let points: usize = arg("points", 12);
+    let workers: usize = arg("workers", 1);
     let ev = Evaluator::new(Device::Gpu(v100()));
     for name in ["C1", "C6", "C8", "C9"] {
         let g = yolo_layer(name).unwrap().graph(1);
@@ -37,9 +40,11 @@ fn main() {
                 trials,
                 starts: if m == Method::PMethod { 2 } else { 8 },
                 initial_samples: 16,
+                eval_workers: workers,
                 ..SearchOptions::default()
             };
             let r = search(&g, &ev, m, &opts).expect("search");
+            println!("  [{m}] {}", eval_summary(&r.eval_stats));
             r.trace
                 .iter()
                 .map(|p| (p.exploration_time_s, p.best_gflops))
@@ -53,10 +58,12 @@ fn main() {
             &TuneOptions {
                 rounds,
                 batch: 64,
+                eval_workers: workers,
                 ..TuneOptions::default()
             },
         )
         .expect("autotvm");
+        println!("  [AutoTVM] {}\n", eval_summary(&at.eval_stats));
         let a_curve = downsample(
             &at.trace
                 .iter()
@@ -65,9 +72,7 @@ fn main() {
             points,
         );
 
-        let mut t = Table::new(&[
-            "P time", "P GF", "Q time", "Q GF", "AT time", "AT GF",
-        ]);
+        let mut t = Table::new(&["P time", "P GF", "Q time", "Q GF", "AT time", "AT GF"]);
         let rows = p_curve.len().max(q_curve.len()).max(a_curve.len());
         let cell = |c: Option<&(f64, f64)>, which: usize| {
             c.map(|(t, g)| {
@@ -104,5 +109,7 @@ fn main() {
             )
         );
     }
-    println!("Q-method converges to good performance in a short time; P-method and AutoTVM take longer.");
+    println!(
+        "Q-method converges to good performance in a short time; P-method and AutoTVM take longer."
+    );
 }

@@ -6,7 +6,10 @@ use flextensor_sim::model::Evaluator;
 use flextensor_sim::spec::{v100, Device};
 
 fn main() {
-    let trials: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
     let ev = Evaluator::new(Device::Gpu(v100()));
     for name in ["C6", "C9", "C13"] {
         let g = yolo_layer(name).unwrap().graph(1);

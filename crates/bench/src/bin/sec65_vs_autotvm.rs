@@ -42,7 +42,13 @@ fn main() {
         },
     };
     println!("== §6.5: FlexTensor vs AutoTVM on V100 ==\n");
-    let mut t = Table::new(&["op", "AutoTVM GF", "FlexTensor GF", "speedup", "space ratio"]);
+    let mut t = Table::new(&[
+        "op",
+        "AutoTVM GF",
+        "FlexTensor GF",
+        "speedup",
+        "space ratio",
+    ]);
     let mut all_speedups = Vec::new();
     let mut c2d_ratios = Vec::new();
     for kind in kinds {
@@ -52,7 +58,13 @@ fn main() {
         let all = test_cases(kind);
         let n = ncases.min(all.len());
         let idx: Vec<usize> = (0..n)
-            .map(|i| if n == 1 { 0 } else { i * (all.len() - 1) / (n - 1) })
+            .map(|i| {
+                if n == 1 {
+                    0
+                } else {
+                    i * (all.len() - 1) / (n - 1)
+                }
+            })
             .collect();
         let cases: Vec<_> = idx.into_iter().map(|i| all[i].clone()).collect();
         let (mut at_g, mut ft_g, mut sp, mut ratios) = (vec![], vec![], vec![], vec![]);
@@ -72,8 +84,8 @@ fn main() {
             at_g.push(at.best_cost.gflops());
             ft_g.push(ft.gflops());
             sp.push(ft.gflops() / at.best_cost.gflops().max(1e-9));
-            let ratio = Space::new(g, TargetKind::Gpu).size()
-                / Template::new(g, TargetKind::Gpu).size();
+            let ratio =
+                Space::new(g, TargetKind::Gpu).size() / Template::new(g, TargetKind::Gpu).size();
             ratios.push(ratio);
         }
         if kind == OperatorKind::Conv2d {

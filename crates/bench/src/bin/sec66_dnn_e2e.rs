@@ -4,7 +4,7 @@
 //! Flags: `--trials N` (FlexTensor per-layer budget, default 120),
 //! `--rounds N` (AutoTVM rounds per layer, default 12).
 
-use flextensor::dnn::{autotvm_network, optimize_network, yolo_v1, overfeat, LayerSpec};
+use flextensor::dnn::{autotvm_network, optimize_network, overfeat, yolo_v1, LayerSpec};
 use flextensor::{Method, OptimizeOptions, SearchOptions};
 use flextensor_autotvm::tuner::TuneOptions;
 use flextensor_bench::harness::{arg, fmt_time, save_csv, Table};
@@ -27,7 +27,10 @@ fn run(name: &str, specs: &[LayerSpec], device: &Device, trials: usize, rounds: 
     };
     let ft = optimize_network(specs, device, 1, &opts).expect("flextensor network");
     let at = autotvm_network(specs, device, 1, &topts).expect("autotvm network");
-    println!("== §6.6: {name} end-to-end on {} (batch 1) ==\n", device.name());
+    println!(
+        "== §6.6: {name} end-to-end on {} (batch 1) ==\n",
+        device.name()
+    );
     let mut t = Table::new(&["layer", "count", "AutoTVM", "FlexTensor", "speedup"]);
     for (f, a) in ft.layers.iter().zip(&at.layers) {
         t.row(vec![
@@ -46,7 +49,10 @@ fn run(name: &str, specs: &[LayerSpec], device: &Device, trials: usize, rounds: 
         format!("{:.2}", at.total_seconds / ft.total_seconds),
     ]);
     println!("{}", t.render());
-    save_csv(&format!("sec66_{}", name.to_lowercase().replace('-', "_")), &t);
+    save_csv(
+        &format!("sec66_{}", name.to_lowercase().replace('-', "_")),
+        &t,
+    );
     println!(
         "\n{name} end-to-end speedup vs AutoTVM: {:.2}x\n",
         at.total_seconds / ft.total_seconds

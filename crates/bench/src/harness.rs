@@ -83,6 +83,22 @@ impl Table {
     }
 }
 
+/// One-line summary of a search's evaluation-layer statistics
+/// ([`EvalStats`](flextensor_explore::pool::EvalStats)): fresh
+/// evaluations, cache hit rate, worker count, and the real wall-clock
+/// spent inside batched evaluation.
+pub fn eval_summary(stats: &flextensor_explore::pool::EvalStats) -> String {
+    format!(
+        "{} fresh evals, {} cache hits ({:.1}% hit rate), {} worker{}, {} wall-clock evaluating",
+        stats.evaluated,
+        stats.cache_hits,
+        100.0 * stats.hit_rate(),
+        stats.workers,
+        if stats.workers == 1 { "" } else { "s" },
+        fmt_time(stats.wall_clock_s),
+    )
+}
+
 /// Formats seconds at µs/ms/s granularity.
 pub fn fmt_time(seconds: f64) -> String {
     if seconds < 1e-3 {
@@ -121,6 +137,22 @@ mod tests {
         assert_eq!(fmt_time(5e-6), "5.0us");
         assert_eq!(fmt_time(2.5e-3), "2.50ms");
         assert_eq!(fmt_time(1.5), "1.50s");
+    }
+
+    #[test]
+    fn eval_summary_reports_all_fields() {
+        let s = flextensor_explore::pool::EvalStats {
+            evaluated: 40,
+            cache_hits: 10,
+            cache_misses: 40,
+            workers: 8,
+            wall_clock_s: 0.25,
+        };
+        let line = eval_summary(&s);
+        assert!(line.contains("40 fresh evals"), "{line}");
+        assert!(line.contains("10 cache hits"), "{line}");
+        assert!(line.contains("20.0% hit rate"), "{line}");
+        assert!(line.contains("8 workers"), "{line}");
     }
 }
 

@@ -37,6 +37,7 @@ pub mod dnn;
 pub mod optimize;
 
 pub use flextensor_explore::methods::{Method, SearchOptions};
+pub use flextensor_explore::pool::{EvalPool, EvalStats, MemoCache};
 pub use optimize::{optimize, OptimizeError, OptimizeOptions, OptimizeResult, Task};
 
 // Re-export the substrate crates under stable names.

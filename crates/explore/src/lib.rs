@@ -15,6 +15,12 @@
 //! * [`methods`] — the search drivers: Q-method, P-method (all
 //!   directions), and a random-walk ablation, with exploration-time
 //!   accounting modeling the real system's per-measurement cost.
+//! * [`pool`] — the parallel, memoized evaluation layer: a persistent
+//!   worker pool fanning each trial's candidate batch out over
+//!   `eval_workers` threads, with a concurrent memo cache so repeat
+//!   visits cost zero modeled and zero real time. Results reduce in
+//!   fixed candidate order, so searches are deterministic in the worker
+//!   count.
 //!
 //! # Examples
 //!
@@ -34,10 +40,12 @@
 #![warn(missing_docs)]
 
 pub mod methods;
+pub mod pool;
 pub mod qlearn;
 pub mod sa;
 pub mod space;
 
 pub use methods::{search, Method, SearchOptions, SearchResult, TracePoint};
+pub use pool::{EvalOutcome, EvalPool, EvalStats, MemoCache};
 pub use sa::History;
 pub use space::{Direction, Space};

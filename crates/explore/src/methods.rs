@@ -16,6 +16,13 @@
 //! Exploration-*time* accounting models the real system's measurement
 //! cost: each evaluated point costs `measure_overhead_s` (compile + launch,
 //! ≤ 1 s per §5.2) plus a few timed repetitions of the kernel.
+//!
+//! Candidate evaluation is *batched*: each trial first builds its full
+//! candidate list (all starts, all chosen directions), then hands it to an
+//! [`EvalPool`](crate::pool::EvalPool), which fans fresh points out over
+//! `eval_workers` threads and answers repeats from a memo cache. Results
+//! reduce in fixed candidate order, so the search is bit-for-bit
+//! deterministic in the worker count; only wall-clock time changes.
 
 use flextensor_ir::graph::Graph;
 use flextensor_schedule::config::NodeConfig;
@@ -23,6 +30,7 @@ use flextensor_sim::model::{Cost, Evaluator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::pool::{EvalOutcome, EvalPool, EvalStats};
 use crate::qlearn::{QAgent, Transition};
 use crate::sa::History;
 use crate::space::Space;
@@ -68,6 +76,12 @@ pub struct SearchOptions {
     pub measure_repeats: u32,
     /// Stop early once the best time reaches this many seconds.
     pub stop_when_seconds: Option<f64>,
+    /// Evaluation worker threads per candidate batch (1 = serial on the
+    /// calling thread, 0 = all available cores). Results are identical
+    /// for every value; only wall-clock time changes.
+    pub eval_workers: usize,
+    /// Approximate entry bound for the evaluation memo cache.
+    pub cache_capacity: usize,
 }
 
 impl Default for SearchOptions {
@@ -81,6 +95,8 @@ impl Default for SearchOptions {
             measure_overhead_s: 0.8,
             measure_repeats: 10,
             stop_when_seconds: None,
+            eval_workers: 1,
+            cache_capacity: 1 << 20,
         }
     }
 }
@@ -115,6 +131,9 @@ pub struct SearchResult {
     pub exploration_time_s: f64,
     /// Size of the explored schedule space (points).
     pub space_size: f64,
+    /// Evaluation-layer statistics: fresh evaluations, cache hit rate,
+    /// worker count, and real wall-clock spent evaluating.
+    pub eval_stats: EvalStats,
 }
 
 /// Errors from exploration.
@@ -131,7 +150,7 @@ impl std::error::Error for SearchError {}
 
 struct Driver<'a> {
     graph: &'a Graph,
-    evaluator: &'a Evaluator,
+    pool: EvalPool,
     space: Space,
     history: History,
     measurements: usize,
@@ -140,25 +159,23 @@ struct Driver<'a> {
 }
 
 impl<'a> Driver<'a> {
-    /// Evaluates a point (if new), updating `H` and the time accounting.
-    /// Returns the performance value `E` (0 for infeasible).
-    fn evaluate(&mut self, cfg: &NodeConfig) -> f64 {
-        if let Some(e) = self.history.value(cfg) {
-            return e;
+    /// Folds one batched evaluation outcome into `H` and the time
+    /// accounting. Only *fresh* outcomes (the pool actually ran the
+    /// evaluator) count as on-device measurements; cache hits cost zero
+    /// modeled time. Returns the performance value `E` (0 for infeasible).
+    fn absorb(&mut self, cfg: &NodeConfig, outcome: EvalOutcome) -> f64 {
+        if outcome.fresh {
+            self.measurements += 1;
+            self.time_s += self.opts.measure_overhead_s;
+            if let Some(c) = outcome.cost {
+                self.time_s += self.opts.measure_repeats as f64 * c.seconds;
+            }
+            // An infeasible point (compile / launch failure) still costs
+            // the overhead, but has no kernel time to repeat.
         }
-        let cost = self.evaluator.evaluate(self.graph, cfg);
-        self.measurements += 1;
-        let e = match cost {
-            Some(c) => {
-                self.time_s +=
-                    self.opts.measure_overhead_s + self.opts.measure_repeats as f64 * c.seconds;
-                1.0 / c.seconds
-            }
-            None => {
-                // Compilation / launch failure still costs overhead.
-                self.time_s += self.opts.measure_overhead_s;
-                0.0
-            }
+        let e = match outcome.cost {
+            Some(c) => 1.0 / c.seconds,
+            None => 0.0,
         };
         self.history.record(cfg.clone(), e);
         e
@@ -215,7 +232,7 @@ pub fn search(
 
     let mut d = Driver {
         graph,
-        evaluator,
+        pool: EvalPool::new(graph, evaluator, opts.eval_workers, opts.cache_capacity),
         space,
         history: History::new(),
         measurements: 0,
@@ -223,11 +240,15 @@ pub fn search(
         opts: opts.clone(),
     };
 
-    // Seed the history: the naive point plus random samples.
-    d.evaluate(&d.space.start_point().clone());
+    // Seed the history: the naive point plus random samples, evaluated as
+    // one batch (duplicate draws resolve as in-batch cache hits).
+    let mut seeds = vec![d.space.start_point().clone()];
     for _ in 0..opts.initial_samples {
-        let p = d.space.random_point(&mut rng);
-        d.evaluate(&p);
+        seeds.push(d.space.random_point(&mut rng));
+    }
+    let outcomes = d.pool.evaluate_batch(&seeds);
+    for (cfg, oc) in seeds.iter().zip(outcomes) {
+        d.absorb(cfg, oc);
     }
 
     let mut trace = Vec::with_capacity(opts.trials + 1);
@@ -238,19 +259,22 @@ pub fn search(
             agent.set_progress(trial as f64 / opts.trials.max(1) as f64);
         }
         let starts = d.history.select_starts(opts.starts, opts.gamma, &mut rng);
-        for p in starts {
-            let e_p = d.history.value(&p).unwrap_or(0.0);
-            // Applicable = the direction exists from p and leads to an
-            // unvisited point.
+
+        // Phase 1: build the trial's full candidate batch — every chosen
+        // (start, direction) move — before evaluating anything. The RNG is
+        // consumed in the same per-start order as a serial walk, and
+        // evaluation never touches it, so batching leaves the draw
+        // sequence unchanged.
+        let mut meta: Vec<(usize, usize)> = Vec::new(); // (start idx, action)
+        let mut cands: Vec<NodeConfig> = Vec::new();
+        for (si, p) in starts.iter().enumerate() {
+            // Applicable = the direction exists from p and leads to a
+            // point unvisited as of the start of this trial.
             let neighbors: Vec<Option<NodeConfig>> = d
                 .space
                 .directions()
                 .iter()
-                .map(|&dir| {
-                    d.space
-                        .apply(&p, dir)
-                        .filter(|n| !d.history.contains(n))
-                })
+                .map(|&dir| d.space.apply(p, dir).filter(|n| !d.history.contains(n)))
                 .collect();
             let chosen: Vec<usize> = match method {
                 Method::PMethod => (0..neighbors.len())
@@ -268,7 +292,7 @@ pub fn search(
                 }
                 Method::QMethod => {
                     let mask: Vec<bool> = neighbors.iter().map(Option::is_some).collect();
-                    let feats = d.space.features(&p);
+                    let feats = d.space.features(p);
                     match agent
                         .as_ref()
                         .expect("Q agent exists")
@@ -280,27 +304,40 @@ pub fn search(
                 }
             };
             for a in chosen {
-                let n = neighbors[a].clone().expect("chosen neighbor exists");
-                let e_n = d.evaluate(&n);
-                if let Some(agent) = agent.as_mut() {
-                    let reward = if e_p > 0.0 {
-                        ((e_n - e_p) / e_p).clamp(-1.0, 10.0)
-                    } else if e_n > 0.0 {
-                        1.0
-                    } else {
-                        -1.0
-                    };
-                    agent.record(Transition {
-                        state: d.space.features(&p),
-                        action: a,
-                        reward,
-                        next_state: d.space.features(&n),
-                    });
-                }
-                if d.reached_target() {
-                    trace.push(d.trace_point(trial));
-                    break 'outer;
-                }
+                meta.push((si, a));
+                cands.push(neighbors[a].clone().expect("chosen neighbor exists"));
+            }
+        }
+
+        // Phase 2: evaluate the whole batch — memoized, fanned out over
+        // the pool's workers.
+        let outcomes = d.pool.evaluate_batch(&cands);
+
+        // Phase 3: reduce in fixed candidate order. Hitting the stop
+        // target discards the rest of the batch: those points are cached
+        // but never absorbed, so they cost no modeled measurement.
+        for (((si, a), n), oc) in meta.iter().zip(&cands).zip(outcomes) {
+            let p = &starts[*si];
+            let e_p = d.history.value(p).unwrap_or(0.0);
+            let e_n = d.absorb(n, oc);
+            if let Some(agent) = agent.as_mut() {
+                let reward = if e_p > 0.0 {
+                    ((e_n - e_p) / e_p).clamp(-1.0, 10.0)
+                } else if e_n > 0.0 {
+                    1.0
+                } else {
+                    -1.0
+                };
+                agent.record(Transition {
+                    state: d.space.features(p),
+                    action: *a,
+                    reward,
+                    next_state: d.space.features(n),
+                });
+            }
+            if d.reached_target() {
+                trace.push(d.trace_point(trial));
+                break 'outer;
             }
         }
         if let Some(agent) = agent.as_mut() {
@@ -328,6 +365,7 @@ pub fn search(
         measurements: d.measurements,
         exploration_time_s: d.time_s,
         space_size,
+        eval_stats: d.pool.stats(),
     })
 }
 
@@ -370,7 +408,10 @@ mod tests {
             last >= first,
             "exploration should not regress: {first} -> {last}"
         );
-        assert!(last > 1.2 * first, "should improve noticeably: {first} -> {last}");
+        assert!(
+            last > 1.2 * first,
+            "should improve noticeably: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -1,0 +1,530 @@
+//! Parallel, memoized candidate evaluation (§5.2's parallel back-end).
+//!
+//! The real FlexTensor amortizes its ≤ 1 s compile+measure overhead by
+//! evaluating a trial's candidate points concurrently. This module is the
+//! reproduction's equivalent for the analytical evaluator:
+//!
+//! * [`MemoCache`] — a concurrent (sharded, `Send + Sync`) memo table
+//!   keyed on the canonical [`NodeConfig::encode`] form, with hit/miss
+//!   counters, so repeat visits cost zero modeled and zero real time;
+//! * [`EvalPool`] — a persistent worker pool that fans a batch of
+//!   candidate points out over `eval_workers` threads and reduces the
+//!   results in the **fixed candidate order**, so every search driver
+//!   built on it is bit-for-bit deterministic in the worker count.
+//!
+//! Determinism argument: the evaluator is a pure function of
+//! `(graph, config)`, candidate batches are constructed before any
+//! evaluation starts, per-candidate results land in pre-assigned slots,
+//! and all cache bookkeeping happens on the coordinating thread in batch
+//! order. Thread scheduling can therefore change *wall-clock time only*,
+//! never a result or a counter.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use flextensor_ir::graph::Graph;
+use flextensor_schedule::config::NodeConfig;
+use flextensor_sim::model::{Cost, Evaluator};
+
+/// Number of independent shards in a [`MemoCache`]; bounds coordinator /
+/// worker contention when the cache is shared across threads.
+const CACHE_SHARDS: usize = 16;
+
+/// A concurrent, bounded memo table for evaluation results.
+///
+/// Keys are the canonical integer encoding of a schedule point
+/// ([`NodeConfig::encode`]); values are the evaluator's verdict, including
+/// `None` for infeasible points, so infeasibility is memoized too.
+///
+/// Bounding: each shard holds at most `capacity / CACHE_SHARDS` entries
+/// and is *flushed* (generationally cleared) when an insert would
+/// overflow it — simple, allocation-friendly, and deterministic as long
+/// as inserts happen in a deterministic order.
+#[derive(Debug)]
+pub struct MemoCache {
+    shards: Vec<Mutex<HashMap<Vec<i64>, Option<Cost>>>>,
+    per_shard_capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl MemoCache {
+    /// A cache holding at most (approximately) `capacity` entries.
+    pub fn new(capacity: usize) -> MemoCache {
+        MemoCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity: (capacity / CACHE_SHARDS).max(1),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[i64]) -> &Mutex<HashMap<Vec<i64>, Option<Cost>>> {
+        // FNV-1a over the key words; stable across platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in key {
+            h ^= w as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        &self.shards[(h % CACHE_SHARDS as u64) as usize]
+    }
+
+    /// Looks a key up **without** touching the hit/miss counters (the
+    /// counters record lookups-with-intent, see [`MemoCache::count_hit`]).
+    pub fn peek(&self, key: &[i64]) -> Option<Option<Cost>> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .copied()
+    }
+
+    /// Inserts an evaluation result, flushing the target shard first when
+    /// it is at capacity.
+    pub fn insert(&self, key: Vec<i64>, value: Option<Cost>) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key) {
+            shard.clear();
+        }
+        shard.insert(key, value);
+    }
+
+    /// Records `n` lookups answered from the cache.
+    pub fn count_hits(&self, n: usize) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` lookups that required a fresh evaluation.
+    pub fn count_misses(&self, n: usize) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a fresh evaluation so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-search evaluation statistics, surfaced through
+/// [`SearchResult`](crate::methods::SearchResult) and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalStats {
+    /// Fresh cost-model evaluations actually run (== distinct points, as
+    /// long as the cache never flushed).
+    pub evaluated: usize,
+    /// Lookups answered from the memo cache.
+    pub cache_hits: usize,
+    /// Lookups that required a fresh evaluation.
+    pub cache_misses: usize,
+    /// Worker threads used for evaluation.
+    pub workers: usize,
+    /// Real time spent inside batched evaluation, seconds.
+    pub wall_clock_s: f64,
+}
+
+impl EvalStats {
+    /// Total cache lookups.
+    pub fn lookups(&self) -> usize {
+        self.cache_hits + self.cache_misses
+    }
+
+    /// Fraction of lookups answered from the cache (0 when none yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// The outcome of one candidate in a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOutcome {
+    /// The evaluator's verdict (`None` = infeasible).
+    pub cost: Option<Cost>,
+    /// `true` when this batch ran the evaluator for the point; `false`
+    /// when the memo cache (or an earlier duplicate in the same batch)
+    /// already knew the answer. Fresh evaluations are the ones that cost
+    /// modeled measurement time.
+    pub fresh: bool,
+}
+
+/// What workers need to evaluate a point; shared immutably.
+struct EvalCtx {
+    graph: Graph,
+    evaluator: Evaluator,
+}
+
+/// One dispatched batch: workers claim indices from `next` and write into
+/// their pre-assigned `results` slot, keeping the reduction order fixed.
+struct BatchJob {
+    configs: Vec<NodeConfig>,
+    next: AtomicUsize,
+    results: Vec<OnceLock<Option<Cost>>>,
+}
+
+/// A persistent pool of evaluation workers with a memo cache in front.
+///
+/// Created once per search; workers live until the pool is dropped, so
+/// per-batch dispatch costs one channel send per worker rather than a
+/// thread spawn per candidate.
+pub struct EvalPool {
+    ctx: Arc<EvalCtx>,
+    cache: Arc<MemoCache>,
+    workers: usize,
+    senders: Vec<Sender<Arc<BatchJob>>>,
+    done_rx: Option<Receiver<()>>,
+    handles: Vec<JoinHandle<()>>,
+    evaluated: usize,
+    wall_clock: Duration,
+}
+
+impl std::fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("workers", &self.workers)
+            .field("evaluated", &self.evaluated)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Resolves an `eval_workers` option: 0 means "all available cores".
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+impl EvalPool {
+    /// A pool of `workers` threads (0 = all cores; 1 = evaluate on the
+    /// calling thread, no threads spawned) with a fresh memo cache of
+    /// `cache_capacity` entries.
+    pub fn new(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> EvalPool {
+        EvalPool::with_cache(
+            graph,
+            evaluator,
+            workers,
+            Arc::new(MemoCache::new(cache_capacity)),
+        )
+    }
+
+    /// A pool sharing an existing memo cache (e.g. across searches over
+    /// the same graph and device).
+    pub fn with_cache(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache: Arc<MemoCache>,
+    ) -> EvalPool {
+        let workers = resolve_workers(workers);
+        let ctx = Arc::new(EvalCtx {
+            graph: graph.clone(),
+            evaluator: evaluator.clone(),
+        });
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        let mut done_rx = None;
+        if workers > 1 {
+            let (done_tx, rx) = channel::<()>();
+            done_rx = Some(rx);
+            for _ in 0..workers {
+                let (tx, job_rx) = channel::<Arc<BatchJob>>();
+                senders.push(tx);
+                let ctx = Arc::clone(&ctx);
+                let done_tx = done_tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        loop {
+                            let i = job.next.fetch_add(1, Ordering::Relaxed);
+                            if i >= job.configs.len() {
+                                break;
+                            }
+                            let cost = ctx.evaluator.evaluate(&ctx.graph, &job.configs[i]);
+                            let _ = job.results[i].set(cost);
+                        }
+                        drop(job);
+                        if done_tx.send(()).is_err() {
+                            break; // coordinator went away
+                        }
+                    }
+                }));
+            }
+        }
+        EvalPool {
+            ctx,
+            cache,
+            workers,
+            senders,
+            done_rx,
+            handles,
+            evaluated: 0,
+            wall_clock: Duration::ZERO,
+        }
+    }
+
+    /// Worker threads this pool evaluates with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The memo cache in front of the evaluator.
+    pub fn cache(&self) -> &Arc<MemoCache> {
+        &self.cache
+    }
+
+    /// Evaluates a batch of candidate points, memoized and in parallel.
+    ///
+    /// The returned vector is index-aligned with `configs` — the
+    /// reduction order is the candidate order, independent of the worker
+    /// count and of thread scheduling.
+    pub fn evaluate_batch(&mut self, configs: &[NodeConfig]) -> Vec<EvalOutcome> {
+        let t0 = Instant::now();
+        let n = configs.len();
+        let keys: Vec<Vec<i64>> = configs.iter().map(NodeConfig::encode).collect();
+        let mut out: Vec<Option<EvalOutcome>> = vec![None; n];
+
+        // Resolve cache hits and in-batch duplicates on the coordinator.
+        let mut first_of_key: HashMap<&[i64], usize> = HashMap::new();
+        let mut work: Vec<usize> = Vec::new();
+        let mut hits = 0usize;
+        for i in 0..n {
+            if let Some(cost) = self.cache.peek(&keys[i]) {
+                out[i] = Some(EvalOutcome { cost, fresh: false });
+                hits += 1;
+            } else if !first_of_key.contains_key(keys[i].as_slice()) {
+                first_of_key.insert(&keys[i], i);
+                work.push(i);
+            }
+            // else: duplicate of an earlier candidate; resolved below.
+        }
+
+        // Evaluate the misses — inline when serial or trivially small,
+        // fanned out over the persistent workers otherwise.
+        let fresh: Vec<Option<Cost>> = if self.senders.is_empty() || work.len() <= 1 {
+            work.iter()
+                .map(|&i| self.ctx.evaluator.evaluate(&self.ctx.graph, &configs[i]))
+                .collect()
+        } else {
+            let job = Arc::new(BatchJob {
+                configs: work.iter().map(|&i| configs[i].clone()).collect(),
+                next: AtomicUsize::new(0),
+                results: (0..work.len()).map(|_| OnceLock::new()).collect(),
+            });
+            for tx in &self.senders {
+                tx.send(Arc::clone(&job)).expect("evaluation worker died");
+            }
+            let done = self.done_rx.as_ref().expect("pool has workers");
+            for _ in 0..self.senders.len() {
+                done.recv().expect("evaluation worker died");
+            }
+            job.results
+                .iter()
+                .map(|slot| *slot.get().expect("every claimed slot is filled"))
+                .collect()
+        };
+
+        // Reduce in candidate order: publish fresh results, then resolve
+        // duplicates as hits. All cache writes happen here, on the
+        // coordinator, so cache content is deterministic.
+        for (slot, &i) in fresh.iter().zip(&work) {
+            self.cache.insert(keys[i].clone(), *slot);
+            out[i] = Some(EvalOutcome {
+                cost: *slot,
+                fresh: true,
+            });
+        }
+        for i in 0..n {
+            if out[i].is_none() {
+                let j = first_of_key[keys[i].as_slice()];
+                let cost = out[j].expect("first occurrence resolved").cost;
+                out[i] = Some(EvalOutcome { cost, fresh: false });
+                hits += 1;
+            }
+        }
+        self.cache.count_hits(hits);
+        self.cache.count_misses(work.len());
+        self.evaluated += work.len();
+        self.wall_clock += t0.elapsed();
+
+        out.into_iter()
+            .map(|o| o.expect("all slots resolved"))
+            .collect()
+    }
+
+    /// Evaluates a single point through the cache.
+    pub fn evaluate(&mut self, cfg: &NodeConfig) -> EvalOutcome {
+        self.evaluate_batch(std::slice::from_ref(cfg))[0]
+    }
+
+    /// A snapshot of this pool's statistics.
+    pub fn stats(&self) -> EvalStats {
+        EvalStats {
+            evaluated: self.evaluated,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            workers: self.workers,
+            wall_clock_s: self.wall_clock.as_secs_f64(),
+        }
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // workers' recv() now errors and they exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// The pool moves the graph, evaluator, and configs across threads; keep
+// that a compile-time guarantee rather than an accident of field types.
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Graph>();
+    check::<Evaluator>();
+    check::<NodeConfig>();
+    check::<Cost>();
+    check::<MemoCache>();
+    check::<EvalStats>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+    use flextensor_sim::spec::{v100, Device};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, Evaluator) {
+        (ops::gemm(64, 64, 64), Evaluator::new(Device::Gpu(v100())))
+    }
+
+    #[test]
+    fn batch_results_match_direct_evaluation() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands: Vec<_> = (0..24).map(|_| space.random_point(&mut rng)).collect();
+        let mut pool = EvalPool::new(&g, &ev, 4, 1 << 16);
+        let outcomes = pool.evaluate_batch(&cands);
+        for (cfg, oc) in cands.iter().zip(&outcomes) {
+            assert_eq!(oc.cost, ev.evaluate(&g, cfg));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut rng = StdRng::seed_from_u64(2);
+        let cands: Vec<_> = (0..40).map(|_| space.random_point(&mut rng)).collect();
+        let serial = EvalPool::new(&g, &ev, 1, 1 << 16).evaluate_batch(&cands);
+        let parallel = EvalPool::new(&g, &ev, 8, 1 << 16).evaluate_batch(&cands);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn repeats_hit_the_cache() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut pool = EvalPool::new(&g, &ev, 1, 1 << 16);
+        let p = space.start_point();
+        let first = pool.evaluate(&p);
+        assert!(first.fresh);
+        let second = pool.evaluate(&p);
+        assert!(!second.fresh);
+        assert_eq!(first.cost, second.cost);
+        let s = pool.stats();
+        assert_eq!(s.evaluated, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_batch_duplicates_evaluate_once() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let p = space.start_point();
+        let mut pool = EvalPool::new(&g, &ev, 4, 1 << 16);
+        let outcomes = pool.evaluate_batch(&[p.clone(), p.clone(), p.clone()]);
+        assert!(outcomes[0].fresh);
+        assert!(!outcomes[1].fresh && !outcomes[2].fresh);
+        assert_eq!(pool.stats().evaluated, 1);
+        assert_eq!(pool.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn cache_flushes_at_capacity_but_stays_correct() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut rng = StdRng::seed_from_u64(3);
+        // Tiny capacity: shards hold one entry each and flush constantly.
+        let mut pool = EvalPool::new(&g, &ev, 1, CACHE_SHARDS);
+        let cands: Vec<_> = (0..50).map(|_| space.random_point(&mut rng)).collect();
+        let outcomes = pool.evaluate_batch(&cands);
+        for (cfg, oc) in cands.iter().zip(&outcomes) {
+            assert_eq!(oc.cost, ev.evaluate(&g, cfg));
+        }
+        assert!(pool.cache().len() <= CACHE_SHARDS);
+    }
+
+    #[test]
+    fn infeasible_points_are_memoized() {
+        let (g, ev) = setup();
+        let mut bad = NodeConfig::naive(g.root_op());
+        bad.spatial_splits[0] = vec![3, 1, 1, 1]; // product mismatch
+        let mut pool = EvalPool::new(&g, &ev, 1, 1 << 16);
+        assert_eq!(
+            pool.evaluate(&bad),
+            EvalOutcome {
+                cost: None,
+                fresh: true
+            }
+        );
+        assert_eq!(
+            pool.evaluate(&bad),
+            EvalOutcome {
+                cost: None,
+                fresh: false
+            }
+        );
+        assert_eq!(pool.stats().evaluated, 1);
+    }
+}

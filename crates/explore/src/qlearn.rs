@@ -77,7 +77,7 @@ impl QAgent {
     /// network has seen rewards, exploitation takes over.
     pub fn set_progress(&mut self, progress: f64) {
         let p = progress.clamp(0.0, 1.0);
-        self.epsilon = 0.3 + 0.6 * (-3.0 * p).exp();
+        self.epsilon = 0.05 + 0.85 * (-4.0 * p).exp();
     }
 
     /// Q-values of every action at a state.
@@ -87,12 +87,7 @@ impl QAgent {
 
     /// ε-greedy action choice among the available actions (mask of
     /// applicable directions). Returns `None` when nothing is available.
-    pub fn choose(
-        &self,
-        state: &[f64],
-        available: &[bool],
-        rng: &mut impl Rng,
-    ) -> Option<usize> {
+    pub fn choose(&self, state: &[f64], available: &[bool], rng: &mut impl Rng) -> Option<usize> {
         let avail: Vec<usize> = (0..self.num_actions)
             .filter(|&a| available.get(a).copied().unwrap_or(false))
             .collect();
@@ -103,9 +98,9 @@ impl QAgent {
             return Some(avail[rng.gen_range(0..avail.len())]);
         }
         let q = self.q_values(state);
-        avail.into_iter().max_by(|&a, &b| {
-            q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal)
-        })
+        avail
+            .into_iter()
+            .max_by(|&a, &b| q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Records a transition for later training.

@@ -470,9 +470,8 @@ mod tests {
             p.validate(sp.op()).unwrap();
             for &d in sp.directions() {
                 if let Some(n) = sp.apply(&p, d) {
-                    n.validate(sp.op()).unwrap_or_else(|e| {
-                        panic!("direction {d:?} produced invalid config: {e}")
-                    });
+                    n.validate(sp.op())
+                        .unwrap_or_else(|e| panic!("direction {d:?} produced invalid config: {e}"));
                 }
             }
         }

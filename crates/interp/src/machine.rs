@@ -148,7 +148,11 @@ mod tests {
 
     const TOL: f64 = 1e-9;
 
-    fn tiled(op: &flextensor_ir::graph::ComputeOp, sp: Vec<Vec<i64>>, rd: Vec<Vec<i64>>) -> NodeConfig {
+    fn tiled(
+        op: &flextensor_ir::graph::ComputeOp,
+        sp: Vec<Vec<i64>>,
+        rd: Vec<Vec<i64>>,
+    ) -> NodeConfig {
         let mut c = NodeConfig::naive(op);
         c.spatial_splits = sp;
         c.reduce_splits = rd;

@@ -145,10 +145,7 @@ mod tests {
         let store = run_reference(&g, &inputs).unwrap();
         let o = &store["O"];
         assert_eq!(o.shape, vec![1, 1, 3, 3]);
-        assert_eq!(
-            o.data,
-            vec![4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(o.data, vec![4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
@@ -194,10 +191,7 @@ mod tests {
         // -> O[.,4,y,x] = P[.,4,y+1,x+1] = I[.,4,y,x].
         for y in 0..3 {
             for x in 0..3 {
-                assert_eq!(
-                    o.get(&[0, 4, y, x]).unwrap(),
-                    i.get(&[0, 4, y, x]).unwrap()
-                );
+                assert_eq!(o.get(&[0, 4, y, x]).unwrap(), i.get(&[0, 4, y, x]).unwrap());
             }
         }
         // Channel 0: dy=0, dx=0 -> O = P[y, x] = padded at border.

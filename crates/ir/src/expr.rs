@@ -195,6 +195,7 @@ impl Expr {
     }
 
     /// Euclidean remainder `self % other`.
+    #[allow(clippy::should_implement_trait)] // named for the math, not the operator
     pub fn rem(self, other: Expr) -> Expr {
         Expr::Bin(BinOp::Mod, Box::new(self), Box::new(other))
     }
@@ -329,7 +330,10 @@ impl Expr {
             ),
             Expr::Load { tensor, indices } => Expr::Load {
                 tensor: tensor.clone(),
-                indices: indices.iter().map(|ix| ix.substitute(name, value)).collect(),
+                indices: indices
+                    .iter()
+                    .map(|ix| ix.substitute(name, value))
+                    .collect(),
             },
         }
     }

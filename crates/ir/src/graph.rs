@@ -207,10 +207,7 @@ pub struct Graph {
 impl Graph {
     /// Looks up an operator attribute recorded at construction.
     pub fn attr(&self, key: &str) -> Option<i64> {
-        self.attrs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| *v)
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
     }
 
     /// Looks up a tensor declaration by name.
@@ -642,7 +639,10 @@ mod tests {
             Expr::load("A", vec![Expr::var("q")]),
             Combiner::Sum,
         );
-        assert!(matches!(b.finish(), Err(GraphError::UnboundVariable { .. })));
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::UnboundVariable { .. })
+        ));
     }
 
     #[test]
@@ -687,7 +687,10 @@ mod tests {
             Combiner::Sum,
         );
         let g = b.finish().unwrap();
-        assert_eq!(g.post_order(), vec!["first".to_string(), "second".to_string()]);
+        assert_eq!(
+            g.post_order(),
+            vec!["first".to_string(), "second".to_string()]
+        );
         assert_eq!(g.root_op().name, "second");
     }
 }

@@ -179,6 +179,7 @@ fn reduce_names(ndim: usize) -> &'static [&'static str] {
 /// Adds an explicit zero-padding node reading `src` (shape `[batch, ch,
 /// spatial...]`) and producing `dst` padded by `pad` on each side of each
 /// spatial dim. Returns the padded spatial extents.
+#[allow(clippy::too_many_arguments)]
 fn add_pad_node(
     b: &mut GraphBuilder,
     node: &str,
@@ -200,7 +201,9 @@ fn add_pad_node(
         axes.push(Axis::new(name, s + 2 * pad));
         out_spatial.push(s + 2 * pad);
         src_idx.push(v(name) - pad);
-        let inside = v(name).ge(Expr::int(pad)).and(v(name).lt(Expr::int(s + pad)));
+        let inside = v(name)
+            .ge(Expr::int(pad))
+            .and(v(name).lt(Expr::int(s + pad)));
         cond = Some(match cond {
             None => inside,
             Some(c) => c.and(inside),
@@ -244,7 +247,7 @@ fn conv_nd(kind: &str, p: ConvParams, spatial: &[i64]) -> Graph {
     in_shape.extend_from_slice(spatial);
     b.placeholder("I", in_shape);
     let mut w_shape = vec![p.out_channels, cpg];
-    w_shape.extend(std::iter::repeat(p.kernel).take(ndim));
+    w_shape.extend(std::iter::repeat_n(p.kernel, ndim));
     b.placeholder("W", w_shape);
 
     b.attr("ndim", ndim as i64)
@@ -261,7 +264,14 @@ fn conv_nd(kind: &str, p: ConvParams, spatial: &[i64]) -> Graph {
     }
 
     add_pad_node(
-        &mut b, "pad", "I", "P", p.batch, p.in_channels, spatial, p.padding,
+        &mut b,
+        "pad",
+        "I",
+        "P",
+        p.batch,
+        p.in_channels,
+        spatial,
+        p.padding,
     );
 
     // Conv node.
@@ -322,6 +332,7 @@ pub fn group_conv2d(p: ConvParams, h: i64, w: i64) -> Graph {
 ///
 /// `multiplier` output channels are produced per input channel, so the
 /// output has `in_channels * multiplier` channels.
+#[allow(clippy::too_many_arguments)]
 pub fn depthwise_conv2d(
     batch: i64,
     channels: i64,
@@ -356,7 +367,10 @@ pub fn dilated_conv2d(p: ConvParams, h: i64, w: i64) -> Graph {
 /// (3 compute nodes, matching Table 3's `#node` for T1D/T2D/T3D).
 fn conv_transpose_nd(kind: &str, p: ConvParams, spatial: &[i64]) -> Graph {
     assert_eq!(p.groups, 1, "transposed convolution supports groups == 1");
-    assert_eq!(p.dilation, 1, "transposed convolution supports dilation == 1");
+    assert_eq!(
+        p.dilation, 1,
+        "transposed convolution supports dilation == 1"
+    );
     assert!(p.batch >= 1 && p.kernel >= 1 && p.stride >= 1 && p.padding >= 0);
     assert!(
         p.kernel - 1 - p.padding >= 0,
@@ -377,7 +391,7 @@ fn conv_transpose_nd(kind: &str, p: ConvParams, spatial: &[i64]) -> Graph {
     b.placeholder("I", in_shape);
     // Transposed-conv weight layout: [in_channels, out_channels, kernel...].
     let mut w_shape = vec![p.in_channels, p.out_channels];
-    w_shape.extend(std::iter::repeat(p.kernel).take(ndim));
+    w_shape.extend(std::iter::repeat_n(p.kernel, ndim));
     b.placeholder("W", w_shape);
 
     b.attr("ndim", ndim as i64)
@@ -497,7 +511,11 @@ pub fn bcm(batch: i64, pblocks: i64, qblocks: i64, block: i64) -> Graph {
         vec![Axis::new("q", qblocks), Axis::new("s", block)],
         Expr::load(
             "Wc",
-            vec![v("p"), v("q"), (v("r") - v("s") + block).rem(Expr::int(block))],
+            vec![
+                v("p"),
+                v("q"),
+                (v("r") - v("s") + block).rem(Expr::int(block)),
+            ],
         ) * Expr::load("X", vec![v("b"), v("q"), v("s")]),
         Combiner::Sum,
     );
@@ -556,7 +574,7 @@ mod tests {
         let g = conv2d(p, 112, 112);
         assert_eq!(g.output().shape, vec![1, 192, 112, 112]);
         assert_eq!(g.num_compute_nodes(), 2); // pad + conv (Table 3: C2D #node 2)
-        // FLOPs: 2 * b*k*oh*ow * rc*kh*kw (pad node contributes none).
+                                              // FLOPs: 2 * b*k*oh*ow * rc*kh*kw (pad node contributes none).
         assert_eq!(
             g.flops(),
             2 * (192 * 112 * 112) as u64 * (64 * 3 * 3) as u64
@@ -591,7 +609,7 @@ mod tests {
         };
         let g = conv_transpose2d(p, 14, 14);
         assert_eq!(g.num_compute_nodes(), 3); // dilate + pad + conv
-        // PyTorch: out = (in-1)*stride - 2*pad + kernel = 13*2 - 2 + 4 = 28.
+                                              // PyTorch: out = (in-1)*stride - 2*pad + kernel = 13*2 - 2 + 4 = 28.
         assert_eq!(g.output().shape, vec![1, 8, 28, 28]);
     }
 
@@ -601,10 +619,7 @@ mod tests {
         let g = group_conv2d(p, 28, 28);
         // Weight shape: [out_channels, in_channels/groups, k, k].
         assert_eq!(g.tensor("W").unwrap().shape, vec![128, 16, 3, 3]);
-        assert_eq!(
-            g.flops(),
-            2 * (128 * 28 * 28) as u64 * (16 * 3 * 3) as u64
-        );
+        assert_eq!(g.flops(), 2 * (128 * 28 * 28) as u64 * (16 * 3 * 3) as u64);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Algebraic simplification of scalar expressions.
 //!
-//! Lowering builds index expressions mechanically (`((i0*1 + i1)*4 + i2)*1
-//! + i3`), leaving many identity operations behind. [`simplify`] folds
+//! Lowering builds index expressions mechanically, e.g.
+//! `((i0*1 + i1)*4 + i2)*1 + i3`, leaving many identity operations
+//! behind. [`simplify`] folds
 //! constants and removes identities, which both makes rendered kernels
 //! readable and speeds up the interpreter (which walks every expression
 //! once per dynamic iteration).
@@ -164,12 +165,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // the `* 0` is the case under test
     fn mul_zero_without_loads_collapses() {
         let e = v("i") * 0 + v("j");
         assert_eq!(simplify(&e), v("j"));
     }
 
     #[test]
+    #[allow(clippy::erasing_op)] // the `* 0` is the case under test
     fn mul_zero_with_load_is_kept() {
         let e = Expr::load("A", vec![v("i")]) * 0;
         let s = simplify(&e);

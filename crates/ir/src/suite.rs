@@ -300,16 +300,10 @@ pub fn test_cases(kind: OperatorKind) -> Vec<Graph> {
         .map(|&(p, q, k)| ops::bcm(1, p, q, k))
         .collect(),
 
-        OperatorKind::Shift => [
-            (64, 56),
-            (128, 28),
-            (256, 28),
-            (512, 14),
-            (1024, 7),
-        ]
-        .iter()
-        .map(|&(c, s)| ops::shift2d(1, c, s, s))
-        .collect(),
+        OperatorKind::Shift => [(64, 56), (128, 28), (256, 28), (512, 14), (1024, 7)]
+            .iter()
+            .map(|&(c, s)| ops::shift2d(1, c, s, s))
+            .collect(),
     }
 }
 

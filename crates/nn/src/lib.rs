@@ -197,10 +197,9 @@ impl Mlp {
                     // Propagate delta through W and the ReLU derivative at
                     // the previous activation.
                     let mut prev = vec![0.0; layer.inputs];
-                    for o in 0..layer.outputs {
-                        let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (d, row) in delta.iter().zip(layer.w.chunks(layer.inputs)) {
                         for (p, wi) in prev.iter_mut().zip(row) {
-                            *p += delta[o] * wi;
+                            *p += d * wi;
                         }
                     }
                     for (p, a) in prev.iter_mut().zip(&acts[li]) {
@@ -299,7 +298,7 @@ mod tests {
         assert_eq!(net.input_dim(), 10);
         assert_eq!(net.output_dim(), 3);
         assert_eq!(net.num_params(), 10 * 20 + 20 + 20 * 20 + 20 + 20 * 3 + 3);
-        assert_eq!(net.forward(&vec![0.1; 10]).len(), 3);
+        assert_eq!(net.forward(&[0.1; 10]).len(), 3);
     }
 
     #[test]
@@ -330,7 +329,10 @@ mod tests {
         for _ in 0..500 {
             last = net.train_batch(&xs, &ys, &mut opt);
         }
-        assert!(last < first * 0.1, "loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.1,
+            "loss did not decrease: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl NodeConfig {
         }
         for (axis, f) in op.spatial.iter().zip(&self.spatial_splits) {
             if f.len() != SPATIAL_PARTS {
-                return Err(format!("axis {}: expected {SPATIAL_PARTS} factors", axis.name));
+                return Err(format!(
+                    "axis {}: expected {SPATIAL_PARTS} factors",
+                    axis.name
+                ));
             }
             let prod: i64 = f.iter().product();
             if prod != axis.extent || f.iter().any(|&x| x < 1) {
@@ -146,7 +149,10 @@ impl NodeConfig {
         }
         for (axis, f) in op.reduce.iter().zip(&self.reduce_splits) {
             if f.len() != REDUCE_PARTS {
-                return Err(format!("axis {}: expected {REDUCE_PARTS} factors", axis.name));
+                return Err(format!(
+                    "axis {}: expected {REDUCE_PARTS} factors",
+                    axis.name
+                ));
             }
             let prod: i64 = f.iter().product();
             if prod != axis.extent || f.iter().any(|&x| x < 1) {
@@ -211,7 +217,10 @@ impl NodeConfig {
         let nr = op.reduce.len();
         let expect = ns * SPATIAL_PARTS + nr * REDUCE_PARTS + ns + 7;
         if v.len() != expect {
-            return Err(format!("expected encoding length {expect}, got {}", v.len()));
+            return Err(format!(
+                "expected encoding length {expect}, got {}",
+                v.len()
+            ));
         }
         let mut it = v.iter().copied();
         let mut take = |n: usize| -> Vec<i64> { (&mut it).take(n).collect() };

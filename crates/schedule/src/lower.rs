@@ -254,7 +254,10 @@ impl<'g> LowerCtx<'g> {
         }
         Stmt::Store {
             tensor: self.root.output.clone(),
-            indices: indices.iter().map(flextensor_ir::simplify::simplify).collect(),
+            indices: indices
+                .iter()
+                .map(flextensor_ir::simplify::simplify)
+                .collect(),
             value: flextensor_ir::simplify::simplify(&value),
             reduce: !self.root.reduce.is_empty(),
             combiner: self.root.combiner,
@@ -424,7 +427,11 @@ fn loads_footprint_bytes(groups: &[(String, Vec<Vec<Expr>>)], env: &IntervalEnv)
 ///
 /// Returns [`LowerError`] when the configuration does not validate against
 /// the graph's root op.
-pub fn lower(graph: &Graph, cfg: &NodeConfig, target: TargetKind) -> Result<LoweredKernel, LowerError> {
+pub fn lower(
+    graph: &Graph,
+    cfg: &NodeConfig,
+    target: TargetKind,
+) -> Result<LoweredKernel, LowerError> {
     let ctx = LowerCtx::new(graph, cfg)?;
     let root = ctx.root;
 
@@ -436,9 +443,9 @@ pub fn lower(graph: &Graph, cfg: &NodeConfig, target: TargetKind) -> Result<Lowe
 
     // Tile environments at the levels the models care about.
     let block_env = tile_env(root, cfg, &[1, 2, 3], &[1, 2]); // per-block, per outer-reduce step
-    // Registers hold the accumulators plus the operands of one reduce
-    // iteration (two when unrolling interleaves iterations) — not the whole
-    // staged tile, which lives in shared memory / cache.
+                                                              // Registers hold the accumulators plus the operands of one reduce
+                                                              // iteration (two when unrolling interleaves iterations) — not the whole
+                                                              // staged tile, which lives in shared memory / cache.
     let thread_env = tile_env(root, cfg, &[3], &[]);
     let l1_env = tile_env(root, cfg, &[3], &[2]);
     let l2_env = tile_env(root, cfg, &[2, 3], &[1, 2]);
@@ -537,12 +544,7 @@ pub fn lower(graph: &Graph, cfg: &NodeConfig, target: TargetKind) -> Result<Lowe
                 } else {
                     inner_kind
                 };
-                body = vec![Stmt::loop_(
-                    svar(&root.spatial[ax].name, 3),
-                    f,
-                    kind,
-                    body,
-                )];
+                body = vec![Stmt::loop_(svar(&root.spatial[ax].name, 3), f, kind, body)];
             }
             body = ctx.wrap_reduce_level(body, 2, inner_kind);
             body = ctx.wrap_reduce_level(body, 1, LoopKind::Serial);
@@ -559,8 +561,7 @@ pub fn lower(graph: &Graph, cfg: &NodeConfig, target: TargetKind) -> Result<Lowe
                     body,
                 )];
             }
-            let fused_axes: Vec<usize> =
-                ctx.order.iter().take(cfg.fuse_outer).copied().collect();
+            let fused_axes: Vec<usize> = ctx.order.iter().take(cfg.fuse_outer).copied().collect();
             ctx.wrap_fused(body, &fused_axes, 0, "par", LoopKind::Parallel)
         }
         TargetKind::Gpu => {
@@ -776,10 +777,7 @@ mod tests {
         let k = lower(&g, &cfg, TargetKind::Gpu).unwrap();
         assert_eq!(k.stmts.len(), 2); // pad nest + conv nest
         assert!(k.features.data_node_bytes > 0);
-        assert_eq!(
-            materialized_intermediates(&g, &cfg),
-            vec!["P".to_string()]
-        );
+        assert_eq!(materialized_intermediates(&g, &cfg), vec!["P".to_string()]);
     }
 
     #[test]

@@ -141,9 +141,7 @@ impl Stmt {
     pub fn staged_bytes(&self) -> i64 {
         fn walk(s: &Stmt, mult: i64) -> i64 {
             match s {
-                Stmt::For { extent, body, .. } => {
-                    body.iter().map(|b| walk(b, mult * extent)).sum()
-                }
+                Stmt::For { extent, body, .. } => body.iter().map(|b| walk(b, mult * extent)).sum(),
                 Stmt::StageIn { bytes, .. } => mult * bytes,
                 Stmt::Store { .. } => 0,
             }

@@ -146,7 +146,10 @@ fn cpu_fpga_nests_have_no_gpu_bindings() {
         k.stmts[0].visit(&mut |s| {
             if let Stmt::For { kind, .. } = s {
                 assert!(
-                    !matches!(kind, LoopKind::BlockIdx | LoopKind::ThreadIdx | LoopKind::VThread),
+                    !matches!(
+                        kind,
+                        LoopKind::BlockIdx | LoopKind::ThreadIdx | LoopKind::VThread
+                    ),
                     "{target}: GPU binding in nest"
                 );
             }

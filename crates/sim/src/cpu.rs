@@ -96,7 +96,11 @@ pub fn cpu_time(spec: &CpuSpec, f: &KernelFeatures, code_quality: f64) -> Option
     let mut mem_s = (read_traffic + f.output_bytes as f64) / (spec.mem_bw_gbps * 1e9);
     mem_s += f.data_node_bytes as f64 / (spec.mem_bw_gbps * 1e9);
 
-    let spawn = if chunks > 1 { spec.spawn_overhead_s } else { 0.0 };
+    let spawn = if chunks > 1 {
+        spec.spawn_overhead_s
+    } else {
+        0.0
+    };
     Some(compute_s.max(mem_s) + 0.2 * compute_s.min(mem_s) + spawn)
 }
 

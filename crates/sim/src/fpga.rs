@@ -29,7 +29,11 @@ pub fn fpga_time(spec: &FpgaSpec, f: &KernelFeatures, code_quality: f64) -> Opti
     // Double buffering for the pipelined design: input buffer + output
     // buffer, each duplicated when stages overlap.
     let buffers = fp.buffer_bytes + fp.write_bytes;
-    let bram_need = if fp.pipeline >= 2 { buffers * 2 } else { buffers };
+    let bram_need = if fp.pipeline >= 2 {
+        buffers * 2
+    } else {
+        buffers
+    };
     if bram_need > spec.bram_bytes {
         return None;
     }

@@ -147,11 +147,7 @@ mod tests {
     fn reasonable_tuned_gemm_hits_a_good_fraction_of_peak() {
         // 64 blocks/dim, 16x16 threads, 4x4 register tile, k split 128x2x4.
         let f = features_for(
-            (
-                vec![16, 1, 16, 4],
-                vec![16, 1, 16, 4],
-                vec![128, 2, 4],
-            ),
+            (vec![16, 1, 16, 4], vec![16, 1, 16, 4], vec![128, 2, 4]),
             true,
         );
         let t = gpu_time(&v100(), &f, 0.75).unwrap();
@@ -194,10 +190,7 @@ mod tests {
     fn oversized_shared_memory_is_infeasible() {
         // Block tile 256x256 with k-step 64: A tile = 256*64, B = 64*256
         // floats = 128 KiB > 96 KiB.
-        let f = features_for(
-            (vec![4, 8, 32, 1], vec![4, 8, 32, 1], vec![16, 8, 8]),
-            true,
-        );
+        let f = features_for((vec![4, 8, 32, 1], vec![4, 8, 32, 1], vec![16, 8, 8]), true);
         assert!(f.shared_bytes_per_block > 96 * 1024);
         assert!(gpu_time(&v100(), &f, 0.75).is_none());
     }

@@ -48,4 +48,4 @@ pub mod model;
 pub mod spec;
 
 pub use model::{Cost, Evaluator, GENERATED_CODE_QUALITY};
-pub use spec::{v100, p100, titan_x, vu9p, xeon_e5_2699_v4, CpuSpec, Device, FpgaSpec, GpuSpec};
+pub use spec::{p100, titan_x, v100, vu9p, xeon_e5_2699_v4, CpuSpec, Device, FpgaSpec, GpuSpec};

@@ -294,8 +294,8 @@ pub fn cudnn_time(kind: OperatorKind, graph: &Graph, gpu: &GpuSpec) -> Option<f6
             let mut best = direct;
             if winograd_eligible(graph) {
                 let util = winograd_utilization(graph);
-                let wino = direct / (2.25 * util) + graph_bytes(graph) as f64
-                    / (gpu.mem_bw_gbps * 1e9);
+                let wino =
+                    direct / (2.25 * util) + graph_bytes(graph) as f64 / (gpu.mem_bw_gbps * 1e9);
                 best = best.min(wino);
             }
             Some(best)
@@ -305,8 +305,7 @@ pub fn cudnn_time(kind: OperatorKind, graph: &Graph, gpu: &GpuSpec) -> Option<f6
             // generic direct path over the zero-expanded input.
             cudnn_direct(graph, gpu, LIBRARY_CODE_QUALITY * 0.85)
         }
-        OperatorKind::ConvTranspose2d
-        | OperatorKind::ConvTranspose3d => {
+        OperatorKind::ConvTranspose2d | OperatorKind::ConvTranspose3d => {
             // Implicit-GEMM (dgrad-style): no multiplies on inserted
             // zeros, so effective FLOPs drop with the stride density —
             // but the scattered access pattern caps both achievable
@@ -372,8 +371,7 @@ pub fn mkldnn_time(graph: &Graph, cpu: &CpuSpec) -> Option<f64> {
         // paper's C4/C6 anomalies): bigger caches keep the transform tiles
         // resident, so utilization saturates faster than on GPU.
         let util = (winograd_utilization(graph) * 2.0).clamp(0.05, 1.0);
-        let wino =
-            direct / (2.25 * util) + graph_bytes(graph) as f64 / (cpu.mem_bw_gbps * 1e9);
+        let wino = direct / (2.25 * util) + graph_bytes(graph) as f64 / (cpu.mem_bw_gbps * 1e9);
         best = best.min(wino);
     }
     Some(best)
@@ -483,7 +481,10 @@ mod tests {
         // The same total work as one dense conv with 1/groups channels
         // each; sequential execution of 32 tiny kernels is far from peak.
         let gflops = g.flops() as f64 / grp / 1e9;
-        assert!(gflops < 2000.0, "sequential groups should be slow: {gflops}");
+        assert!(
+            gflops < 2000.0,
+            "sequential groups should be slow: {gflops}"
+        );
     }
 
     #[test]
@@ -515,4 +516,3 @@ mod tests {
         assert!(apparent_gflops > 250.0, "C6 MKL {apparent_gflops:.0}");
     }
 }
-

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("PE-array sweep (PEs over output channels x width, pipeline 3, partition 8):");
-    println!("{:>10} {:>8} {:>10} {:>10} {:>10} {:>12}", "PEs(kxj)", "rounds", "R(us)", "C(us)", "W(us)", "GFLOPS");
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>12}",
+        "PEs(kxj)", "rounds", "R(us)", "C(us)", "W(us)", "GFLOPS"
+    );
     for (pk, pj) in [(8, 4), (16, 4), (32, 7), (64, 7), (64, 14), (128, 14)] {
         let mut cfg = NodeConfig::naive(g.root_op());
         cfg.spatial_splits = vec![
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match fpga_time(&spec, &kernel.features, 0.85) {
             Some(t) => {
                 // Reconstruct the per-round stage times the model used.
-                let bw = spec.ddr_bw_gbps.min(spec.bank_bw_gbps * fp.partition as f64) * 1e9;
+                let bw = spec
+                    .ddr_bw_gbps
+                    .min(spec.bank_bw_gbps * fp.partition as f64)
+                    * 1e9;
                 let r = fp.stream_bytes as f64 / bw * 1e6;
                 let c = (kernel.features.flops as f64 / 2.0 / fp.rounds as f64)
                     / (fp.pe as f64 * 0.85)

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.space_size, result.measurements, result.exploration_time_s
     );
     println!("estimated performance: {:.0} GFLOPS\n", result.gflops());
-    println!("chosen schedule (Table 2 primitives):\n{}", result.schedule_text());
+    println!(
+        "chosen schedule (Table 2 primitives):\n{}",
+        result.schedule_text()
+    );
     println!("lowered loop nest:\n{}", result.kernel.render());
 
     // 4. Prove the found schedule computes the right thing: apply the same
@@ -45,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    loop nest against the mathematical definition.
     let small = ops::conv2d(ops::ConvParams::same(1, 4, 8, 3), 6, 6);
     let small_cfg = flextensor_schedule::config::NodeConfig::naive(small.root_op());
-    let kernel = lower(&small, &small_cfg, flextensor_schedule::config::TargetKind::Gpu)?;
+    let kernel = lower(
+        &small,
+        &small_cfg,
+        flextensor_schedule::config::TargetKind::Gpu,
+    )?;
     let inputs = random_inputs(&small, 42);
     let max_diff = check_against_reference(&small, &kernel, &inputs)?;
     println!("correctness check on a small instance: max |diff| = {max_diff:.2e}");

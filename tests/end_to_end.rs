@@ -4,9 +4,9 @@
 
 use flextensor::dnn::{optimize_network, LayerSpec};
 use flextensor::{optimize, Method, OptimizeOptions, SearchOptions, Task};
+use flextensor_ir::ops::{self, ConvParams};
 use flextensor_ir::suite::OperatorKind;
 use flextensor_ir::yolo::yolo_layer;
-use flextensor_ir::ops::{self, ConvParams};
 use flextensor_sim::library;
 use flextensor_sim::model::Evaluator;
 use flextensor_sim::spec::{titan_x, v100, vu9p, xeon_e5_2699_v4, Device};
@@ -50,7 +50,11 @@ fn optimize_is_deterministic() {
 fn different_devices_pick_different_schedules() {
     let g = ops::conv2d(ConvParams::same(1, 64, 64, 3), 28, 28);
     let gpu = optimize(&Task::new(g.clone(), Device::Gpu(v100())), &quick()).unwrap();
-    let cpu = optimize(&Task::new(g.clone(), Device::Cpu(xeon_e5_2699_v4())), &quick()).unwrap();
+    let cpu = optimize(
+        &Task::new(g.clone(), Device::Cpu(xeon_e5_2699_v4())),
+        &quick(),
+    )
+    .unwrap();
     let fpga = optimize(&Task::new(g, Device::Fpga(vu9p())), &quick()).unwrap();
     // The three schedules cannot be identical: targets prune differently.
     assert_ne!(gpu.config.encode(), cpu.config.encode());
@@ -95,7 +99,10 @@ fn library_baselines_produce_times_for_all_operators() {
                 assert!(library::cublas_time(&g, &gpu) > 0.0, "{kind}: cublas");
             }
             _ => {
-                assert!(library::cudnn_time(kind, &g, &gpu).is_some(), "{kind}: cudnn");
+                assert!(
+                    library::cudnn_time(kind, &g, &gpu).is_some(),
+                    "{kind}: cudnn"
+                );
             }
         }
     }

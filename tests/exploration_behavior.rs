@@ -28,7 +28,10 @@ fn flextensor_space_dwarfs_autotvm_template_space() {
         assert!(flex > 1e9, "{name}: flex space {flex:e}");
         ratios.push(flex / tpl);
     }
-    let avg = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    let avg = ratios
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / ratios.len() as f64);
     assert!(avg > 100.0, "avg ratio {avg}");
 }
 

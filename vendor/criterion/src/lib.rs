@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the API subset `benches/substrates.rs` uses — the
+//! [`criterion_group!`]/[`criterion_main!`] macros, [`Criterion`]
+//! builder methods, and [`Bencher::iter`] — as a plain wall-clock runner
+//! that prints a median ns/iter per benchmark. No statistics, plots, or
+//! baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark runner configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm up and discover iteration cost.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            per_iter = (b.elapsed / b.iters as u32).max(Duration::from_nanos(1));
+        }
+
+        // Pick an iteration count so one sample is ~budget/samples.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u32::MAX as u128) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, x| a.total_cmp(x));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!("{name:<40} {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {iters} iters x {} samples)",
+                 self.sample_size);
+        self
+    }
+
+    /// Final report hook (no-op; kept for API compatibility).
+    pub fn final_summary(&self) {}
+}
+
+/// Times the closure handed to [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured iteration count, timing the whole run.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function (both criterion syntaxes).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $($group();)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+}
