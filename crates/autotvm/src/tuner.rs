@@ -8,10 +8,12 @@
 //! real AutoTVM's `XGBTuner` with `plan_size` candidates per round.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use flextensor_explore::pool::{EvalPool, EvalStats};
 use flextensor_ir::graph::Graph;
 use flextensor_sim::model::{Cost, Evaluator};
+use flextensor_telemetry::{config_key, Telemetry, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +42,12 @@ pub struct TuneOptions {
     pub eval_workers: usize,
     /// Approximate entry bound for the evaluation memo cache.
     pub cache_capacity: usize,
+    /// Structured trace sink (disabled by default). When enabled, the
+    /// tuner streams `run_started`, per-round `trial_started` /
+    /// `candidate_evaluated` / `pool_stats` / `sa_step` records and a
+    /// final `run_summary` — the same replayable JSONL schema the
+    /// exploration drivers use (see `docs/TRACE_FORMAT.md`).
+    pub telemetry: Telemetry,
 }
 
 impl Default for TuneOptions {
@@ -54,6 +62,7 @@ impl Default for TuneOptions {
             stop_when_seconds: None,
             eval_workers: 1,
             cache_capacity: 1 << 20,
+            telemetry: Telemetry::null(),
         }
     }
 }
@@ -118,6 +127,20 @@ pub fn tune(
     let template = Template::new(graph, evaluator.target());
     let mut pool = EvalPool::new(graph, evaluator, opts.eval_workers, opts.cache_capacity);
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let clock = Instant::now();
+    let tel = &opts.telemetry;
+    if tel.is_enabled() {
+        tel.emit(TraceEvent::RunStarted {
+            method: "autotvm".to_string(),
+            seed: opts.seed,
+            trials: opts.rounds,
+            starts: opts.batch,
+            workers: pool.workers(),
+            measure_overhead_s: opts.measure_overhead_s,
+            measure_repeats: opts.measure_repeats,
+            flops: graph.flops(),
+        });
+    }
     let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new(); // score = normalized throughput
@@ -127,6 +150,7 @@ pub fn tune(
     let mut measurements = 0usize;
     let mut time_s = 0.0f64;
     let mut trace = Vec::new();
+    let mut rounds_run = 0usize;
 
     'outer: for round in 0..opts.rounds {
         // ---- propose a batch --------------------------------------------
@@ -166,8 +190,27 @@ pub fn tune(
         // the memo cache for free. The reduction below runs in batch
         // order, so the tuner is deterministic in the worker count.
         let configs: Vec<_> = batch.iter().map(|idx| template.to_config(idx)).collect();
+        rounds_run = round + 1;
+        if tel.is_enabled() {
+            tel.emit(TraceEvent::TrialStarted {
+                trial: round + 1,
+                starts: batch.len(),
+                wall_s: clock.elapsed().as_secs_f64(),
+            });
+        }
         let outcomes = pool.evaluate_batch(&configs);
-        for (idx, oc) in batch.iter().zip(outcomes) {
+        pool.emit_stats(tel, round + 1);
+        let mut round_best_e = 0.0f64;
+        let mut improved = false;
+        for (i, (idx, oc)) in batch.iter().zip(outcomes).enumerate() {
+            if tel.is_enabled() {
+                tel.emit(TraceEvent::CandidateEvaluated {
+                    trial: round + 1,
+                    key: config_key(&configs[i].encode()),
+                    seconds: oc.cost.map(|c| c.seconds),
+                    fresh: oc.fresh,
+                });
+            }
             if oc.fresh {
                 measurements += 1;
                 time_s += opts.measure_overhead_s;
@@ -179,11 +222,15 @@ pub fn tune(
                 Some(c) => {
                     if best.as_ref().is_none_or(|(_, b)| c.seconds < *b) {
                         best = Some((idx.clone(), c.seconds));
+                        improved = true;
                     }
                     1.0 / c.seconds
                 }
                 None => 0.0,
             };
+            if score > round_best_e {
+                round_best_e = score;
+            }
             xs.push(template.features(idx));
             ys.push(score);
             if let (Some(target), Some((_, s))) = (opts.stop_when_seconds, best.as_ref()) {
@@ -192,6 +239,18 @@ pub fn tune(
                     break 'outer;
                 }
             }
+        }
+
+        if tel.is_enabled() {
+            // One SA record per round: the model-guided proposal anneals
+            // its acceptance with `1 - round/rounds`; "accepted" marks
+            // rounds that improved the global best.
+            tel.emit(TraceEvent::SaStep {
+                trial: round + 1,
+                temperature: 1.0 - round as f64 / opts.rounds.max(1) as f64,
+                energy: round_best_e,
+                accepted: improved,
+            });
         }
 
         // ---- retrain the cost model --------------------------------------
@@ -204,6 +263,21 @@ pub fn tune(
     }
 
     let (best_idx, seconds) = best.ok_or_else(|| TuneError("no feasible config".into()))?;
+    if tel.is_enabled() {
+        let s = pool.stats();
+        tel.emit(TraceEvent::RunSummary {
+            trials: rounds_run,
+            measurements,
+            exploration_time_s: time_s,
+            best_seconds: seconds,
+            best_gflops: graph.flops() as f64 / seconds / 1e9,
+            evaluated: s.evaluated,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            wall_s: clock.elapsed().as_secs_f64(),
+        });
+        tel.flush();
+    }
     Ok(TuneResult {
         best: template.to_config(&best_idx),
         best_cost: Cost {

@@ -7,7 +7,7 @@
 //! Describe a tensor computation mathematically (with
 //! [`flextensor_ir::ops`] or a custom
 //! [`GraphBuilder`](flextensor_ir::graph::GraphBuilder)), pick a device
-//! model, and [`optimize`] does the rest — static analysis, schedule-space
+//! model, and [`optimize()`] does the rest — static analysis, schedule-space
 //! generation, simulated-annealing + Q-learning exploration, and
 //! target-specific schedule implementation. No schedule templates, no
 //! manual tuning.
@@ -38,6 +38,7 @@ pub mod optimize;
 
 pub use flextensor_explore::methods::{Method, SearchOptions};
 pub use flextensor_explore::pool::{EvalPool, EvalStats, MemoCache};
+pub use flextensor_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry, TraceEvent, TraceSink};
 pub use optimize::{optimize, OptimizeError, OptimizeOptions, OptimizeResult, Task};
 
 // Re-export the substrate crates under stable names.
@@ -46,3 +47,4 @@ pub use flextensor_interp as interp;
 pub use flextensor_ir as ir;
 pub use flextensor_schedule as schedule;
 pub use flextensor_sim as sim;
+pub use flextensor_telemetry as telemetry;

@@ -78,6 +78,17 @@ impl OptimizeOptions {
         self.search.cache_capacity = capacity;
         self
     }
+
+    /// Attaches a telemetry sink: the exploration back-end streams
+    /// structured [`TraceEvent`](flextensor_telemetry::TraceEvent)s
+    /// (trial lifecycle, candidate evaluations, SA moves, Q-network
+    /// updates, pool statistics) to it. Pair with
+    /// [`JsonlSink`](flextensor_telemetry::JsonlSink) to record a
+    /// replayable trace file (see `docs/TRACE_FORMAT.md`).
+    pub fn with_telemetry(mut self, telemetry: flextensor_telemetry::Telemetry) -> OptimizeOptions {
+        self.search.telemetry = telemetry;
+        self
+    }
 }
 
 /// The result of optimizing one task.

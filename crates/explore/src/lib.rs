@@ -4,7 +4,7 @@
 //! and heuristic + machine-learning exploration (§4.2, §5.1).
 //!
 //! * [`space`] — the pruned, high-dimensionally rearranged schedule space:
-//!   points are `NodeConfig`s, neighborhoods are [`Direction`](space::Direction)s
+//!   points are `NodeConfig`s, neighborhoods are [`Direction`]s
 //!   (prime-factor moves between split levels, reorder swaps, primitive
 //!   toggles), with hardware-fixed decisions per target.
 //! * [`sa`] — the evaluated-point set `H` and the simulated-annealing
@@ -22,6 +22,14 @@
 //!   fixed candidate order, so searches are deterministic in the worker
 //!   count.
 //!
+//! Every driver can additionally stream structured telemetry — trial
+//! lifecycle, per-candidate evaluations, SA moves, Q-network training,
+//! pool statistics — through the [`telemetry`] re-export
+//! (`flextensor-telemetry`): attach a sink via
+//! [`SearchOptions::telemetry`](methods::SearchOptions), record a JSONL
+//! trace, and replay it offline into the identical run summary (see
+//! `docs/TRACE_FORMAT.md`).
+//!
 //! # Examples
 //!
 //! ```
@@ -37,7 +45,7 @@
 //! # Ok::<(), flextensor_explore::methods::SearchError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod methods;
 pub mod pool;
@@ -45,6 +53,11 @@ pub mod qlearn;
 pub mod sa;
 pub mod space;
 
+/// The structured trace/event layer (`flextensor-telemetry`), re-exported
+/// so explorer users can attach sinks without a separate dependency.
+pub use flextensor_telemetry as telemetry;
+
+pub use flextensor_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry, TraceEvent, TraceSink};
 pub use methods::{search, Method, SearchOptions, SearchResult, TracePoint};
 pub use pool::{EvalOutcome, EvalPool, EvalStats, MemoCache};
 pub use sa::History;

@@ -19,14 +19,17 @@
 //!
 //! Candidate evaluation is *batched*: each trial first builds its full
 //! candidate list (all starts, all chosen directions), then hands it to an
-//! [`EvalPool`](crate::pool::EvalPool), which fans fresh points out over
+//! [`EvalPool`], which fans fresh points out over
 //! `eval_workers` threads and answers repeats from a memo cache. Results
 //! reduce in fixed candidate order, so the search is bit-for-bit
 //! deterministic in the worker count; only wall-clock time changes.
 
+use std::time::Instant;
+
 use flextensor_ir::graph::Graph;
 use flextensor_schedule::config::NodeConfig;
 use flextensor_sim::model::{Cost, Evaluator};
+use flextensor_telemetry::{config_key, Telemetry, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +47,19 @@ pub enum Method {
     PMethod,
     /// One random applicable direction per start (ablation).
     RandomWalk,
+}
+
+impl Method {
+    /// The stable lower-case name used in trace records (the `method`
+    /// field of [`TraceEvent::RunStarted`]); replay keys its best-cost
+    /// fold on it.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Method::QMethod => "q-method",
+            Method::PMethod => "p-method",
+            Method::RandomWalk => "random-walk",
+        }
+    }
 }
 
 impl std::fmt::Display for Method {
@@ -82,6 +98,12 @@ pub struct SearchOptions {
     pub eval_workers: usize,
     /// Approximate entry bound for the evaluation memo cache.
     pub cache_capacity: usize,
+    /// Structured trace sink (disabled by default). When enabled, the
+    /// search emits the full event stream of `docs/TRACE_FORMAT.md`:
+    /// trial lifecycle, every absorbed candidate, SA moves, Q-network
+    /// training rounds, pool statistics, and a final run summary that a
+    /// recorded trace replays to bit-for-bit.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SearchOptions {
@@ -97,6 +119,7 @@ impl Default for SearchOptions {
             stop_when_seconds: None,
             eval_workers: 1,
             cache_capacity: 1 << 20,
+            telemetry: Telemetry::null(),
         }
     }
 }
@@ -156,14 +179,16 @@ struct Driver<'a> {
     measurements: usize,
     time_s: f64,
     opts: SearchOptions,
+    clock: Instant,
 }
 
 impl<'a> Driver<'a> {
     /// Folds one batched evaluation outcome into `H` and the time
-    /// accounting. Only *fresh* outcomes (the pool actually ran the
-    /// evaluator) count as on-device measurements; cache hits cost zero
-    /// modeled time. Returns the performance value `E` (0 for infeasible).
-    fn absorb(&mut self, cfg: &NodeConfig, outcome: EvalOutcome) -> f64 {
+    /// accounting, and logs the candidate. Only *fresh* outcomes (the
+    /// pool actually ran the evaluator) count as on-device measurements;
+    /// cache hits cost zero modeled time. Returns the performance value
+    /// `E` (0 for infeasible).
+    fn absorb(&mut self, trial: usize, cfg: &NodeConfig, outcome: EvalOutcome) -> f64 {
         if outcome.fresh {
             self.measurements += 1;
             self.time_s += self.opts.measure_overhead_s;
@@ -173,12 +198,25 @@ impl<'a> Driver<'a> {
             // An infeasible point (compile / launch failure) still costs
             // the overhead, but has no kernel time to repeat.
         }
+        if self.opts.telemetry.is_enabled() {
+            self.opts.telemetry.emit(TraceEvent::CandidateEvaluated {
+                trial,
+                key: config_key(&cfg.encode()),
+                seconds: outcome.cost.map(|c| c.seconds),
+                fresh: outcome.fresh,
+            });
+        }
         let e = match outcome.cost {
             Some(c) => 1.0 / c.seconds,
             None => 0.0,
         };
         self.history.record(cfg.clone(), e);
         e
+    }
+
+    /// Wall-clock seconds since the run began (trace timestamps).
+    fn wall_s(&self) -> f64 {
+        self.clock.elapsed().as_secs_f64()
     }
 
     fn trace_point(&self, trial: usize) -> TracePoint {
@@ -238,17 +276,36 @@ pub fn search(
         measurements: 0,
         time_s: 0.0,
         opts: opts.clone(),
+        clock: Instant::now(),
     };
+    let tel = opts.telemetry.clone();
+    tel.emit(TraceEvent::RunStarted {
+        method: method.slug().to_string(),
+        seed: opts.seed,
+        trials: opts.trials,
+        starts: opts.starts,
+        workers: d.pool.workers(),
+        measure_overhead_s: opts.measure_overhead_s,
+        measure_repeats: opts.measure_repeats,
+        flops: graph.flops(),
+    });
 
     // Seed the history: the naive point plus random samples, evaluated as
-    // one batch (duplicate draws resolve as in-batch cache hits).
+    // one batch (duplicate draws resolve as in-batch cache hits). The
+    // trace logs the seeding phase as trial 0.
     let mut seeds = vec![d.space.start_point().clone()];
     for _ in 0..opts.initial_samples {
         seeds.push(d.space.random_point(&mut rng));
     }
+    tel.emit(TraceEvent::TrialStarted {
+        trial: 0,
+        starts: seeds.len(),
+        wall_s: d.wall_s(),
+    });
     let outcomes = d.pool.evaluate_batch(&seeds);
+    d.pool.emit_stats(&tel, 0);
     for (cfg, oc) in seeds.iter().zip(outcomes) {
-        d.absorb(cfg, oc);
+        d.absorb(0, cfg, oc);
     }
 
     let mut trace = Vec::with_capacity(opts.trials + 1);
@@ -258,7 +315,14 @@ pub fn search(
         if let Some(agent) = agent.as_mut() {
             agent.set_progress(trial as f64 / opts.trials.max(1) as f64);
         }
-        let starts = d.history.select_starts(opts.starts, opts.gamma, &mut rng);
+        let starts = d
+            .history
+            .select_starts_with_energy(opts.starts, opts.gamma, &mut rng);
+        tel.emit(TraceEvent::TrialStarted {
+            trial,
+            starts: starts.len(),
+            wall_s: d.wall_s(),
+        });
 
         // Phase 1: build the trial's full candidate batch — every chosen
         // (start, direction) move — before evaluating anything. The RNG is
@@ -267,7 +331,7 @@ pub fn search(
         // sequence unchanged.
         let mut meta: Vec<(usize, usize)> = Vec::new(); // (start idx, action)
         let mut cands: Vec<NodeConfig> = Vec::new();
-        for (si, p) in starts.iter().enumerate() {
+        for (si, (p, _)) in starts.iter().enumerate() {
             // Applicable = the direction exists from p and leads to a
             // point unvisited as of the start of this trial.
             let neighbors: Vec<Option<NodeConfig>> = d
@@ -312,14 +376,21 @@ pub fn search(
         // Phase 2: evaluate the whole batch — memoized, fanned out over
         // the pool's workers.
         let outcomes = d.pool.evaluate_batch(&cands);
+        d.pool.emit_stats(&tel, trial);
 
         // Phase 3: reduce in fixed candidate order. Hitting the stop
         // target discards the rest of the batch: those points are cached
         // but never absorbed, so they cost no modeled measurement.
         for (((si, a), n), oc) in meta.iter().zip(&cands).zip(outcomes) {
-            let p = &starts[*si];
-            let e_p = d.history.value(p).unwrap_or(0.0);
-            let e_n = d.absorb(n, oc);
+            let (p, e_p) = &starts[*si];
+            let e_p = *e_p;
+            let e_n = d.absorb(trial, n, oc);
+            tel.emit(TraceEvent::SaStep {
+                trial,
+                temperature: opts.gamma,
+                energy: e_n,
+                accepted: e_n > e_p,
+            });
             if let Some(agent) = agent.as_mut() {
                 let reward = if e_p > 0.0 {
                     ((e_n - e_p) / e_p).clamp(-1.0, 10.0)
@@ -341,7 +412,14 @@ pub fn search(
             }
         }
         if let Some(agent) = agent.as_mut() {
-            agent.end_trial(&mut rng);
+            if let Some(loss) = agent.end_trial(&mut rng) {
+                tel.emit(TraceEvent::QUpdate {
+                    trial,
+                    loss,
+                    epsilon: agent.epsilon(),
+                    target_sync: true,
+                });
+            }
         }
         trace.push(d.trace_point(trial));
         if d.reached_target() {
@@ -355,6 +433,21 @@ pub fn search(
         .ok_or_else(|| SearchError("no feasible schedule found".into()))?;
     let best = best.clone();
     let seconds = 1.0 / e;
+    if tel.is_enabled() {
+        let stats = d.pool.stats();
+        tel.emit(TraceEvent::RunSummary {
+            trials: trace.last().map_or(0, |t| t.trial),
+            measurements: d.measurements,
+            exploration_time_s: d.time_s,
+            best_seconds: seconds,
+            best_gflops: graph.flops() as f64 / seconds / 1e9,
+            evaluated: stats.evaluated,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            wall_s: d.wall_s(),
+        });
+        tel.flush();
+    }
     Ok(SearchResult {
         best,
         best_cost: Cost {

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 use flextensor_ir::graph::Graph;
 use flextensor_schedule::config::NodeConfig;
 use flextensor_sim::model::{Cost, Evaluator};
+use flextensor_telemetry::{Telemetry, TraceEvent};
 
 /// Number of independent shards in a [`MemoCache`]; bounds coordinator /
 /// worker contention when the cache is shared across threads.
@@ -76,7 +77,7 @@ impl MemoCache {
     }
 
     /// Looks a key up **without** touching the hit/miss counters (the
-    /// counters record lookups-with-intent, see [`MemoCache::count_hit`]).
+    /// counters record lookups-with-intent, see [`MemoCache::count_hits`]).
     pub fn peek(&self, key: &[i64]) -> Option<Option<Cost>> {
         self.shard(key)
             .lock()
@@ -148,6 +149,20 @@ pub struct EvalStats {
 
 impl EvalStats {
     /// Total cache lookups.
+    ///
+    /// ```
+    /// use flextensor_explore::pool::EvalStats;
+    ///
+    /// let stats = EvalStats {
+    ///     evaluated: 40,
+    ///     cache_hits: 10,
+    ///     cache_misses: 40,
+    ///     workers: 4,
+    ///     wall_clock_s: 0.2,
+    /// };
+    /// assert_eq!(stats.lookups(), 50);
+    /// assert!((stats.hit_rate() - 0.2).abs() < 1e-12);
+    /// ```
     pub fn lookups(&self) -> usize {
         self.cache_hits + self.cache_misses
     }
@@ -399,6 +414,31 @@ impl EvalPool {
             workers: self.workers,
             wall_clock_s: self.wall_clock.as_secs_f64(),
         }
+    }
+
+    /// Emits the pool's cumulative statistics as a
+    /// [`PoolStats`](TraceEvent::PoolStats) telemetry event, tagged with
+    /// the trial whose batch just completed. No-op when telemetry is
+    /// disabled.
+    ///
+    /// Call this right after [`EvalPool::evaluate_batch`] (before the
+    /// driver reduces the outcomes), so the last emitted record always
+    /// equals the pool's final statistics even if the driver stops early
+    /// mid-reduction — trace replay relies on that.
+    pub fn emit_stats(&self, telemetry: &Telemetry, trial: usize) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let s = self.stats();
+        telemetry.emit(TraceEvent::PoolStats {
+            trial,
+            evaluated: s.evaluated,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            cache_entries: self.cache.len(),
+            workers: s.workers,
+            wall_s: s.wall_clock_s,
+        });
     }
 }
 

@@ -71,6 +71,12 @@ impl QAgent {
         self.num_actions
     }
 
+    /// Current ε of the ε-greedy policy (after any annealing), for
+    /// telemetry and diagnostics.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Anneals the exploration rate: ε decays from 0.9 to 0.05 as search
     /// progress (0..1) advances. An untrained Q-network's argmax is an
     /// arbitrary bias, so early exploration must dominate; once the

@@ -71,32 +71,49 @@ impl History {
     /// Returns fewer than `n` points when `H` holds fewer distinct
     /// feasible candidates.
     pub fn select_starts(&self, n: usize, gamma: f64, rng: &mut impl Rng) -> Vec<NodeConfig> {
+        self.select_starts_with_energy(n, gamma, rng)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// [`History::select_starts`], but each chosen point is paired with
+    /// its performance value `E` at selection time. The search drivers use
+    /// this to log SA moves (start energy vs reached energy) without a
+    /// second history lookup; the RNG draw sequence is identical to
+    /// `select_starts`.
+    pub fn select_starts_with_energy(
+        &self,
+        n: usize,
+        gamma: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<(NodeConfig, f64)> {
         let Some((_, e_star)) = self.best() else {
             return Vec::new();
         };
-        let candidates: Vec<(&NodeConfig, f64)> = self
+        let candidates: Vec<(&NodeConfig, f64, f64)> = self
             .entries
             .values()
             .map(|(c, e)| {
                 let w = (-gamma * (e_star - e) / e_star.max(f64::MIN_POSITIVE)).exp();
-                (c, w)
+                (c, *e, w)
             })
             .collect();
-        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
-        let mut out: Vec<NodeConfig> = Vec::new();
+        let total: f64 = candidates.iter().map(|(_, _, w)| w).sum();
+        let mut out: Vec<(NodeConfig, f64)> = Vec::new();
         for _ in 0..n {
             let mut t = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
-            let mut chosen = candidates.last().map(|(c, _)| *c);
-            for (c, w) in &candidates {
+            let mut chosen = candidates.last().map(|(c, e, _)| (*c, *e));
+            for (c, e, w) in &candidates {
                 if t < *w {
-                    chosen = Some(c);
+                    chosen = Some((c, *e));
                     break;
                 }
                 t -= w;
             }
-            if let Some(c) = chosen {
-                if !out.contains(c) {
-                    out.push(c.clone());
+            if let Some((c, e)) = chosen {
+                if !out.iter().any(|(o, _)| o == c) {
+                    out.push((c.clone(), e));
                 }
             }
         }
@@ -186,6 +203,23 @@ mod tests {
         let h = History::new();
         let mut rng = StdRng::seed_from_u64(2);
         assert!(h.select_starts(4, 1.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn select_with_energy_matches_plain_select() {
+        let mut h = History::new();
+        h.record(cfg_with_unroll(true, false), 10.0);
+        h.record(cfg_with_unroll(false, false), 4.0);
+        h.record(cfg_with_unroll(false, true), 0.0);
+        let plain = h.select_starts(6, 2.0, &mut StdRng::seed_from_u64(7));
+        let with_e = h.select_starts_with_energy(6, 2.0, &mut StdRng::seed_from_u64(7));
+        assert_eq!(
+            plain,
+            with_e.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>()
+        );
+        for (c, e) in &with_e {
+            assert_eq!(h.value(c), Some(*e));
+        }
     }
 
     #[test]

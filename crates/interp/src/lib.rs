@@ -7,7 +7,7 @@
 //! reorders, fusion, producer inlining. This crate proves those transforms
 //! are semantics-preserving by *executing* them:
 //!
-//! * [`reference`] runs a mini-graph directly from its mathematical
+//! * [`mod@reference`] runs a mini-graph directly from its mathematical
 //!   definition (the ground truth).
 //! * [`machine`] runs a lowered kernel (`flextensor-schedule`'s `Stmt`
 //!   nest) and [`machine::check_against_reference`] compares the two.

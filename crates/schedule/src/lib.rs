@@ -8,14 +8,14 @@
 //! reorder, fuse, unroll, vectorize, parallel, bind, cache, inline,
 //! buffer, pipeline, partition). This crate provides:
 //!
-//! * [`config`] — [`NodeConfig`](config::NodeConfig), a point in the
+//! * [`config`] — [`config::NodeConfig`], a point in the
 //!   schedule space: multi-way split factors per loop, reorder
 //!   permutation, fusion depth, unroll/vectorize/cache flags and FPGA
 //!   pipeline parameters, with the flat integer encoding of Fig. 3e.
-//! * [`nest`] — the loop-nest IR ([`Stmt`](nest::Stmt)) schedules lower
+//! * [`nest`] — the loop-nest IR ([`nest::Stmt`]) schedules lower
 //!   to, executable by `flextensor-interp` and costed by `flextensor-sim`.
-//! * [`lower`] — target-specific lowering (Fig. 4a/4b/4c) from a
-//!   mini-graph and a config to a [`LoweredKernel`](lower::LoweredKernel)
+//! * [`mod@lower`] — target-specific lowering (Fig. 4a/4b/4c) from a
+//!   mini-graph and a config to a [`lower::LoweredKernel`]
 //!   with exact tiling [features](features::KernelFeatures).
 //! * [`interval`] — the index-interval analysis behind tile-footprint
 //!   computation (shared-memory sizing, cache-fit, register pressure).

@@ -1,5 +1,5 @@
 //! The schedule primitives of Table 2, as a structured, printable
-//! description of what a [`NodeConfig`](crate::config::NodeConfig) does on a
+//! description of what a [`crate::config::NodeConfig`] does on a
 //! given target.
 //!
 //! This is the human-readable "schedule" view (Fig. 3d): examples and the

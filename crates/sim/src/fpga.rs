@@ -12,7 +12,7 @@
 //! processing elements — derived from the three-stage read/compute/write
 //! pipeline of Fig. 4c. We implement that model, plus the resource
 //! constraints (DSP budget for PEs, BRAM budget for buffers) under which
-//! the paper says FlexTensor "solv[es] an optimization problem under
+//! the paper says FlexTensor "solv\[es\] an optimization problem under
 //! certain FPGA resource constraints".
 
 use flextensor_schedule::features::KernelFeatures;

@@ -1,7 +1,7 @@
 //! Analytical GPU performance model.
 //!
 //! Estimates kernel runtime from the schedule-derived
-//! [`KernelFeatures`](flextensor_schedule::features::KernelFeatures) and a
+//! [`KernelFeatures`] and a
 //! [`GpuSpec`]. The model captures the effects the paper's exploration
 //! exploits on GPUs (§5.3, Fig. 4b):
 //!

@@ -15,7 +15,7 @@
 //!   lowering. The FPGA model is the paper's
 //!   `workload/#PE × max(R, C, W)` pipeline model with DSP/BRAM
 //!   feasibility constraints.
-//! * [`model`] — [`Evaluator`](model::Evaluator), the "performance value"
+//! * [`model`] — [`model::Evaluator`], the "performance value"
 //!   oracle exploration queries (§5.1).
 //! * [`library`] — simulated baselines: cuDNN / cuBLAS / PyTorch-native /
 //!   MKL-DNN / hand-optimized OpenCL, modeled as fixed expert schedules

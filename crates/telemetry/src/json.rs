@@ -1,0 +1,385 @@
+//! A minimal, dependency-free JSON layer for trace records.
+//!
+//! Writing is done by the event serializer directly (field order is fixed
+//! so records are byte-deterministic); this module supplies the escaping
+//! and number-formatting rules plus a small recursive-descent parser used
+//! by replay. Numbers are kept as their raw source text until a typed
+//! accessor is called, so 64-bit integers (seeds, FLOP counts) never lose
+//! precision by round-tripping through `f64`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys are sorted (`BTreeMap`) — lookup
+/// only, the writer controls on-disk field order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as raw source text.
+    Number(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The object under this value, or an error.
+    pub fn as_object(&self) -> Result<&BTreeMap<String, Json>, String> {
+        match self {
+            Json::Object(m) => Ok(m),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    /// Fetches a required field from an object.
+    pub fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        self.as_object()?
+            .get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// A required string field.
+    pub fn get_str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key)? {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("field `{key}`: expected string, got {other:?}")),
+        }
+    }
+
+    /// A required boolean field.
+    pub fn get_bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("field `{key}`: expected bool, got {other:?}")),
+        }
+    }
+
+    /// A required `f64` field.
+    pub fn get_f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            Json::Number(n) => n
+                .parse()
+                .map_err(|e| format!("field `{key}`: bad number `{n}`: {e}")),
+            other => Err(format!("field `{key}`: expected number, got {other:?}")),
+        }
+    }
+
+    /// A required unsigned-integer field (parsed losslessly from source).
+    pub fn get_u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            Json::Number(n) => n
+                .parse()
+                .map_err(|e| format!("field `{key}`: bad integer `{n}`: {e}")),
+            other => Err(format!("field `{key}`: expected number, got {other:?}")),
+        }
+    }
+
+    /// A required `usize` field.
+    pub fn get_usize(&self, key: &str) -> Result<usize, String> {
+        Ok(self.get_u64(key)? as usize)
+    }
+
+    /// An `f64` field that may be `null` (infeasible cost).
+    pub fn get_opt_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key)? {
+            Json::Null => Ok(None),
+            Json::Number(n) => n
+                .parse()
+                .map(Some)
+                .map_err(|e| format!("field `{key}`: bad number `{n}`: {e}")),
+            other => Err(format!(
+                "field `{key}`: expected number|null, got {other:?}"
+            )),
+        }
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number (shortest round-trip form; non-finite
+/// values become `null`, which JSON cannot represent as numbers).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends an optional `f64` (`None` ⇒ `null`).
+pub fn write_opt_f64(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(v) => write_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Parses one JSON document (a trace line) into a [`Json`] value.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error, with its byte offset.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape `{hex}`"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // continuation bytes are always well-formed).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if raw.is_empty() || raw == "-" {
+            return Err(format!("bad number at byte {start}"));
+        }
+        // Validate now so replay errors point at the malformed line.
+        raw.parse::<f64>()
+            .map_err(|e| format!("bad number `{raw}`: {e}"))?;
+        Ok(Json::Number(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let v = parse(r#"{"a":1,"b":[true,null,"x\n"],"c":-2.5e3}"#).unwrap();
+        assert_eq!(v.get_u64("a").unwrap(), 1);
+        assert_eq!(v.get_f64("c").unwrap(), -2500.0);
+        match v.get("b").unwrap() {
+            Json::Array(items) => {
+                assert_eq!(items[0], Json::Bool(true));
+                assert_eq!(items[1], Json::Null);
+                assert_eq!(items[2], Json::Str("x\n".into()));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_integers_round_trip_losslessly() {
+        let big = u64::MAX - 3;
+        let v = parse(&format!("{{\"n\":{big}}}")).unwrap();
+        assert_eq!(v.get_u64("n").unwrap(), big);
+    }
+
+    #[test]
+    fn f64_display_round_trips() {
+        for x in [0.1, 1.0 / 3.0, 123456.789, 1e-12, 0.8] {
+            let mut s = String::new();
+            write_f64(&mut s, x);
+            assert_eq!(s.parse::<f64>().unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\u{1}");
+        let v = parse(&format!("{{\"k\":{s}}}")).unwrap();
+        assert_eq!(v.get_str("k").unwrap(), "a\"b\\c\nd\u{1}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2").is_err());
+        assert!(parse("123 456").is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! Text reports over replayed traces — the library behind the
+//! `probe_trace` binary.
+//!
+//! [`render_events`] is the one-call entry point: replay a recorded event
+//! stream and render the best-cost curve, SA acceptance rate by phase,
+//! evaluation-cache behaviour, Q-network training summary, per-trial
+//! wall-clock, and the replay verification verdict.
+//!
+//! # Example
+//!
+//! ```
+//! use flextensor_telemetry::{report, TraceEvent};
+//!
+//! let events = vec![
+//!     TraceEvent::RunStarted {
+//!         method: "random-walk".into(),
+//!         seed: 42,
+//!         trials: 1,
+//!         starts: 1,
+//!         workers: 1,
+//!         measure_overhead_s: 0.1,
+//!         measure_repeats: 1,
+//!         flops: 1_000_000_000,
+//!     },
+//!     TraceEvent::TrialStarted { trial: 1, starts: 1, wall_s: 0.0 },
+//!     TraceEvent::CandidateEvaluated {
+//!         trial: 1,
+//!         key: "8.4".into(),
+//!         seconds: Some(1e-3),
+//!         fresh: true,
+//!     },
+//!     TraceEvent::RunSummary {
+//!         trials: 1,
+//!         measurements: 1,
+//!         exploration_time_s: 0.1 + 1.0 * 1e-3,
+//!         best_seconds: 1.0 / (1.0 / 1e-3),
+//!         best_gflops: 1_000_000_000.0 / (1.0 / (1.0 / 1e-3)) / 1e9,
+//!         evaluated: 0,
+//!         cache_hits: 0,
+//!         cache_misses: 0,
+//!         wall_s: 0.2,
+//!     },
+//! ];
+//! let text = report::render_events(&events).unwrap();
+//! assert!(text.contains("random-walk"));
+//! assert!(text.contains("replay check: run_summary reproduced exactly: yes"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::replay::{replay, Replay, PHASE_NAMES};
+use crate::{TraceError, TraceEvent};
+
+/// Replays an event stream and renders the full text report.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] when the stream is not a complete single-run
+/// trace (see [`replay`]).
+pub fn render_events(events: &[TraceEvent]) -> Result<String, TraceError> {
+    Ok(render(&replay(events)?))
+}
+
+/// Renders the text report for an already-replayed trace.
+pub fn render(r: &Replay) -> String {
+    let mut out = String::new();
+    let p = &r.run;
+    let _ = writeln!(
+        out,
+        "== trace report: {} | seed {:#x} | {} trial budget | {} start(s)/trial | {} worker(s) ==",
+        p.method, p.seed, p.trials, p.starts, p.workers
+    );
+    let _ = writeln!(
+        out,
+        "   measure model: {}s overhead + {} repeat(s) per fresh evaluation, {} FLOPs/kernel\n",
+        p.measure_overhead_s, p.measure_repeats, p.flops
+    );
+
+    // Best-cost curve, sampled down to at most 16 rows plus the last.
+    out.push_str("best-cost curve:\n  trial    best kernel     GFLOP/s\n");
+    let step = r.curve.len().div_ceil(16).max(1);
+    for (i, c) in r.curve.iter().enumerate() {
+        if i % step != 0 && i + 1 != r.curve.len() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:>5}  {:>12}  {:>10.1}",
+            c.trial,
+            fmt_seconds(c.best_seconds),
+            c.best_gflops
+        );
+    }
+
+    out.push_str("\nSA acceptance rate by phase:\n");
+    for (name, a) in PHASE_NAMES.iter().zip(&r.acceptance) {
+        let _ = writeln!(
+            out,
+            "  {name:>5}: {:>5.1}%  ({}/{} moves improved their start)",
+            100.0 * a.rate(),
+            a.accepted,
+            a.total
+        );
+    }
+
+    match &r.pool {
+        Some(TraceEvent::PoolStats {
+            evaluated,
+            cache_hits,
+            cache_misses,
+            cache_entries,
+            workers,
+            ..
+        }) => {
+            let lookups = cache_hits + cache_misses;
+            let rate = if lookups == 0 {
+                0.0
+            } else {
+                100.0 * *cache_hits as f64 / lookups as f64
+            };
+            let _ = writeln!(
+                out,
+                "\nevaluation pool: {evaluated} fresh evals, {cache_hits} cache hits \
+                 ({rate:.1}% hit rate), {cache_entries} entries resident, {workers} worker(s)"
+            );
+        }
+        _ => out.push_str("\nevaluation pool: no pool_stats records\n"),
+    }
+
+    if r.q_updates.is_empty() {
+        out.push_str("q-network: no training rounds recorded\n");
+    } else {
+        let first = r.q_updates.first().expect("non-empty");
+        let last = r.q_updates.last().expect("non-empty");
+        let _ = writeln!(
+            out,
+            "q-network: {} training rounds | loss {:.4} -> {:.4} | epsilon {:.3} -> {:.3}",
+            r.q_updates.len(),
+            first.loss,
+            last.loss,
+            first.epsilon,
+            last.epsilon
+        );
+    }
+
+    if !r.per_trial_wall_s.is_empty() {
+        let total: f64 = r.per_trial_wall_s.iter().map(|(_, w)| w).sum();
+        let mean = total / r.per_trial_wall_s.len() as f64;
+        let (slowest_trial, slowest) = r.per_trial_wall_s.iter().fold(
+            (0usize, 0.0f64),
+            |acc, &(t, w)| {
+                if w > acc.1 {
+                    (t, w)
+                } else {
+                    acc
+                }
+            },
+        );
+        let _ = writeln!(
+            out,
+            "per-trial wall-clock: mean {}, max {} (trial {slowest_trial}), total {}",
+            fmt_seconds(mean),
+            fmt_seconds(slowest),
+            fmt_seconds(total)
+        );
+    }
+
+    if let TraceEvent::RunSummary {
+        trials,
+        measurements,
+        exploration_time_s,
+        best_seconds,
+        best_gflops,
+        wall_s,
+        ..
+    } = &r.recorded
+    {
+        let _ = writeln!(
+            out,
+            "\nrun summary: {trials} trials | {measurements} modeled measurements | \
+             {exploration_time_s:.1}s modeled exploration time | best {} ({best_gflops:.1} GFLOP/s) | \
+             {} real wall-clock",
+            fmt_seconds(*best_seconds),
+            fmt_seconds(*wall_s)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "replay check: run_summary reproduced exactly: {}",
+        if r.summary_matches() {
+            "yes"
+        } else {
+            "NO — trace is truncated, edited, or writer-incompatible"
+        }
+    );
+    out
+}
+
+/// Formats seconds at µs/ms/s granularity (mirrors the bench harness).
+fn fmt_seconds(s: f64) -> String {
+    if !s.is_finite() {
+        "inf".to_string()
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let flops = 1_000_000_000u64;
+        let events = vec![
+            TraceEvent::RunStarted {
+                method: "q-method".into(),
+                seed: 1,
+                trials: 3,
+                starts: 1,
+                workers: 2,
+                measure_overhead_s: 0.1,
+                measure_repeats: 1,
+                flops,
+            },
+            TraceEvent::TrialStarted {
+                trial: 1,
+                starts: 1,
+                wall_s: 0.0,
+            },
+            TraceEvent::CandidateEvaluated {
+                trial: 1,
+                key: "2".into(),
+                seconds: Some(5e-4),
+                fresh: true,
+            },
+            TraceEvent::SaStep {
+                trial: 1,
+                temperature: 2.0,
+                energy: 2000.0,
+                accepted: true,
+            },
+            TraceEvent::QUpdate {
+                trial: 1,
+                loss: 0.5,
+                epsilon: 0.8,
+                target_sync: true,
+            },
+            TraceEvent::PoolStats {
+                trial: 1,
+                evaluated: 1,
+                cache_hits: 0,
+                cache_misses: 1,
+                cache_entries: 1,
+                workers: 2,
+                wall_s: 0.01,
+            },
+            TraceEvent::RunSummary {
+                trials: 1,
+                measurements: 1,
+                exploration_time_s: 0.1 + 1.0 * 5e-4,
+                best_seconds: 1.0 / (1.0 / 5e-4),
+                best_gflops: flops as f64 / (1.0 / (1.0 / 5e-4)) / 1e9,
+                evaluated: 1,
+                cache_hits: 0,
+                cache_misses: 1,
+                wall_s: 0.02,
+            },
+        ];
+        let text = render_events(&events).unwrap();
+        for needle in [
+            "trace report: q-method",
+            "best-cost curve:",
+            "SA acceptance rate by phase:",
+            "early: 100.0%",
+            "evaluation pool: 1 fresh evals",
+            "q-network: 1 training rounds",
+            "per-trial wall-clock:",
+            "run summary: 1 trials",
+            "reproduced exactly: yes",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(5e-6), "5.0us");
+        assert_eq!(fmt_seconds(2.5e-3), "2.50ms");
+        assert_eq!(fmt_seconds(1.5), "1.50s");
+        assert_eq!(fmt_seconds(f64::INFINITY), "inf");
+    }
+}
