@@ -1,0 +1,295 @@
+//! The regression corpus: shrunk failing (and sentinel passing) cases,
+//! stored as one JSON file each and replayed as ordinary `cargo test`.
+//!
+//! A fixture stores the *encoded* config vector rather than a structured
+//! config, for two reasons: the encoding is the repo's stable exchange
+//! format for schedule points, and rejected fixtures whose corruption is
+//! unrepresentable after decoding (truncated splits, out-of-range reorder
+//! entries) exercise `NodeConfig::decode` hardening on every replay.
+//!
+//! Field order in the files is fixed and the writer is deterministic, so
+//! regenerating the seed corpus is byte-stable.
+
+use std::path::Path;
+
+use flextensor_ir::suite::{small_case, OperatorKind};
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_telemetry::json::{self, Json};
+
+use crate::gen::{mutate, Mutation};
+use crate::oracle::{check_model, check_mutant_rejected, check_semantic, check_structural};
+use crate::shrink::shrink;
+
+/// What replaying a fixture must conclude about its config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// The config is valid: it must pass all three oracle tiers.
+    Pass,
+    /// The config is corrupted: every layer must reject it.
+    Reject,
+}
+
+impl Expectation {
+    /// Stable on-disk name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Expectation::Pass => "pass",
+            Expectation::Reject => "reject",
+        }
+    }
+
+    /// Parses [`Expectation::name`] output.
+    pub fn from_name(s: &str) -> Option<Expectation> {
+        match s {
+            "pass" => Some(Expectation::Pass),
+            "reject" => Some(Expectation::Reject),
+            _ => None,
+        }
+    }
+}
+
+/// One corpus entry: an encoded config plus everything needed to rebuild
+/// the graph it applies to and the verdict replay must reach.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fixture {
+    /// File stem; numeric prefix fixes the replay order.
+    pub name: String,
+    /// Which suite operator ([`small_case`] shape) the config targets.
+    pub kind: OperatorKind,
+    /// Target used for the semantic oracle on `Pass` fixtures.
+    pub target: TargetKind,
+    /// Required replay verdict.
+    pub expect: Expectation,
+    /// The config as an [`NodeConfig::encode`] vector.
+    pub encoded: Vec<i64>,
+    /// Human note: which mutation/seed produced this, or why it is kept.
+    pub note: String,
+}
+
+fn target_from_name(s: &str) -> Option<TargetKind> {
+    match s {
+        "cpu" => Some(TargetKind::Cpu),
+        "gpu" => Some(TargetKind::Gpu),
+        "fpga" => Some(TargetKind::Fpga),
+        _ => None,
+    }
+}
+
+impl Fixture {
+    /// Renders the fixture as its on-disk JSON document (fixed field
+    /// order, one field per line, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"name\": ");
+        json::write_str(&mut out, &self.name);
+        out.push_str(",\n  \"kind\": ");
+        json::write_str(&mut out, self.kind.abbr());
+        out.push_str(",\n  \"target\": ");
+        json::write_str(&mut out, &self.target.to_string());
+        out.push_str(",\n  \"expect\": ");
+        json::write_str(&mut out, self.expect.name());
+        out.push_str(",\n  \"encoded\": [");
+        for (i, v) in self.encoded.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str("],\n  \"note\": ");
+        json::write_str(&mut out, &self.note);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a fixture file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(src: &str) -> Result<Fixture, String> {
+        let v = json::parse(src)?;
+        let kind_s = v.get_str("kind")?;
+        let kind = OperatorKind::from_abbr(kind_s)
+            .ok_or_else(|| format!("unknown operator kind `{kind_s}`"))?;
+        let target_s = v.get_str("target")?;
+        let target =
+            target_from_name(target_s).ok_or_else(|| format!("unknown target `{target_s}`"))?;
+        let expect_s = v.get_str("expect")?;
+        let expect = Expectation::from_name(expect_s)
+            .ok_or_else(|| format!("unknown expectation `{expect_s}`"))?;
+        let encoded = match v.get("encoded")? {
+            Json::Array(items) => items
+                .iter()
+                .map(|item| match item {
+                    Json::Number(n) => n
+                        .parse::<i64>()
+                        .map_err(|e| format!("bad encoded entry `{n}`: {e}")),
+                    other => Err(format!("encoded entry is not a number: {other:?}")),
+                })
+                .collect::<Result<Vec<i64>, String>>()?,
+            other => Err(format!("field `encoded`: expected array, got {other:?}"))?,
+        };
+        Ok(Fixture {
+            name: v.get_str("name")?.to_string(),
+            kind,
+            target,
+            expect,
+            encoded,
+            note: v.get_str("note")?.to_string(),
+        })
+    }
+
+    /// Replays the fixture against the current implementation.
+    ///
+    /// `Pass` fixtures must decode, round-trip, and clear all three oracle
+    /// tiers; `Reject` fixtures must be refused — by `decode` itself, or by
+    /// the validator and lowering for every target once decoded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first check the implementation failed.
+    pub fn replay(&self) -> Result<(), String> {
+        let graph = small_case(self.kind);
+        let op = graph.anchor_op();
+        match self.expect {
+            Expectation::Pass => {
+                let cfg = NodeConfig::decode(op, &self.encoded)
+                    .map_err(|e| format!("pass fixture failed to decode: {e}"))?;
+                if cfg.encode() != self.encoded {
+                    return Err("decode/encode changed the stored vector".into());
+                }
+                check_structural(op, &cfg)?;
+                check_semantic(&graph, &cfg, self.target, 7)?;
+                check_model(&graph, &cfg)
+            }
+            Expectation::Reject => match NodeConfig::decode(op, &self.encoded) {
+                // Rejected at the decoding layer: exactly what we want.
+                Err(_) => Ok(()),
+                Ok(cfg) => check_mutant_rejected(&graph, &cfg),
+            },
+        }
+    }
+}
+
+/// Loads every `*.json` fixture under `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Returns an error naming the unreadable or malformed file.
+pub fn load_corpus(dir: &Path) -> Result<Vec<Fixture>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let src =
+            std::fs::read_to_string(&p).map_err(|e| format!("cannot read {}: {e}", p.display()))?;
+        out.push(
+            Fixture::from_json(&src)
+                .map_err(|e| format!("malformed fixture {}: {e}", p.display()))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Builds the deterministic seed corpus committed to the repository: one
+/// shrunk mutant per rejection *class* (product mismatch, broken
+/// permutation, wrong arity, bad fuse depth, bad FPGA parameters — each
+/// refused at a different layer) plus two known-good sentinels.
+pub fn seed_corpus() -> Vec<Fixture> {
+    use flextensor_explore::space::Space;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut out = Vec::new();
+    let mut reject = |idx: usize, kind: OperatorKind, mutation: Mutation, seed: u64| {
+        let graph = small_case(kind);
+        let op = graph.anchor_op().clone();
+        // Start from a busy random point so the shrinker has real work to
+        // do; what survives shrinking is the minimal reproducer.
+        let space = Space::new(&graph, TargetKind::Gpu);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = space.random_point(&mut rng);
+        let bad = mutate(&base, &op, mutation).expect("seed mutation applies");
+        let shrunk = shrink(&op, &bad, |c| c.validate(&op).is_err());
+        out.push(Fixture {
+            name: format!("{idx:03}-{}-{mutation}", kind.abbr().to_lowercase()),
+            kind,
+            target: TargetKind::Gpu,
+            expect: Expectation::Reject,
+            encoded: shrunk.encode(),
+            note: format!("shrunk {mutation} mutant of a seed-{seed} random point"),
+        });
+    };
+    reject(1, OperatorKind::Gemm, Mutation::SpatialFactorBump, 11);
+    reject(2, OperatorKind::Gemm, Mutation::ReorderDuplicate, 12);
+    reject(3, OperatorKind::Conv2d, Mutation::SpatialSplitTruncate, 13);
+    reject(4, OperatorKind::Gemv, Mutation::FuseZero, 14);
+    reject(5, OperatorKind::Bcm, Mutation::PartitionZero, 15);
+    reject(6, OperatorKind::Depthwise, Mutation::PipelineOverflow, 16);
+
+    let gemm = small_case(OperatorKind::Gemm);
+    out.push(Fixture {
+        name: "101-gemm-naive".into(),
+        kind: OperatorKind::Gemm,
+        target: TargetKind::Cpu,
+        expect: Expectation::Pass,
+        encoded: NodeConfig::naive(gemm.anchor_op()).encode(),
+        note: "known-good sentinel: the naive gemm schedule".into(),
+    });
+    let conv = small_case(OperatorKind::Conv2d);
+    let space = Space::new(&conv, TargetKind::Gpu);
+    let mut rng = StdRng::seed_from_u64(17);
+    out.push(Fixture {
+        name: "102-conv2d-random".into(),
+        kind: OperatorKind::Conv2d,
+        target: TargetKind::Gpu,
+        expect: Expectation::Pass,
+        encoded: space.random_point(&mut rng).encode(),
+        note: "known-good sentinel: seed-17 random GPU conv2d point".into(),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_round_trip_through_json() {
+        for f in seed_corpus() {
+            let back = Fixture::from_json(&f.to_json()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn seed_corpus_is_deterministic_and_replays_clean() {
+        let a = seed_corpus();
+        let b = seed_corpus();
+        assert_eq!(a, b);
+        assert!(a.len() >= 5);
+        for f in &a {
+            f.replay().unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        }
+    }
+
+    #[test]
+    fn malformed_fixture_files_are_rejected() {
+        assert!(Fixture::from_json("{").is_err());
+        assert!(Fixture::from_json("{\"name\":\"x\"}").is_err());
+        let good = seed_corpus()[0].to_json();
+        let bad = good.replace("\"GMM\"", "\"nosuchop\"");
+        assert!(Fixture::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn replay_detects_a_wrong_expectation() {
+        let mut f = seed_corpus().pop().unwrap();
+        assert_eq!(f.expect, Expectation::Pass);
+        f.expect = Expectation::Reject;
+        assert!(f.replay().is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Config generation for the fuzzer: valid points come from the schedule
+//! space's divisor-aware sampler ([`Space::random_point`], which scatters
+//! prime factors so every split is exact); *near-invalid mutants* come from
+//! this module, which takes a valid config and corrupts exactly one field.
+//!
+//! Each [`Mutation`] breaks one validator invariant while leaving every
+//! other field untouched, so a validator that checks invariants
+//! independently must reject the mutant — and a validator that has gone
+//! lax on one invariant is caught by exactly one mutation class.
+//!
+//! [`Space::random_point`]: flextensor_explore::space::Space::random_point
+
+use flextensor_ir::graph::ComputeOp;
+use flextensor_schedule::config::{NodeConfig, SPATIAL_PARTS};
+
+/// One deliberate, single-field corruption of a valid config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Double one spatial split factor (product no longer equals extent).
+    SpatialFactorBump,
+    /// Zero one spatial split factor.
+    SpatialFactorZero,
+    /// Negate one spatial split factor.
+    SpatialFactorNegative,
+    /// Double one reduce split factor.
+    ReduceFactorBump,
+    /// Drop one level from a spatial axis's split (wrong factor count).
+    SpatialSplitTruncate,
+    /// Append an extra level to a spatial axis's split.
+    SpatialSplitExtend,
+    /// Duplicate the first reorder entry (not a permutation).
+    ReorderDuplicate,
+    /// Point one reorder entry past the axis count.
+    ReorderOutOfRange,
+    /// Drop the last reorder entry (length mismatch).
+    ReorderTruncate,
+    /// Set the fuse depth to zero.
+    FuseZero,
+    /// Set the fuse depth past the spatial axis count.
+    FuseOverflow,
+    /// Zero the FPGA partition factor.
+    PartitionZero,
+    /// Push the FPGA pipeline depth past 3.
+    PipelineOverflow,
+}
+
+/// Every mutation class, in the fixed order the fuzzer applies them.
+pub const ALL_MUTATIONS: &[Mutation] = &[
+    Mutation::SpatialFactorBump,
+    Mutation::SpatialFactorZero,
+    Mutation::SpatialFactorNegative,
+    Mutation::ReduceFactorBump,
+    Mutation::SpatialSplitTruncate,
+    Mutation::SpatialSplitExtend,
+    Mutation::ReorderDuplicate,
+    Mutation::ReorderOutOfRange,
+    Mutation::ReorderTruncate,
+    Mutation::FuseZero,
+    Mutation::FuseOverflow,
+    Mutation::PartitionZero,
+    Mutation::PipelineOverflow,
+];
+
+impl Mutation {
+    /// Stable kebab-case name used in fixture files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutation::SpatialFactorBump => "spatial-factor-bump",
+            Mutation::SpatialFactorZero => "spatial-factor-zero",
+            Mutation::SpatialFactorNegative => "spatial-factor-negative",
+            Mutation::ReduceFactorBump => "reduce-factor-bump",
+            Mutation::SpatialSplitTruncate => "spatial-split-truncate",
+            Mutation::SpatialSplitExtend => "spatial-split-extend",
+            Mutation::ReorderDuplicate => "reorder-duplicate",
+            Mutation::ReorderOutOfRange => "reorder-out-of-range",
+            Mutation::ReorderTruncate => "reorder-truncate",
+            Mutation::FuseZero => "fuse-zero",
+            Mutation::FuseOverflow => "fuse-overflow",
+            Mutation::PartitionZero => "partition-zero",
+            Mutation::PipelineOverflow => "pipeline-overflow",
+        }
+    }
+
+    /// Parses [`Mutation::name`] output back into a mutation.
+    pub fn from_name(s: &str) -> Option<Mutation> {
+        ALL_MUTATIONS.iter().copied().find(|m| m.name() == s)
+    }
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Applies `mutation` to a valid `cfg`, producing a config the validator
+/// must reject. Returns `None` when the op's shape makes the mutation
+/// inapplicable (e.g. no reduce axes to corrupt, or a single spatial axis
+/// where a duplicate entry cannot be formed).
+pub fn mutate(cfg: &NodeConfig, op: &ComputeOp, mutation: Mutation) -> Option<NodeConfig> {
+    let mut out = cfg.clone();
+    match mutation {
+        Mutation::SpatialFactorBump => {
+            out.spatial_splits.first_mut()?[0] *= 2;
+            // Doubling strictly grows the product, so it cannot equal the
+            // extent again.
+        }
+        Mutation::SpatialFactorZero => {
+            out.spatial_splits.first_mut()?[SPATIAL_PARTS - 1] = 0;
+        }
+        Mutation::SpatialFactorNegative => {
+            let f = out.spatial_splits.first_mut()?;
+            f[SPATIAL_PARTS - 1] = -f[SPATIAL_PARTS - 1];
+        }
+        Mutation::ReduceFactorBump => {
+            out.reduce_splits.first_mut()?[0] *= 2;
+        }
+        Mutation::SpatialSplitTruncate => {
+            out.spatial_splits.first_mut()?.pop();
+        }
+        Mutation::SpatialSplitExtend => {
+            out.spatial_splits.first_mut()?.push(1);
+        }
+        Mutation::ReorderDuplicate => {
+            if out.reorder.len() < 2 {
+                return None;
+            }
+            let first = out.reorder[0];
+            let last = out.reorder.len() - 1;
+            out.reorder[last] = first;
+        }
+        Mutation::ReorderOutOfRange => {
+            *out.reorder.first_mut()? = op.spatial.len();
+        }
+        Mutation::ReorderTruncate => {
+            out.reorder.pop()?;
+        }
+        Mutation::FuseZero => {
+            out.fuse_outer = 0;
+        }
+        Mutation::FuseOverflow => {
+            out.fuse_outer = op.spatial.len() + 1;
+        }
+        Mutation::PartitionZero => {
+            out.fpga_partition = 0;
+        }
+        Mutation::PipelineOverflow => {
+            out.fpga_pipeline = 4;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+
+    #[test]
+    fn mutation_names_round_trip() {
+        for &m in ALL_MUTATIONS {
+            assert_eq!(Mutation::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn every_mutant_of_a_naive_gemm_is_rejected() {
+        let g = ops::gemm(8, 6, 4);
+        let op = g.root_op();
+        let base = NodeConfig::naive(op);
+        base.validate(op).unwrap();
+        for &m in ALL_MUTATIONS {
+            let Some(bad) = mutate(&base, op, m) else {
+                panic!("{m} should apply to gemm");
+            };
+            assert!(bad.validate(op).is_err(), "{m} accepted by validator");
+        }
+    }
+
+    #[test]
+    fn reorder_duplicate_needs_two_axes() {
+        let g = ops::gemv(8, 6);
+        let op = g.root_op();
+        let base = NodeConfig::naive(op);
+        assert_eq!(mutate(&base, op, Mutation::ReorderDuplicate), None);
+    }
+
+    #[test]
+    fn mutants_change_exactly_the_targeted_field() {
+        let g = ops::gemm(8, 6, 4);
+        let op = g.root_op();
+        let base = NodeConfig::naive(op);
+        let bad = mutate(&base, op, Mutation::FuseZero).unwrap();
+        assert_eq!(bad.spatial_splits, base.spatial_splits);
+        assert_eq!(bad.reorder, base.reorder);
+        assert_eq!(bad.fuse_outer, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Greedy per-field minimization of failing configs.
+//!
+//! Given a config and a predicate "this still fails", the shrinker walks a
+//! fixed list of simplification moves — resetting whole fields to their
+//! naive value, then peeling split factors level by level — accepting any
+//! move that keeps the predicate true, and repeating until a full pass
+//! changes nothing. The result is a minimal reproducer: every remaining
+//! non-naive field is load-bearing for the failure.
+//!
+//! The move order is fixed and the process is fully deterministic, so the
+//! same failure always shrinks to the same fixture.
+
+use flextensor_ir::graph::ComputeOp;
+use flextensor_schedule::config::NodeConfig;
+
+/// Smallest prime factor of `n` (`n` ≥ 2).
+fn smallest_prime_factor(n: i64) -> i64 {
+    if n % 2 == 0 {
+        return 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return d;
+        }
+        d += 2;
+    }
+    n
+}
+
+/// One simplification attempt: returns the simplified config, or `None`
+/// when the move does not change anything.
+fn moves(op: &ComputeOp, cfg: &NodeConfig) -> Vec<NodeConfig> {
+    let naive = NodeConfig::naive(op);
+    let mut out = Vec::new();
+    let mut push_if_new = |c: NodeConfig| {
+        if &c != cfg {
+            out.push(c);
+        }
+    };
+
+    // Whole-field resets, cheapest description first.
+    for (i, f) in naive.spatial_splits.iter().enumerate() {
+        if i < cfg.spatial_splits.len() {
+            let mut c = cfg.clone();
+            c.spatial_splits[i] = f.clone();
+            push_if_new(c);
+        }
+    }
+    for (i, f) in naive.reduce_splits.iter().enumerate() {
+        if i < cfg.reduce_splits.len() {
+            let mut c = cfg.clone();
+            c.reduce_splits[i] = f.clone();
+            push_if_new(c);
+        }
+    }
+    {
+        let mut c = cfg.clone();
+        c.reorder = naive.reorder.clone();
+        push_if_new(c);
+    }
+    for (field, value) in [
+        ("fuse", 0usize),
+        ("unroll", 0),
+        ("vectorize", 0),
+        ("cache", 0),
+        ("inline", 0),
+        ("partition", 0),
+        ("pipeline", 0),
+    ] {
+        let mut c = cfg.clone();
+        match field {
+            "fuse" => c.fuse_outer = naive.fuse_outer,
+            "unroll" => c.unroll = false,
+            "vectorize" => c.vectorize = false,
+            "cache" => c.cache_shared = false,
+            "inline" => c.inline_data = true,
+            "partition" => c.fpga_partition = 1,
+            "pipeline" => c.fpga_pipeline = 1,
+            _ => unreachable!(),
+        }
+        let _ = value;
+        push_if_new(c);
+    }
+
+    // Finer-grained: move one prime factor of any non-innermost level back
+    // to the innermost level (towards the naive split), per axis.
+    for (i, f) in cfg.spatial_splits.iter().enumerate() {
+        let parts = f.len();
+        for (level, &factor) in f.iter().enumerate().take(parts.saturating_sub(1)) {
+            if factor > 1 {
+                let mut c = cfg.clone();
+                let p = smallest_prime_factor(factor);
+                c.spatial_splits[i][level] /= p;
+                c.spatial_splits[i][parts - 1] *= p;
+                push_if_new(c);
+            }
+        }
+    }
+    for (i, f) in cfg.reduce_splits.iter().enumerate() {
+        let parts = f.len();
+        for (level, &factor) in f.iter().enumerate().take(parts.saturating_sub(1)) {
+            if factor > 1 {
+                let mut c = cfg.clone();
+                let p = smallest_prime_factor(factor);
+                c.reduce_splits[i][level] /= p;
+                c.reduce_splits[i][parts - 1] *= p;
+                push_if_new(c);
+            }
+        }
+    }
+    out
+}
+
+/// Greedily minimizes `cfg` while `still_fails` stays true.
+///
+/// `still_fails` must be true for `cfg` itself (the caller found a failing
+/// case); the returned config also satisfies it. The predicate is invoked
+/// O(fields × passes) times, so it should be cheap — for oracle failures,
+/// pass a closure that re-runs only the violated oracle.
+pub fn shrink(
+    op: &ComputeOp,
+    cfg: &NodeConfig,
+    still_fails: impl Fn(&NodeConfig) -> bool,
+) -> NodeConfig {
+    debug_assert!(still_fails(cfg), "shrink called on a non-failing config");
+    let mut cur = cfg.clone();
+    loop {
+        let mut progressed = false;
+        for cand in moves(op, &cur) {
+            if still_fails(&cand) {
+                cur = cand;
+                progressed = true;
+                break; // restart the pass from the simplified config
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{mutate, Mutation};
+    use flextensor_ir::ops;
+
+    #[test]
+    fn shrinking_a_mutant_keeps_only_the_corruption() {
+        let g = ops::gemm(8, 6, 4);
+        let op = g.root_op().clone();
+        // Busy base config: tiling, reorder, flags all non-naive.
+        let mut base = NodeConfig::naive(&op);
+        base.spatial_splits = vec![vec![2, 2, 2, 1], vec![1, 3, 2, 1]];
+        base.reduce_splits = vec![vec![2, 2, 1]];
+        base.reorder = vec![1, 0];
+        base.unroll = true;
+        base.cache_shared = true;
+        base.fpga_partition = 8;
+        base.validate(&op).unwrap();
+        let bad = mutate(&base, &op, Mutation::FuseZero).unwrap();
+        let shrunk = shrink(&op, &bad, |c| c.validate(&op).is_err());
+        // The corrupted field survives; everything else collapses to naive.
+        assert_eq!(shrunk.fuse_outer, 0);
+        let naive = NodeConfig::naive(&op);
+        assert_eq!(shrunk.spatial_splits, naive.spatial_splits);
+        assert_eq!(shrunk.reduce_splits, naive.reduce_splits);
+        assert_eq!(shrunk.reorder, naive.reorder);
+        assert!(!shrunk.unroll && !shrunk.cache_shared);
+        assert_eq!(shrunk.fpga_partition, 1);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let g = ops::gemm(8, 6, 4);
+        let op = g.root_op().clone();
+        let mut base = NodeConfig::naive(&op);
+        base.spatial_splits = vec![vec![4, 2, 1, 1], vec![2, 1, 3, 1]];
+        base.unroll = true;
+        let bad = mutate(&base, &op, Mutation::SpatialFactorBump).unwrap();
+        let a = shrink(&op, &bad, |c| c.validate(&op).is_err());
+        let b = shrink(&op, &bad, |c| c.validate(&op).is_err());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_preserves_the_predicate() {
+        let g = ops::gemm(8, 6, 4);
+        let op = g.root_op().clone();
+        let mut base = NodeConfig::naive(&op);
+        base.spatial_splits = vec![vec![2, 2, 2, 1], vec![2, 3, 1, 1]];
+        let bad = mutate(&base, &op, Mutation::ReorderDuplicate).unwrap();
+        let shrunk = shrink(&op, &bad, |c| c.validate(&op).is_err());
+        assert!(shrunk.validate(&op).is_err());
+    }
+}

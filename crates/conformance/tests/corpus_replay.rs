@@ -1,0 +1,61 @@
+//! Replays the committed regression corpus as ordinary `cargo test`.
+//!
+//! Every fixture under `corpus/` is a shrunk reproducer (or a known-good
+//! sentinel) with a recorded expectation; this test fails loudly if the
+//! current implementation disagrees with any of them. To add a case, drop
+//! a JSON file in `corpus/` — no code change needed.
+
+use std::path::Path;
+
+use flextensor_conformance::corpus::{load_corpus, Expectation};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+#[test]
+fn every_corpus_fixture_replays_clean() {
+    let fixtures = load_corpus(corpus_dir()).expect("corpus loads");
+    assert!(
+        fixtures.len() >= 5,
+        "expected at least 5 committed fixtures, found {}",
+        fixtures.len()
+    );
+    let mut failures = Vec::new();
+    for f in &fixtures {
+        if let Err(e) = f.replay() {
+            failures.push(format!("{} ({}): {e}", f.name, f.expect.name()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus mismatches:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn corpus_covers_both_expectations() {
+    let fixtures = load_corpus(corpus_dir()).expect("corpus loads");
+    let rejects = fixtures
+        .iter()
+        .filter(|f| f.expect == Expectation::Reject)
+        .count();
+    let passes = fixtures.len() - rejects;
+    assert!(
+        rejects >= 4,
+        "want several shrunk reject reproducers, found {rejects}"
+    );
+    assert!(passes >= 1, "want at least one known-good sentinel");
+}
+
+#[test]
+fn fixture_names_match_their_file_stems() {
+    // load_corpus sorts by file name; the embedded names must agree so a
+    // report line can be traced straight back to its file.
+    let fixtures = load_corpus(corpus_dir()).expect("corpus loads");
+    for f in &fixtures {
+        let path = corpus_dir().join(format!("{}.json", f.name));
+        assert!(path.is_file(), "fixture `{}` has no matching file", f.name);
+    }
+}

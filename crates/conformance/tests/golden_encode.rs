@@ -1,0 +1,94 @@
+//! Golden snapshot of `NodeConfig::naive(...).encode()` for every suite
+//! operator, pinned against the committed `golden/naive_encode.txt`.
+//!
+//! The encoding is the repo's exchange format for schedule points
+//! (telemetry traces, the regression corpus, the autotvm bridge), so its
+//! layout must never drift silently. If a change is *intentional*, rerun
+//! with `UPDATE_GOLDEN=1` and commit the new snapshot together with the
+//! migration notes.
+
+use std::path::Path;
+
+use flextensor_ir::suite::{small_case, OperatorKind};
+use flextensor_schedule::config::NodeConfig;
+
+fn golden_path() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/golden/naive_encode.txt"
+    ))
+}
+
+/// One line per operator: `ABBR: v0 v1 v2 ...` (naive config of the
+/// conformance small case), in `OperatorKind::all()` order.
+fn render_current() -> String {
+    let mut out = String::new();
+    for kind in OperatorKind::all() {
+        let g = small_case(kind);
+        let encoded = NodeConfig::naive(g.anchor_op()).encode();
+        out.push_str(kind.abbr());
+        out.push(':');
+        for v in encoded {
+            out.push(' ');
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn naive_encodings_match_the_committed_snapshot() {
+    let current = render_current();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_path().parent().unwrap()).unwrap();
+        std::fs::write(golden_path(), &current).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(golden_path()).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            golden_path().display()
+        )
+    });
+    assert_eq!(
+        current, committed,
+        "naive encode() drifted from the committed snapshot; if intentional, \
+         rerun with UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn snapshot_covers_every_operator_once() {
+    let committed = std::fs::read_to_string(golden_path()).expect("snapshot committed");
+    let lines: Vec<&str> = committed.lines().collect();
+    assert_eq!(lines.len(), OperatorKind::all().len());
+    for (line, kind) in lines.iter().zip(OperatorKind::all()) {
+        assert!(
+            line.starts_with(kind.abbr()),
+            "line `{line}` out of order; expected {}",
+            kind.abbr()
+        );
+    }
+}
+
+#[test]
+fn snapshot_lengths_match_the_documented_formula() {
+    use flextensor_schedule::config::{REDUCE_PARTS, SPATIAL_PARTS};
+    let committed = std::fs::read_to_string(golden_path()).expect("snapshot committed");
+    for (line, kind) in committed.lines().zip(OperatorKind::all()) {
+        let n = line.split_whitespace().count() - 1; // minus the `ABBR:` cell
+        let g = small_case(kind);
+        let op = g.anchor_op();
+        let expect = op.spatial.len() * SPATIAL_PARTS
+            + op.reduce.len() * REDUCE_PARTS
+            + op.spatial.len()
+            + 7;
+        assert_eq!(
+            n,
+            expect,
+            "{}: {n} values, formula says {expect}",
+            kind.abbr()
+        );
+    }
+}

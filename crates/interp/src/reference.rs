@@ -149,11 +149,11 @@ mod tests {
     }
 
     #[test]
-    fn transposed_conv_matches_sum_property() {
-        // All-ones input and weight: every output element is the number of
-        // (input, kernel) pairs mapping to it; total output sum must be
-        // in_elems * kernel_elems * out_channels... with in_channels=1:
-        // sum(O) = sum over inputs of sum(W) = 4 * 16 = 64 per out channel.
+    fn transposed_conv_matches_independent_scatter() {
+        // All-ones input and weight: O[y,x] counts the (input, kernel-tap)
+        // pairs scattering onto that output cell. Compute those counts
+        // independently from the transposed-conv definition
+        // (y = iy·stride + ky − pad) and compare elementwise.
         let p = ConvParams {
             batch: 1,
             in_channels: 1,
@@ -164,19 +164,39 @@ mod tests {
             dilation: 1,
             groups: 1,
         };
-        let g = ops::conv_transpose2d(p, 2, 2);
+        let (in_h, in_w) = (2i64, 2i64);
+        let g = ops::conv_transpose2d(p, in_h, in_w);
         let mut inputs = Store::new();
-        inputs.insert("I".into(), Buffer::filled(&[1, 1, 2, 2], 1.0));
+        inputs.insert("I".into(), Buffer::filled(&[1, 1, in_h, in_w], 1.0));
         inputs.insert("W".into(), Buffer::filled(&[1, 1, 4, 4], 1.0));
         let store = run_reference(&g, &inputs).unwrap();
         let o = &store["O"];
         assert_eq!(o.shape, vec![1, 1, 4, 4]);
-        // Padding crops the full (2-1)*2+4 = 6 extent to 4: total kernel
-        // applications inside the crop.
+        let taps_along = |out: i64| -> f64 {
+            let mut n = 0;
+            for i in 0..2 {
+                for k in 0..4 {
+                    if i * p.stride + k - p.padding == out {
+                        n += 1;
+                    }
+                }
+            }
+            n as f64
+        };
+        let mut expected_total = 0.0;
+        for y in 0..4 {
+            for x in 0..4 {
+                let want = taps_along(y) * taps_along(x);
+                let got = o.get(&[0, 0, y, x]).unwrap();
+                assert_eq!(got, want, "O[{y},{x}]");
+                expected_total += want;
+            }
+        }
+        // The uncropped scatter would sum to 4 inputs · 16 taps = 64; the
+        // padding crop drops border contributions, hence the strict <.
         let total: f64 = o.data.iter().sum();
-        // Full (uncropped) sum would be 4 inputs * 16 weights = 64; the
-        // crop removes border contributions, so 0 < total <= 64.
-        assert!(total > 0.0 && total <= 64.0, "total {total}");
+        assert_eq!(total, expected_total);
+        assert!(total > 0.0 && total < 64.0, "total {total}");
     }
 
     #[test]

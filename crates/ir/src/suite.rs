@@ -64,6 +64,33 @@ impl OperatorKind {
         }
     }
 
+    /// Parses a Table 3 abbreviation back into its kind (the inverse of
+    /// [`OperatorKind::abbr`]). Returns `None` for unknown strings.
+    pub fn from_abbr(s: &str) -> Option<OperatorKind> {
+        OperatorKind::all().into_iter().find(|k| k.abbr() == s)
+    }
+
+    /// Every operator kind: the twelve of Table 3 plus the §6.4 new
+    /// operators (BCM, shift).
+    pub fn all() -> [OperatorKind; 14] {
+        [
+            OperatorKind::Gemv,
+            OperatorKind::Gemm,
+            OperatorKind::Bilinear,
+            OperatorKind::Conv1d,
+            OperatorKind::ConvTranspose1d,
+            OperatorKind::Conv2d,
+            OperatorKind::ConvTranspose2d,
+            OperatorKind::Conv3d,
+            OperatorKind::ConvTranspose3d,
+            OperatorKind::GroupConv,
+            OperatorKind::Depthwise,
+            OperatorKind::Dilated,
+            OperatorKind::Bcm,
+            OperatorKind::Shift,
+        ]
+    }
+
     /// The twelve operators evaluated in Table 3 / Fig. 5 (excludes the
     /// §6.4 new operators).
     pub fn table3() -> [OperatorKind; 12] {
@@ -307,6 +334,46 @@ pub fn test_cases(kind: OperatorKind) -> Vec<Graph> {
     }
 }
 
+/// A miniature instance of one operator kind, sized so that reference
+/// interpretation finishes in milliseconds. The conformance fuzzer checks
+/// every schedule-space point it samples against the reference evaluator on
+/// these shapes; they keep the axis structure (and therefore the schedule
+/// space shape) of the Table 3 workloads while shrinking every extent to a
+/// small composite number so divisor-aware sampling still has factors to
+/// scatter.
+pub fn small_case(kind: OperatorKind) -> Graph {
+    match kind {
+        OperatorKind::Gemv => ops::gemv(8, 6),
+        OperatorKind::Gemm => ops::gemm(8, 6, 4),
+        OperatorKind::Bilinear => ops::bilinear(6, 4, 4, 2),
+        OperatorKind::Conv1d => ops::conv1d(ConvParams::same(1, 3, 4, 3), 8),
+        OperatorKind::ConvTranspose1d => ops::conv_transpose1d(tconv(2, 3, 4, 2, 1), 4),
+        OperatorKind::Conv2d => ops::conv2d(ConvParams::same(1, 2, 4, 3), 6, 6),
+        OperatorKind::ConvTranspose2d => ops::conv_transpose2d(tconv(2, 2, 4, 2, 1), 4, 4),
+        OperatorKind::Conv3d => ops::conv3d(ConvParams::same(1, 2, 3, 3), 2, 4, 4),
+        OperatorKind::ConvTranspose3d => ops::conv_transpose3d(tconv(1, 2, 2, 2, 0), 2, 2, 2),
+        OperatorKind::GroupConv => {
+            ops::group_conv2d(ConvParams::same(1, 4, 4, 3).with_groups(2), 4, 4)
+        }
+        OperatorKind::Depthwise => ops::depthwise_conv2d(1, 4, 2, 5, 5, 3, 1, 1),
+        OperatorKind::Dilated => {
+            let p = ConvParams {
+                batch: 1,
+                in_channels: 2,
+                out_channels: 3,
+                kernel: 3,
+                stride: 1,
+                padding: 2,
+                dilation: 2,
+                groups: 1,
+            };
+            ops::dilated_conv2d(p, 6, 6)
+        }
+        OperatorKind::Bcm => ops::bcm(1, 2, 2, 4),
+        OperatorKind::Shift => ops::shift2d(1, 9, 4, 4),
+    }
+}
+
 /// Expected number of test cases per Table 3 row.
 pub fn expected_case_count(kind: OperatorKind) -> usize {
     match kind {
@@ -388,6 +455,27 @@ mod tests {
             for g in test_cases(kind) {
                 assert!(g.output().num_elements() > 0, "{}", g.name);
             }
+        }
+    }
+
+    #[test]
+    fn abbr_round_trips_for_every_kind() {
+        for kind in OperatorKind::all() {
+            assert_eq!(OperatorKind::from_abbr(kind.abbr()), Some(kind));
+        }
+        assert_eq!(OperatorKind::from_abbr("nope"), None);
+    }
+
+    #[test]
+    fn small_cases_are_small() {
+        for kind in OperatorKind::all() {
+            let g = small_case(kind);
+            // Total iteration-domain size of the anchor op bounds the cost
+            // of one reference interpretation.
+            let anchor = g.anchor_op();
+            let domain = anchor.spatial_size() * anchor.reduce_size();
+            assert!(domain > 0, "{}: empty domain", g.name);
+            assert!(domain <= 20_000, "{}: domain {domain} too large", g.name);
         }
     }
 

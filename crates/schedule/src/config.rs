@@ -209,25 +209,68 @@ impl NodeConfig {
 
     /// Reconstructs a config from [`NodeConfig::encode`] output.
     ///
+    /// Decoding is total over arbitrary `&[i64]` input — it never panics
+    /// and never wraps negative values into huge indices. Value-level
+    /// *semantic* checks (split products, permutation validity) remain the
+    /// job of [`NodeConfig::validate`]; decode rejects only vectors that
+    /// cannot represent any config at all.
+    ///
     /// # Errors
     ///
-    /// Returns an error if the vector length does not match the op's shape.
+    /// Returns an error when the vector is truncated or oversized for the
+    /// op's shape, when a split factor is ≤ 0, when a reorder entry or the
+    /// fuse depth is outside `0..spatial` / `1..=spatial`, when a boolean
+    /// flag slot is not 0/1, or when an FPGA parameter is ≤ 0.
     pub fn decode(op: &ComputeOp, v: &[i64]) -> Result<NodeConfig, String> {
         let ns = op.spatial.len();
         let nr = op.reduce.len();
         let expect = ns * SPATIAL_PARTS + nr * REDUCE_PARTS + ns + 7;
         if v.len() != expect {
+            let class = if v.len() < expect {
+                "truncated"
+            } else {
+                "oversized"
+            };
             return Err(format!(
-                "expected encoding length {expect}, got {}",
+                "{class} encoding: expected length {expect}, got {}",
                 v.len()
             ));
         }
         let mut it = v.iter().copied();
         let mut take = |n: usize| -> Vec<i64> { (&mut it).take(n).collect() };
-        let spatial_splits = (0..ns).map(|_| take(SPATIAL_PARTS)).collect();
-        let reduce_splits = (0..nr).map(|_| take(REDUCE_PARTS)).collect();
-        let reorder = take(ns).into_iter().map(|x| x as usize).collect();
+        let spatial_splits: Vec<Vec<i64>> = (0..ns).map(|_| take(SPATIAL_PARTS)).collect();
+        let reduce_splits: Vec<Vec<i64>> = (0..nr).map(|_| take(REDUCE_PARTS)).collect();
+        for f in spatial_splits.iter().chain(reduce_splits.iter()) {
+            if let Some(&bad) = f.iter().find(|&&x| x < 1) {
+                return Err(format!("split factor {bad} is not positive"));
+            }
+        }
+        let raw_reorder = take(ns);
+        let mut reorder = Vec::with_capacity(ns);
+        for x in raw_reorder {
+            if x < 0 || x as usize >= ns {
+                return Err(format!("reorder entry {x} outside 0..{ns}"));
+            }
+            reorder.push(x as usize);
+        }
         let rest = take(7);
+        if rest[0] < 1 || rest[0] as usize > ns {
+            return Err(format!("fuse depth {} outside 1..={ns}", rest[0]));
+        }
+        for (slot, name) in rest[1..5]
+            .iter()
+            .zip(["unroll", "vectorize", "cache", "inline"])
+        {
+            if !matches!(slot, 0 | 1) {
+                return Err(format!("flag `{name}` must be 0 or 1, got {slot}"));
+            }
+        }
+        if rest[5] < 1 || rest[6] < 1 {
+            return Err(format!(
+                "FPGA parameters ({}, {}) must be positive",
+                rest[5], rest[6]
+            ));
+        }
         Ok(NodeConfig {
             spatial_splits,
             reduce_splits,
@@ -340,6 +383,79 @@ mod tests {
     fn decode_rejects_wrong_length() {
         let op = gemm_op();
         assert!(NodeConfig::decode(&op, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_vector() {
+        let op = gemm_op();
+        let mut v = NodeConfig::naive(&op).encode();
+        v.pop();
+        let err = NodeConfig::decode(&op, &v).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(NodeConfig::decode(&op, &[]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_oversized_vector() {
+        let op = gemm_op();
+        let mut v = NodeConfig::naive(&op).encode();
+        v.push(1);
+        let err = NodeConfig::decode(&op, &v).unwrap_err();
+        assert!(err.contains("oversized"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_nonpositive_factors() {
+        let op = gemm_op();
+        for bad in [-64, 0] {
+            let mut v = NodeConfig::naive(&op).encode();
+            v[3] = bad; // innermost factor of the first spatial axis
+            let err = NodeConfig::decode(&op, &v).unwrap_err();
+            assert!(err.contains("not positive"), "{err}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_reorder() {
+        let op = gemm_op();
+        let base = NodeConfig::naive(&op).encode();
+        let reorder_at = 2 * SPATIAL_PARTS + REDUCE_PARTS; // first reorder slot
+        for bad in [-1, 2, 100] {
+            let mut v = base.clone();
+            v[reorder_at] = bad;
+            let err = NodeConfig::decode(&op, &v).unwrap_err();
+            assert!(err.contains("reorder"), "{err}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_fuse_and_flags() {
+        let op = gemm_op();
+        let base = NodeConfig::naive(&op).encode();
+        let tail = 2 * SPATIAL_PARTS + REDUCE_PARTS + 2; // fuse slot offset
+        for (off, bad) in [(0, 0), (0, -1), (0, 3), (1, 2), (2, -1), (4, 5)] {
+            let mut v = base.clone();
+            v[tail + off] = bad;
+            assert!(
+                NodeConfig::decode(&op, &v).is_err(),
+                "slot {off} value {bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_nonpositive_fpga_params() {
+        let op = gemm_op();
+        let base = NodeConfig::naive(&op).encode();
+        let n = base.len();
+        for slot in [n - 2, n - 1] {
+            for bad in [0, -4] {
+                let mut v = base.clone();
+                v[slot] = bad;
+                let err = NodeConfig::decode(&op, &v).unwrap_err();
+                assert!(err.contains("FPGA"), "{err}");
+            }
+        }
     }
 
     #[test]

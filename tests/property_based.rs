@@ -11,6 +11,7 @@ use flextensor_interp::machine::check_against_reference;
 use flextensor_interp::reference::random_inputs;
 use flextensor_ir::expr::Expr;
 use flextensor_ir::ops;
+use flextensor_ir::suite;
 use flextensor_schedule::config::{NodeConfig, TargetKind};
 use flextensor_schedule::interval::{eval_interval, Interval, IntervalEnv};
 use flextensor_schedule::lower::lower;
@@ -167,6 +168,94 @@ proptest! {
                 let v = i * stride + r * dil + offset;
                 prop_assert!(iv.lo <= v && v <= iv.hi, "{v} outside [{}, {}]", iv.lo, iv.hi);
             }
+        }
+    }
+}
+
+/// The trivial point of the schedule space exists for *every* shape the
+/// paper benchmarks: `NodeConfig::naive` validates against the anchor of
+/// each suite test case of each operator kind (checked exhaustively, not
+/// sampled — this is the floor the explorers start from).
+#[test]
+fn naive_config_validates_for_every_suite_case() {
+    for kind in suite::OperatorKind::all() {
+        let cases = suite::test_cases(kind);
+        assert!(!cases.is_empty(), "{} has no test cases", kind.abbr());
+        for g in cases {
+            let op = g.anchor_op();
+            let cfg = NodeConfig::naive(op);
+            cfg.validate(op).unwrap_or_else(|e| {
+                panic!(
+                    "naive config invalid for {} case {}: {e}",
+                    kind.abbr(),
+                    g.name
+                )
+            });
+        }
+    }
+}
+
+/// A three-op chain of matrix products over all-ones inputs has the
+/// closed form `O[i,j] = k1·k2·k3`, computed here independently of any
+/// interpreter code path: the reference evaluator must reproduce it
+/// bit-exactly (integer-valued sums are exact in f64 at these sizes).
+#[test]
+fn reference_matches_closed_form_on_a_three_gemm_chain() {
+    use flextensor_interp::eval::{Buffer, Store};
+    use flextensor_interp::reference::run_reference;
+    use flextensor_ir::graph::{Axis, Combiner, GraphBuilder};
+
+    let (n, k1, k2, k3, m) = (3i64, 4i64, 5i64, 6i64, 2i64);
+    let mut b = GraphBuilder::new("gemm_chain3");
+    b.placeholder("A", vec![n, k1]);
+    b.placeholder("B", vec![k1, k2]);
+    b.placeholder("C", vec![k2, k3]);
+    b.placeholder("D", vec![k3, m]);
+    b.compute(
+        "t1",
+        "T1",
+        vec![Axis::new("i", n), Axis::new("j", k2)],
+        vec![Axis::new("k", k1)],
+        Expr::load("A", vec![Expr::var("i"), Expr::var("k")])
+            * Expr::load("B", vec![Expr::var("k"), Expr::var("j")]),
+        Combiner::Sum,
+    );
+    b.compute(
+        "t2",
+        "T2",
+        vec![Axis::new("i", n), Axis::new("j", k3)],
+        vec![Axis::new("k", k2)],
+        Expr::load("T1", vec![Expr::var("i"), Expr::var("k")])
+            * Expr::load("C", vec![Expr::var("k"), Expr::var("j")]),
+        Combiner::Sum,
+    );
+    b.compute(
+        "t3",
+        "O",
+        vec![Axis::new("i", n), Axis::new("j", m)],
+        vec![Axis::new("k", k3)],
+        Expr::load("T2", vec![Expr::var("i"), Expr::var("k")])
+            * Expr::load("D", vec![Expr::var("k"), Expr::var("j")]),
+        Combiner::Sum,
+    );
+    let g = b.finish().expect("chain graph is well-formed");
+
+    let mut inputs = Store::new();
+    for (name, shape) in [
+        ("A", vec![n, k1]),
+        ("B", vec![k1, k2]),
+        ("C", vec![k2, k3]),
+        ("D", vec![k3, m]),
+    ] {
+        inputs.insert(name.to_string(), Buffer::filled(&shape, 1.0));
+    }
+    let store = run_reference(&g, &inputs).expect("reference run succeeds");
+    let out = store.get("O").expect("output produced");
+    let expect = (k1 * k2 * k3) as f64;
+    for i in 0..n {
+        for j in 0..m {
+            let got = out.get(&[i, j]).expect("in bounds");
+            assert_eq!(got, expect, "O[{i},{j}]");
         }
     }
 }
