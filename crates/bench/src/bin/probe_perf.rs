@@ -1,0 +1,184 @@
+//! Probe — candidate-evaluation throughput of the split-phase fast path.
+//!
+//! Runs a fixed seeded workload (gemm + conv2d candidate batches on the
+//! V100 model) through both evaluation paths of the [`EvalPool`]:
+//!
+//! * **fast** — the default split-phase path: a cached `LoweredTemplate`
+//!   per pool, cheap per-candidate feature apply;
+//! * **naive** — the reference path (`EvalPool::new_reference`) that
+//!   re-lowers every candidate from scratch, kept exactly for this
+//!   comparison and for differential tests.
+//!
+//! Both paths are cross-checked for identical outcomes before timing, and
+//! the measured candidates/sec land in `results/BENCH_explore.json` so the
+//! repo tracks an evaluation-throughput trajectory across PRs (schema in
+//! `docs/PERFORMANCE.md`).
+//!
+//! Flags: `--seed N` (default 2024), `--workers N` (default 4),
+//! `--candidates N` per workload (default 512), `--budget-s S` total
+//! measurement budget in seconds (default 30), `--out PATH` (default
+//! `results/BENCH_explore.json`).
+
+use std::time::Instant;
+
+use flextensor_bench::harness::arg;
+use flextensor_explore::pool::EvalPool;
+use flextensor_explore::space::Space;
+use flextensor_ir::graph::Graph;
+use flextensor_ir::ops::{self, ConvParams};
+use flextensor_schedule::config::NodeConfig;
+use flextensor_sim::model::Evaluator;
+use flextensor_sim::spec::{v100, Device};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct WorkloadResult {
+    name: &'static str,
+    candidates: usize,
+    fast_cand_per_s: f64,
+    naive_cand_per_s: f64,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.fast_cand_per_s / self.naive_cand_per_s.max(1e-12)
+    }
+}
+
+/// Measures one path (fresh pool + fresh cache per repetition, so every
+/// candidate is a fresh evaluation) and returns candidates/sec. Spends
+/// roughly `budget_s`, with at least two repetitions.
+fn measure(
+    graph: &Graph,
+    ev: &Evaluator,
+    workers: usize,
+    cands: &[NodeConfig],
+    reference: bool,
+    budget_s: f64,
+) -> f64 {
+    let mut total_cands = 0usize;
+    let mut total_secs = 0.0f64;
+    let mut reps = 0usize;
+    while reps < 2 || total_secs < budget_s {
+        let mut pool = if reference {
+            EvalPool::new_reference(graph, ev, workers, 1 << 20)
+        } else {
+            EvalPool::new(graph, ev, workers, 1 << 20)
+        };
+        let t0 = Instant::now();
+        let outcomes = pool.evaluate_batch(cands);
+        total_secs += t0.elapsed().as_secs_f64();
+        total_cands += outcomes.len();
+        reps += 1;
+    }
+    total_cands as f64 / total_secs.max(1e-12)
+}
+
+fn run_workload(
+    name: &'static str,
+    graph: &Graph,
+    workers: usize,
+    seed: u64,
+    candidates: usize,
+    budget_s: f64,
+) -> WorkloadResult {
+    let ev = Evaluator::new(Device::Gpu(v100()));
+    let space = Space::new(graph, ev.target());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cands: Vec<NodeConfig> = (0..candidates)
+        .map(|_| space.random_point(&mut rng))
+        .collect();
+
+    // Cross-check before timing: both paths must agree on every outcome.
+    let fast_out = EvalPool::new(graph, &ev, workers, 1 << 20).evaluate_batch(&cands);
+    let naive_out = EvalPool::new_reference(graph, &ev, workers, 1 << 20).evaluate_batch(&cands);
+    assert_eq!(fast_out, naive_out, "fast path diverged on {name}");
+
+    // The naive path is the slow one; give it the larger share.
+    let naive_cand_per_s = measure(graph, &ev, workers, &cands, true, budget_s * 0.7);
+    let fast_cand_per_s = measure(graph, &ev, workers, &cands, false, budget_s * 0.3);
+    WorkloadResult {
+        name,
+        candidates,
+        fast_cand_per_s,
+        naive_cand_per_s,
+    }
+}
+
+fn main() {
+    let seed: u64 = arg("seed", 2024);
+    let workers: usize = arg("workers", 4);
+    let candidates: usize = arg("candidates", 512);
+    let budget_s: f64 = arg("budget-s", 30.0);
+    let out: String = arg("out", "results/BENCH_explore.json".to_string());
+
+    println!(
+        "== Probe: evaluation fast path (seed {seed}, {workers} workers, \
+         {candidates} candidates/workload, {budget_s:.0}s budget) ==\n"
+    );
+
+    let gemm = ops::gemm(256, 256, 256);
+    let conv = ops::conv2d(ConvParams::same(1, 64, 128, 3), 14, 14);
+    let per_workload = budget_s / 2.0;
+    let results = [
+        run_workload("gemm_256", &gemm, workers, seed, candidates, per_workload),
+        run_workload(
+            "conv2d_64x128_14",
+            &conv,
+            workers,
+            seed ^ 0x5eed,
+            candidates,
+            per_workload,
+        ),
+    ];
+
+    println!(
+        "{:<20} {:>12} {:>16} {:>16} {:>9}",
+        "workload", "candidates", "fast cand/s", "naive cand/s", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>12} {:>16.0} {:>16.0} {:>8.2}x",
+            r.name,
+            r.candidates,
+            r.fast_cand_per_s,
+            r.naive_cand_per_s,
+            r.speedup()
+        );
+    }
+    let overall: f64 =
+        (results.iter().map(|r| r.speedup().ln()).sum::<f64>() / results.len() as f64).exp();
+    println!("\noverall speedup (geometric mean): {overall:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"version\": 1,\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"candidates\": {}, \"fast_cand_per_s\": {:.1}, \
+             \"naive_cand_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            r.name,
+            r.candidates,
+            r.fast_cand_per_s,
+            r.naive_cand_per_s,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"overall_speedup\": {overall:.2}\n"));
+    json.push_str("}\n");
+
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        }
+    }
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("(saved {out})"),
+        Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+}

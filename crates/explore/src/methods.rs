@@ -311,6 +311,10 @@ pub fn search(
     let mut trace = Vec::with_capacity(opts.trials + 1);
     trace.push(d.trace_point(0));
 
+    // Reused feature buffer for Q-direction choice (zero allocation per
+    // start once warm).
+    let mut feats = Vec::new();
+
     'outer: for trial in 1..=opts.trials {
         if let Some(agent) = agent.as_mut() {
             agent.set_progress(trial as f64 / opts.trials.max(1) as f64);
@@ -334,7 +338,7 @@ pub fn search(
         for (si, (p, _)) in starts.iter().enumerate() {
             // Applicable = the direction exists from p and leads to a
             // point unvisited as of the start of this trial.
-            let neighbors: Vec<Option<NodeConfig>> = d
+            let mut neighbors: Vec<Option<NodeConfig>> = d
                 .space
                 .directions()
                 .iter()
@@ -356,9 +360,9 @@ pub fn search(
                 }
                 Method::QMethod => {
                     let mask: Vec<bool> = neighbors.iter().map(Option::is_some).collect();
-                    let feats = d.space.features(p);
+                    d.space.features_into(p, &mut feats);
                     match agent
-                        .as_ref()
+                        .as_mut()
                         .expect("Q agent exists")
                         .choose(&feats, &mask, &mut rng)
                     {
@@ -369,7 +373,9 @@ pub fn search(
             };
             for a in chosen {
                 meta.push((si, a));
-                cands.push(neighbors[a].clone().expect("chosen neighbor exists"));
+                // Each chosen index is distinct, so the neighbor moves out
+                // of its slot instead of being cloned.
+                cands.push(neighbors[a].take().expect("chosen neighbor exists"));
             }
         }
 

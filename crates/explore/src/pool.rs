@@ -12,6 +12,14 @@
 //!   results in the **fixed candidate order**, so every search driver
 //!   built on it is bit-for-bit deterministic in the worker count.
 //!
+//! Workers evaluate through a shared split-phase
+//! [`LoweredTemplate`]: the config-independent half of
+//! lowering is computed once when the pool is built, and each candidate
+//! only pays the cheap config-apply step (identical results to a full
+//! re-lowering — see `docs/PERFORMANCE.md`). The re-lowering path is kept
+//! behind [`EvalPool::new_reference`] for differential tests and the
+//! `probe_perf` baseline.
+//!
 //! Determinism argument: the evaluator is a pure function of
 //! `(graph, config)`, candidate batches are constructed before any
 //! evaluation starts, per-candidate results land in pre-assigned slots,
@@ -28,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use flextensor_ir::graph::Graph;
 use flextensor_schedule::config::NodeConfig;
+use flextensor_schedule::template::LoweredTemplate;
 use flextensor_sim::model::{Cost, Evaluator};
 use flextensor_telemetry::{Telemetry, TraceEvent};
 
@@ -193,6 +202,24 @@ pub struct EvalOutcome {
 struct EvalCtx {
     graph: Graph,
     evaluator: Evaluator,
+    /// Split-phase lowering template for `graph` on the evaluator's
+    /// target: the config-independent half of lowering, built once per
+    /// pool and shared by every worker (see `flextensor_schedule::template`).
+    template: LoweredTemplate,
+    /// `false` only in reference pools ([`EvalPool::new_reference`]),
+    /// which re-lower every candidate from scratch for differential
+    /// testing and perf-probe baselines.
+    use_template: bool,
+}
+
+impl EvalCtx {
+    fn eval(&self, cfg: &NodeConfig) -> Option<Cost> {
+        if self.use_template {
+            self.evaluator.evaluate_template(&self.template, cfg)
+        } else {
+            self.evaluator.evaluate(&self.graph, cfg)
+        }
+    }
 }
 
 /// One dispatched batch: workers claim indices from `next` and write into
@@ -257,6 +284,27 @@ impl EvalPool {
         )
     }
 
+    /// A reference pool that re-lowers every candidate from scratch
+    /// instead of applying the cached [`LoweredTemplate`]. Results are
+    /// bit-identical to [`EvalPool::new`] (both paths share one feature
+    /// computation); this exists so differential tests and the
+    /// `probe_perf` baseline can measure the fast path against it. Not
+    /// for production searches.
+    pub fn new_reference(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> EvalPool {
+        EvalPool::build(
+            graph,
+            evaluator,
+            workers,
+            Arc::new(MemoCache::new(cache_capacity)),
+            false,
+        )
+    }
+
     /// A pool sharing an existing memo cache (e.g. across searches over
     /// the same graph and device).
     pub fn with_cache(
@@ -265,10 +313,22 @@ impl EvalPool {
         workers: usize,
         cache: Arc<MemoCache>,
     ) -> EvalPool {
+        EvalPool::build(graph, evaluator, workers, cache, true)
+    }
+
+    fn build(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache: Arc<MemoCache>,
+        use_template: bool,
+    ) -> EvalPool {
         let workers = resolve_workers(workers);
         let ctx = Arc::new(EvalCtx {
             graph: graph.clone(),
             evaluator: evaluator.clone(),
+            template: LoweredTemplate::new(graph, evaluator.target()),
+            use_template,
         });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
@@ -288,7 +348,7 @@ impl EvalPool {
                             if i >= job.configs.len() {
                                 break;
                             }
-                            let cost = ctx.evaluator.evaluate(&ctx.graph, &job.configs[i]);
+                            let cost = ctx.eval(&job.configs[i]);
                             let _ = job.results[i].set(cost);
                         }
                         drop(job);
@@ -316,6 +376,13 @@ impl EvalPool {
         self.workers
     }
 
+    /// Whether this pool evaluates through the split-phase template fast
+    /// path (`true`, the default) or re-lowers every candidate
+    /// ([`EvalPool::new_reference`]).
+    pub fn uses_template(&self) -> bool {
+        self.ctx.use_template
+    }
+
     /// The memo cache in front of the evaluator.
     pub fn cache(&self) -> &Arc<MemoCache> {
         &self.cache
@@ -329,7 +396,7 @@ impl EvalPool {
     pub fn evaluate_batch(&mut self, configs: &[NodeConfig]) -> Vec<EvalOutcome> {
         let t0 = Instant::now();
         let n = configs.len();
-        let keys: Vec<Vec<i64>> = configs.iter().map(NodeConfig::encode).collect();
+        let mut keys: Vec<Vec<i64>> = configs.iter().map(NodeConfig::encode).collect();
         let mut out: Vec<Option<EvalOutcome>> = vec![None; n];
 
         // Resolve cache hits and in-batch duplicates on the coordinator.
@@ -350,9 +417,7 @@ impl EvalPool {
         // Evaluate the misses — inline when serial or trivially small,
         // fanned out over the persistent workers otherwise.
         let fresh: Vec<Option<Cost>> = if self.senders.is_empty() || work.len() <= 1 {
-            work.iter()
-                .map(|&i| self.ctx.evaluator.evaluate(&self.ctx.graph, &configs[i]))
-                .collect()
+            work.iter().map(|&i| self.ctx.eval(&configs[i])).collect()
         } else {
             let job = Arc::new(BatchJob {
                 configs: work.iter().map(|&i| configs[i].clone()).collect(),
@@ -373,10 +438,8 @@ impl EvalPool {
         };
 
         // Reduce in candidate order: publish fresh results, then resolve
-        // duplicates as hits. All cache writes happen here, on the
-        // coordinator, so cache content is deterministic.
+        // duplicates as hits.
         for (slot, &i) in fresh.iter().zip(&work) {
-            self.cache.insert(keys[i].clone(), *slot);
             out[i] = Some(EvalOutcome {
                 cost: *slot,
                 fresh: true,
@@ -389,6 +452,13 @@ impl EvalPool {
                 out[i] = Some(EvalOutcome { cost, fresh: false });
                 hits += 1;
             }
+        }
+        // All cache writes happen here, on the coordinator, in candidate
+        // order, so cache content is deterministic. Keys move into the
+        // cache (no clone per fresh evaluation).
+        drop(first_of_key);
+        for (slot, &i) in fresh.iter().zip(&work) {
+            self.cache.insert(std::mem::take(&mut keys[i]), *slot);
         }
         self.cache.count_hits(hits);
         self.cache.count_misses(work.len());
@@ -543,6 +613,24 @@ mod tests {
             assert_eq!(oc.cost, ev.evaluate(&g, cfg));
         }
         assert!(pool.cache().len() <= CACHE_SHARDS);
+    }
+
+    #[test]
+    fn reference_pool_matches_template_fast_path() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cands: Vec<_> = (0..32).map(|_| space.random_point(&mut rng)).collect();
+        cands.push(cands[0].clone()); // in-batch duplicate
+        let mut fast = EvalPool::new(&g, &ev, 4, 1 << 16);
+        let mut reference = EvalPool::new_reference(&g, &ev, 4, 1 << 16);
+        assert!(fast.uses_template());
+        assert!(!reference.uses_template());
+        assert_eq!(
+            fast.evaluate_batch(&cands),
+            reference.evaluate_batch(&cands)
+        );
+        assert_eq!(fast.stats().evaluated, reference.stats().evaluated);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! parameters are refreshed from the online network `X` after each
 //! training round (the stabilization of Mnih et al. 2015 the paper cites).
 
-use flextensor_nn::{AdaDelta, Mlp};
+use std::collections::VecDeque;
+
+use flextensor_nn::{AdaDelta, Mlp, MlpScratch, TrainScratch};
 use rand::Rng;
 
 /// One recorded transition: `(state, action, reward, next_state)`.
@@ -32,7 +34,19 @@ pub struct QAgent {
     net: Mlp,        // X: trained online
     target_net: Mlp, // Y: frozen copy used for bootstrap targets
     opt: AdaDelta,
-    replay: Vec<Transition>,
+    /// Bounded FIFO replay buffer; a ring (`VecDeque`) so eviction of the
+    /// oldest transition is O(1) instead of a whole-buffer shift.
+    replay: VecDeque<Transition>,
+    /// Ping-pong activation scratch for allocation-free inference.
+    scratch: MlpScratch,
+    /// Output buffer for [`QAgent::choose`]'s Q-value forward pass.
+    q_buf: Vec<f64>,
+    /// Bootstrap buffer for the target network's forward pass.
+    boot_buf: Vec<f64>,
+    /// Gradient/activation scratch reused across training rounds.
+    train_scratch: TrainScratch,
+    /// Reused per-round training targets (one row per minibatch sample).
+    targets: Vec<Vec<f64>>,
     /// Discount factor (the paper's α).
     alpha: f64,
     /// ε-greedy exploration rate (annealed by [`QAgent::set_progress`]).
@@ -57,7 +71,12 @@ impl QAgent {
             net,
             target_net,
             opt,
-            replay: Vec::new(),
+            replay: VecDeque::new(),
+            scratch: MlpScratch::new(),
+            q_buf: Vec::new(),
+            boot_buf: Vec::new(),
+            train_scratch: TrainScratch::new(),
+            targets: Vec::new(),
             alpha: 0.3,
             epsilon: 0.9,
             train_every: 5,
@@ -93,19 +112,28 @@ impl QAgent {
 
     /// ε-greedy action choice among the available actions (mask of
     /// applicable directions). Returns `None` when nothing is available.
-    pub fn choose(&self, state: &[f64], available: &[bool], rng: &mut impl Rng) -> Option<usize> {
-        let avail: Vec<usize> = (0..self.num_actions)
-            .filter(|&a| available.get(a).copied().unwrap_or(false))
-            .collect();
-        if avail.is_empty() {
+    /// Takes `&mut self` for the agent's inference scratch buffers —
+    /// allocation-free on the exploration hot path.
+    pub fn choose(
+        &mut self,
+        state: &[f64],
+        available: &[bool],
+        rng: &mut impl Rng,
+    ) -> Option<usize> {
+        let is_avail = |a: usize| available.get(a).copied().unwrap_or(false);
+        let avail_count = (0..self.num_actions).filter(|&a| is_avail(a)).count();
+        if avail_count == 0 {
             return None;
         }
         if rng.gen_bool(self.epsilon) {
-            return Some(avail[rng.gen_range(0..avail.len())]);
+            let k = rng.gen_range(0..avail_count);
+            return (0..self.num_actions).filter(|&a| is_avail(a)).nth(k);
         }
-        let q = self.q_values(state);
-        avail
-            .into_iter()
+        self.net
+            .forward_into(state, &mut self.scratch, &mut self.q_buf);
+        let q = &self.q_buf;
+        (0..self.num_actions)
+            .filter(|&a| is_avail(a))
             .max_by(|&a, &b| q[a].partial_cmp(&q[b]).unwrap_or(std::cmp::Ordering::Equal))
     }
 
@@ -113,9 +141,9 @@ impl QAgent {
     pub fn record(&mut self, t: Transition) {
         // Bounded replay: keep the most recent 4096 transitions.
         if self.replay.len() >= 4096 {
-            self.replay.remove(0);
+            self.replay.pop_front();
         }
-        self.replay.push(t);
+        self.replay.push_back(t);
     }
 
     /// Signals the end of one exploration trial; every `train_every`
@@ -128,36 +156,49 @@ impl QAgent {
             return None;
         }
         self.trials_since_train = 0;
-        // Batch: 64 transitions sampled uniformly from the replay buffer.
-        let batch: Vec<Transition> = if self.replay.len() <= 64 {
-            self.replay.clone()
+        // Batch: 64 transitions sampled uniformly from the replay buffer —
+        // by index, so no transition is cloned per round.
+        let indices: Vec<usize> = if self.replay.len() <= 64 {
+            (0..self.replay.len()).collect()
         } else {
             (0..64)
-                .map(|_| self.replay[rng.gen_range(0..self.replay.len())].clone())
+                .map(|_| rng.gen_range(0..self.replay.len()))
                 .collect()
         };
-        let batch = &batch[..];
-        let mut xs = Vec::with_capacity(batch.len());
-        let mut ys = Vec::with_capacity(batch.len());
-        for t in batch {
+        if self.targets.len() < indices.len() {
+            self.targets.resize(indices.len(), Vec::new());
+        }
+        for (row, &i) in indices.iter().enumerate() {
             // target = α·max_a Y(e)[a] + r, on the taken action; other
             // actions keep the online net's own predictions (so only the
             // taken action's error backpropagates meaningfully).
-            let mut y = self.net.forward(&t.state);
+            let t = &self.replay[i];
+            self.net
+                .forward_into(&t.state, &mut self.scratch, &mut self.targets[row]);
+            self.target_net
+                .forward_into(&t.next_state, &mut self.scratch, &mut self.boot_buf);
             let bootstrap = self
-                .target_net
-                .forward(&t.next_state)
-                .into_iter()
+                .boot_buf
+                .iter()
+                .copied()
                 .fold(f64::NEG_INFINITY, f64::max);
-            y[t.action] = self.alpha * bootstrap + t.reward;
-            xs.push(t.state.clone());
-            ys.push(y);
+            self.targets[row][t.action] = self.alpha * bootstrap + t.reward;
         }
+        let xs: Vec<&[f64]> = indices
+            .iter()
+            .map(|&i| self.replay[i].state.as_slice())
+            .collect();
+        let ys: Vec<&[f64]> = self.targets[..indices.len()]
+            .iter()
+            .map(Vec::as_slice)
+            .collect();
         // Several gradient steps per round: the batch is tiny, so a single
         // AdaDelta step learns almost nothing.
         let mut loss = 0.0;
         for _ in 0..8 {
-            loss = self.net.train_batch(&xs, &ys, &mut self.opt);
+            loss = self
+                .net
+                .train_batch_with(&xs, &ys, &mut self.opt, &mut self.train_scratch);
         }
         // Copy X -> Y (the paper: "the parameters of X are copied to
         // network Y as a backup").
@@ -179,7 +220,7 @@ mod tests {
     #[test]
     fn choose_respects_availability() {
         let mut r = rng(0);
-        let agent = QAgent::new(4, 3, &mut r);
+        let mut agent = QAgent::new(4, 3, &mut r);
         let s = vec![0.1, 0.2, 0.3, 0.4];
         assert_eq!(agent.choose(&s, &[false, true, false], &mut r), Some(1));
         assert_eq!(agent.choose(&s, &[false, false, false], &mut r), None);
@@ -244,5 +285,29 @@ mod tests {
             });
         }
         assert!(agent.replay.len() <= 4096);
+    }
+
+    #[test]
+    fn ring_replay_evicts_oldest_first() {
+        // The ring buffer must keep exactly the FIFO semantics of the old
+        // `Vec::remove(0)` implementation: after overflow, the buffer
+        // holds the most recent 4096 transitions in insertion order.
+        let mut r = rng(4);
+        let mut agent = QAgent::new(1, 1, &mut r);
+        for i in 0..5000 {
+            agent.record(Transition {
+                state: vec![i as f64],
+                action: 0,
+                reward: 0.0,
+                next_state: vec![i as f64],
+            });
+        }
+        assert_eq!(agent.replay.len(), 4096);
+        // 5000 - 4096 = 904 oldest transitions were evicted.
+        assert_eq!(agent.replay.front().unwrap().state, vec![904.0]);
+        assert_eq!(agent.replay.back().unwrap().state, vec![4999.0]);
+        for (k, t) in agent.replay.iter().enumerate() {
+            assert_eq!(t.state[0], (904 + k) as f64);
+        }
     }
 }

@@ -369,6 +369,15 @@ impl Space {
     /// positions, flags as 0/1.
     pub fn features(&self, cfg: &NodeConfig) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.feature_dim());
+        self.features_into(cfg, &mut out);
+        out
+    }
+
+    /// Writes [`Space::features`] into a caller-provided buffer (cleared
+    /// first) — zero allocation once the buffer is warm. The SA/Q hot
+    /// loops call this once per start per trial.
+    pub fn features_into(&self, cfg: &NodeConfig, out: &mut Vec<f64>) {
+        out.clear();
         for f in &cfg.spatial_splits {
             for &x in f {
                 out.push((x as f64).log2() / 10.0);
@@ -389,7 +398,6 @@ impl Space {
         out.push(cfg.inline_data as i64 as f64);
         out.push((cfg.fpga_partition as f64).log2() / 4.0);
         out.push(cfg.fpga_pipeline as f64 / 3.0);
-        out
     }
 
     /// Width of [`Space::features`] vectors.

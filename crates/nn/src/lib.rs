@@ -75,6 +75,49 @@ impl Linear {
     }
 }
 
+/// Reusable ping-pong activation buffers for allocation-free inference
+/// ([`Mlp::forward_into`] / [`Mlp::forward_batch`]).
+///
+/// The exploration hot loop scores thousands of states per trial; holding
+/// one `MlpScratch` per agent turns every forward pass after the first
+/// into a zero-allocation operation. Buffer reuse never changes the math:
+/// each layer writes every element of its output before anything reads
+/// it, so results are bit-identical to [`Mlp::forward`].
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    a: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl MlpScratch {
+    /// Fresh (empty) scratch; buffers grow to the widest layer on first
+    /// use and are reused afterwards.
+    pub fn new() -> MlpScratch {
+        MlpScratch::default()
+    }
+}
+
+/// Reusable buffers for [`Mlp::train_batch_with`]: the gradient
+/// accumulator, per-layer activations, and the two backprop delta
+/// buffers. Reusing them across training rounds removes every per-round
+/// heap allocation; all buffers are fully overwritten (or explicitly
+/// zeroed) before use, so training is bit-identical to
+/// [`Mlp::train_batch`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    grads: Vec<f64>,
+    acts: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+    prev: Vec<f64>,
+}
+
+impl TrainScratch {
+    /// Fresh (empty) scratch; buffers size themselves on first use.
+    pub fn new() -> TrainScratch {
+        TrainScratch::default()
+    }
+}
+
 /// A multilayer perceptron: linear layers with ReLU between them (linear
 /// output layer).
 #[derive(Debug, Clone, PartialEq)]
@@ -120,65 +163,130 @@ impl Mlp {
     ///
     /// Panics if `x.len()` differs from [`Mlp::input_dim`].
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        self.forward_into(x, &mut scratch, &mut out);
+        out
+    }
+
+    /// Runs the layer stack on `x` inside `scratch`, leaving the output in
+    /// `scratch.a` and returning it. The shared core of every inference
+    /// entry point — one implementation, bit-identical results.
+    fn run_layers<'s>(&self, x: &[f64], scratch: &'s mut MlpScratch) -> &'s [f64] {
         assert_eq!(x.len(), self.input_dim(), "input width mismatch");
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
+        let MlpScratch { a, b } = scratch;
+        a.clear();
+        a.extend_from_slice(x);
         for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(&cur, &mut next);
+            layer.forward(a, b);
             if i + 1 < self.layers.len() {
-                for v in &mut next {
+                for v in b.iter_mut() {
                     *v = v.max(0.0); // ReLU
                 }
             }
-            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(a, b);
         }
-        cur
+        a
     }
 
-    /// Forward pass retaining activations per layer (for backprop).
-    fn forward_cached(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut acts = vec![x.to_vec()];
-        let mut cur = x.to_vec();
-        let mut next = Vec::new();
-        for (i, layer) in self.layers.iter().enumerate() {
-            layer.forward(&cur, &mut next);
-            if i + 1 < self.layers.len() {
-                for v in &mut next {
-                    *v = v.max(0.0);
-                }
-            }
-            acts.push(next.clone());
-            std::mem::swap(&mut cur, &mut next);
+    /// Runs the network on one input into a caller-provided buffer using
+    /// preallocated ping-pong activation scratch — zero heap allocation
+    /// once the buffers are warm, bit-identical to [`Mlp::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`Mlp::input_dim`].
+    pub fn forward_into(&self, x: &[f64], scratch: &mut MlpScratch, out: &mut Vec<f64>) {
+        let result = self.run_layers(x, scratch);
+        out.clear();
+        out.extend_from_slice(result);
+    }
+
+    /// Runs the network on a batch of inputs, concatenating the outputs
+    /// into `out` (`xs.len() × output_dim`, row-major). One call scores
+    /// e.g. every candidate direction of a schedule point with a single
+    /// warm scratch and output buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input's width differs from [`Mlp::input_dim`].
+    pub fn forward_batch(&self, xs: &[&[f64]], scratch: &mut MlpScratch, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(xs.len() * self.output_dim());
+        for x in xs {
+            let result = self.run_layers(x, scratch);
+            out.extend_from_slice(result);
         }
-        let out = acts.last().expect("at least the input activation").clone();
-        (acts, out)
     }
 
     /// One optimization step on a batch under MSE loss; returns the batch
-    /// loss before the update.
+    /// loss before the update. Convenience wrapper over
+    /// [`Mlp::train_batch_with`] with throwaway scratch — hot loops should
+    /// hold a [`TrainScratch`] and call the `_with` variant directly.
     ///
     /// # Panics
     ///
     /// Panics if the batch is empty, shapes mismatch, or `opt` was created
     /// for a different parameter count.
     pub fn train_batch(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], opt: &mut AdaDelta) -> f64 {
+        let xr: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let yr: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
+        self.train_batch_with(&xr, &yr, opt, &mut TrainScratch::new())
+    }
+
+    /// One optimization step on a batch under MSE loss using reusable
+    /// scratch buffers (no per-round heap allocation once warm); returns
+    /// the batch loss before the update. Bit-identical to
+    /// [`Mlp::train_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch is empty, shapes mismatch, or `opt` was created
+    /// for a different parameter count.
+    pub fn train_batch_with(
+        &mut self,
+        xs: &[&[f64]],
+        ys: &[&[f64]],
+        opt: &mut AdaDelta,
+        scratch: &mut TrainScratch,
+    ) -> f64 {
         assert!(!xs.is_empty() && xs.len() == ys.len(), "bad batch");
         assert_eq!(opt.len(), self.num_params(), "optimizer size mismatch");
-        let mut grads = vec![0.0; self.num_params()];
+        let TrainScratch {
+            grads,
+            acts,
+            delta,
+            prev,
+        } = scratch;
+        grads.clear();
+        grads.resize(self.num_params(), 0.0);
+        if acts.len() != self.layers.len() + 1 {
+            acts.resize(self.layers.len() + 1, Vec::new());
+        }
         let mut loss = 0.0;
         for (x, y) in xs.iter().zip(ys) {
             assert_eq!(y.len(), self.output_dim(), "target width mismatch");
-            let (acts, out) = self.forward_cached(x);
+            // Forward pass retaining activations per layer (for backprop).
+            assert_eq!(x.len(), self.input_dim(), "input width mismatch");
+            acts[0].clear();
+            acts[0].extend_from_slice(x);
+            for (i, layer) in self.layers.iter().enumerate() {
+                let (head, tail) = acts.split_at_mut(i + 1);
+                layer.forward(&head[i], &mut tail[0]);
+                if i + 1 < self.layers.len() {
+                    for v in tail[0].iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+            }
             // dL/dout for MSE (mean over outputs and batch).
+            let out = acts.last().expect("at least the input activation");
             let scale = 1.0 / (xs.len() * y.len()) as f64;
-            let mut delta: Vec<f64> = out
-                .iter()
-                .zip(y)
-                .map(|(o, t)| {
-                    loss += (o - t) * (o - t) * scale;
-                    2.0 * (o - t) * scale
-                })
-                .collect();
+            delta.clear();
+            for (o, t) in out.iter().zip(*y) {
+                loss += (o - t) * (o - t) * scale;
+                delta.push(2.0 * (o - t) * scale);
+            }
             // Backprop through layers.
             let mut offset = self.num_params();
             for (li, layer) in self.layers.iter().enumerate().rev() {
@@ -196,7 +304,8 @@ impl Mlp {
                 if li > 0 {
                     // Propagate delta through W and the ReLU derivative at
                     // the previous activation.
-                    let mut prev = vec![0.0; layer.inputs];
+                    prev.clear();
+                    prev.resize(layer.inputs, 0.0);
                     for (d, row) in delta.iter().zip(layer.w.chunks(layer.inputs)) {
                         for (p, wi) in prev.iter_mut().zip(row) {
                             *p += d * wi;
@@ -207,7 +316,7 @@ impl Mlp {
                             *p = 0.0;
                         }
                     }
-                    delta = prev;
+                    std::mem::swap(delta, prev);
                 }
             }
         }
@@ -352,6 +461,62 @@ mod tests {
         for (x, y) in xs.iter().zip(&ys) {
             let p = net.forward(x)[0];
             assert!((p - y[0]).abs() < 0.3, "xor({x:?}) = {p}, want {}", y[0]);
+        }
+    }
+
+    #[test]
+    fn forward_into_is_bit_identical_to_forward() {
+        let net = Mlp::new(&[6, 24, 24, 4], &mut rng(11));
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        let mut r = rng(12);
+        for _ in 0..16 {
+            let x: Vec<f64> = (0..6).map(|_| r.gen_range(-2.0..2.0)).collect();
+            net.forward_into(&x, &mut scratch, &mut out);
+            assert_eq!(out, net.forward(&x)); // exact: identical op order
+        }
+    }
+
+    #[test]
+    fn forward_batch_concatenates_individual_outputs() {
+        let net = Mlp::new(&[5, 16, 3], &mut rng(13));
+        let mut r = rng(14);
+        let xs: Vec<Vec<f64>> = (0..7)
+            .map(|_| (0..5).map(|_| r.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let refs: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+        let mut scratch = MlpScratch::new();
+        let mut out = Vec::new();
+        net.forward_batch(&refs, &mut scratch, &mut out);
+        assert_eq!(out.len(), xs.len() * net.output_dim());
+        for (i, x) in xs.iter().enumerate() {
+            let row = &out[i * net.output_dim()..(i + 1) * net.output_dim()];
+            assert_eq!(row, net.forward(x).as_slice());
+        }
+    }
+
+    #[test]
+    fn train_batch_with_is_bit_identical_to_train_batch() {
+        let mut a = Mlp::new(&[3, 12, 12, 2], &mut rng(15));
+        let mut b = a.clone();
+        let mut opt_a = AdaDelta::new(a.num_params());
+        let mut opt_b = AdaDelta::new(b.num_params());
+        let mut scratch = TrainScratch::new();
+        let mut r = rng(16);
+        for _ in 0..20 {
+            let xs: Vec<Vec<f64>> = (0..4)
+                .map(|_| (0..3).map(|_| r.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let ys: Vec<Vec<f64>> = (0..4)
+                .map(|_| (0..2).map(|_| r.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let loss_a = a.train_batch(&xs, &ys, &mut opt_a);
+            let xr: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+            let yr: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
+            let loss_b = b.train_batch_with(&xr, &yr, &mut opt_b, &mut scratch);
+            assert_eq!(loss_a, loss_b); // exact: identical op order
+            assert_eq!(a, b);
+            assert_eq!(opt_a, opt_b);
         }
     }
 

@@ -17,6 +17,10 @@
 //! * [`mod@lower`] — target-specific lowering (Fig. 4a/4b/4c) from a
 //!   mini-graph and a config to a [`lower::LoweredKernel`]
 //!   with exact tiling [features](features::KernelFeatures).
+//! * [`template`] — split-phase lowering: a per-(graph, target)
+//!   [`template::LoweredTemplate`] caches the config-independent half of
+//!   lowering so exploration derives per-candidate features without
+//!   re-walking the expression tree (see `docs/PERFORMANCE.md`).
 //! * [`interval`] — the index-interval analysis behind tile-footprint
 //!   computation (shared-memory sizing, cache-fit, register pressure).
 //! * [`primitives`] — the printable Table 2 primitive sequence a config
@@ -46,8 +50,10 @@ pub mod interval;
 pub mod lower;
 pub mod nest;
 pub mod primitives;
+pub mod template;
 
 pub use config::{NodeConfig, TargetKind, REDUCE_PARTS, SPATIAL_PARTS};
 pub use features::{FpgaFeatures, KernelFeatures};
 pub use lower::{lower, lower_naive, LowerError, LoweredKernel};
 pub use nest::{LoopKind, Stmt};
+pub use template::LoweredTemplate;

@@ -23,9 +23,12 @@ use flextensor_ir::expr::Expr;
 use flextensor_ir::graph::{ComputeOp, Graph};
 
 use crate::config::{NodeConfig, TargetKind};
-use crate::features::{FpgaFeatures, KernelFeatures};
-use crate::interval::{footprint, Interval, IntervalEnv};
+use crate::features::KernelFeatures;
+use crate::interval::footprint;
 use crate::nest::{LoopKind, Stmt};
+use crate::template::{
+    compute_features, data_producers, inline_producers, load_groups, tile_env, FeatureConsts,
+};
 
 /// A fully lowered kernel: an executable statement sequence plus the
 /// feature summary consumed by the performance models.
@@ -58,101 +61,6 @@ impl std::fmt::Display for LowerError {
 }
 
 impl std::error::Error for LowerError {}
-
-/// Returns the data-movement producer chain of the root op: compute nodes
-/// with no reduce axes whose outputs the root (transitively) reads.
-fn data_producers<'g>(graph: &'g Graph, root: &ComputeOp) -> Vec<&'g ComputeOp> {
-    let mut out: Vec<&ComputeOp> = Vec::new();
-    let mut frontier = root.input_tensors();
-    while let Some(t) = frontier.pop() {
-        if let Some(p) = graph
-            .compute_ops()
-            .find(|c| c.output == t && c.reduce.is_empty() && c.name != root.name)
-        {
-            if !out.iter().any(|o| o.name == p.name) {
-                out.push(p);
-                frontier.extend(p.input_tensors());
-            }
-        }
-    }
-    // Topological order (producers of producers first).
-    out.reverse();
-    out
-}
-
-/// Substitutes loads of producer tensors with the producer's body, with the
-/// producer's spatial variables replaced by the load's index expressions.
-/// Applied to fixpoint so chains (dilate → pad → conv) inline fully.
-fn inline_producers(graph: &Graph, root: &ComputeOp, body: &Expr) -> Expr {
-    fn rewrite(graph: &Graph, root_name: &str, e: &Expr) -> (Expr, bool) {
-        match e {
-            Expr::Load { tensor, indices } => {
-                // First rewrite inside the indices themselves.
-                let mut changed = false;
-                let new_indices: Vec<Expr> = indices
-                    .iter()
-                    .map(|ix| {
-                        let (r, c) = rewrite(graph, root_name, ix);
-                        changed |= c;
-                        r
-                    })
-                    .collect();
-                if let Some(p) = graph
-                    .compute_ops()
-                    .find(|c| &c.output == tensor && c.reduce.is_empty() && c.name != root_name)
-                {
-                    // Rename producer vars to fresh temporaries, then
-                    // substitute the temporaries with the index expressions
-                    // (avoids capture when index exprs mention names that
-                    // collide with producer axis names).
-                    let mut b = p.body.clone();
-                    let temps: Vec<String> = (0..p.spatial.len())
-                        .map(|i| format!("__inl_{}_{i}", p.name))
-                        .collect();
-                    for (axis, tmp) in p.spatial.iter().zip(&temps) {
-                        b = b.substitute(&axis.name, &Expr::Var(tmp.clone()));
-                    }
-                    for (tmp, ix) in temps.iter().zip(&new_indices) {
-                        b = b.substitute(tmp, ix);
-                    }
-                    (b, true)
-                } else {
-                    (
-                        Expr::Load {
-                            tensor: tensor.clone(),
-                            indices: new_indices,
-                        },
-                        changed,
-                    )
-                }
-            }
-            Expr::Bin(op, a, bx) => {
-                let (ra, ca) = rewrite(graph, root_name, a);
-                let (rb, cb) = rewrite(graph, root_name, bx);
-                (Expr::Bin(*op, Box::new(ra), Box::new(rb)), ca || cb)
-            }
-            Expr::Select(c, a, bx) => {
-                let (ra, ca) = rewrite(graph, root_name, a);
-                let (rb, cb) = rewrite(graph, root_name, bx);
-                // Conditions only contain index arithmetic; no loads there.
-                (
-                    Expr::Select(c.clone(), Box::new(ra), Box::new(rb)),
-                    ca || cb,
-                )
-            }
-            _ => (e.clone(), false),
-        }
-    }
-    let mut cur = body.clone();
-    for _ in 0..8 {
-        let (next, changed) = rewrite(graph, &root.name, &cur);
-        cur = next;
-        if !changed {
-            break;
-        }
-    }
-    cur
-}
 
 /// Builds a naive serial nest executing a data-movement producer.
 fn naive_producer_nest(op: &ComputeOp) -> Stmt {
@@ -353,74 +261,6 @@ fn substitute_stmt(stmt: Stmt, subs: &[(String, Expr)]) -> Stmt {
     }
 }
 
-/// Interval environment covering the variation of each original axis over
-/// the given spatial levels and reduce levels. E.g. for spatial levels
-/// {1,2,3} the axis `i` varies over `[0, f1*f2*f3 - 1]` (a per-block tile).
-fn tile_env(
-    root: &ComputeOp,
-    cfg: &NodeConfig,
-    spatial_levels: &[usize],
-    reduce_levels: &[usize],
-) -> IntervalEnv {
-    let mut env = IntervalEnv::new();
-    for (i, a) in root.spatial.iter().enumerate() {
-        let tile: i64 = spatial_levels
-            .iter()
-            .map(|&l| cfg.spatial_splits[i][l])
-            .product();
-        env.insert(a.name.clone(), Interval::new(0, tile - 1));
-    }
-    for (i, a) in root.reduce.iter().enumerate() {
-        let tile: i64 = reduce_levels
-            .iter()
-            .map(|&l| cfg.reduce_splits[i][l])
-            .product();
-        env.insert(a.name.clone(), Interval::new(0, tile - 1));
-    }
-    env
-}
-
-/// Collects the distinct loads of the (inlined) body together with their
-/// index expressions, keyed by tensor name.
-fn body_load_groups(body: &Expr) -> Vec<(String, Vec<Vec<Expr>>)> {
-    let mut groups: Vec<(String, Vec<Vec<Expr>>)> = Vec::new();
-    fn walk(e: &Expr, groups: &mut Vec<(String, Vec<Vec<Expr>>)>) {
-        match e {
-            Expr::Load { tensor, indices } => {
-                for ix in indices {
-                    walk(ix, groups);
-                }
-                match groups.iter_mut().find(|(t, _)| t == tensor) {
-                    Some((_, v)) => v.push(indices.clone()),
-                    None => groups.push((tensor.clone(), vec![indices.clone()])),
-                }
-            }
-            Expr::Bin(_, a, b) => {
-                walk(a, groups);
-                walk(b, groups);
-            }
-            Expr::Select(_, a, b) => {
-                walk(a, groups);
-                walk(b, groups);
-            }
-            _ => {}
-        }
-    }
-    walk(body, &mut groups);
-    groups
-}
-
-/// Sum over tensors of the footprint (bytes) of all loads of that tensor
-/// under `env` (taking the hull across load sites of the same tensor).
-fn loads_footprint_bytes(groups: &[(String, Vec<Vec<Expr>>)], env: &IntervalEnv) -> i64 {
-    let mut total = 0i64;
-    for (_, sites) in groups {
-        let fp = sites.iter().map(|ix| footprint(ix, env)).max().unwrap_or(0);
-        total += fp * 4;
-    }
-    total
-}
-
 /// Lowers a mini-graph under a schedule configuration for a target.
 ///
 /// # Errors
@@ -436,93 +276,27 @@ pub fn lower(
     let root = ctx.root;
 
     // ---- common feature material -------------------------------------
-    let groups = body_load_groups(&ctx.body);
-    let output_elements = root.spatial_size();
-    let reduce_size = root.reduce_size();
-    let input_bytes_total: i64 = graph.inputs().map(|t| t.bytes()).sum();
-
-    // Tile environments at the levels the models care about.
-    let block_env = tile_env(root, cfg, &[1, 2, 3], &[1, 2]); // per-block, per outer-reduce step
-                                                              // Registers hold the accumulators plus the operands of one reduce
-                                                              // iteration (two when unrolling interleaves iterations) — not the whole
-                                                              // staged tile, which lives in shared memory / cache.
-    let thread_env = tile_env(root, cfg, &[3], &[]);
-    let l1_env = tile_env(root, cfg, &[3], &[2]);
-    let l2_env = tile_env(root, cfg, &[2, 3], &[1, 2]);
-
-    let shared_bytes_per_block = loads_footprint_bytes(&groups, &block_env);
-    let thread_input_bytes = loads_footprint_bytes(&groups, &thread_env);
-    let thread_tile: i64 = cfg.spatial_level_product(3);
-    let thread_reg_bytes = thread_tile * cfg.spatial_level_product(1) * 4
-        + thread_input_bytes * if cfg.unroll { 2 } else { 1 };
-    let l1_tile_bytes = loads_footprint_bytes(&groups, &l1_env) + thread_tile * 4;
-    let l2_tile_bytes =
-        loads_footprint_bytes(&groups, &l2_env) + cfg.spatial_level_product(2) * thread_tile * 4;
-
-    // Innermost-contiguity: the fastest-varying spatial sub-loop belongs to
-    // the reorder-last axis; it is contiguous iff that axis is the last
-    // output dimension.
-    let contiguous_inner = ctx
-        .order
-        .last()
-        .is_some_and(|&ax| ax == root.spatial.len() - 1);
-
+    // Shared with the split-phase fast path (`crate::template`): both
+    // paths call `compute_features` on identical inputs, so features agree
+    // bit-for-bit by construction.
+    let groups = load_groups(graph, &ctx.body);
     let data_producers_list = data_producers(graph, root);
-    let data_node_bytes: i64 = if cfg.inline_data {
-        0
-    } else {
-        data_producers_list
+    let consts = FeatureConsts {
+        root_flops: root.flops(),
+        epilogue_flops: graph.epilogue_chain().iter().map(|e| e.flops()).sum(),
+        output_elements: root.spatial_size(),
+        reduce_size: root.reduce_size(),
+        input_bytes_total: graph.inputs().map(|t| t.bytes()).sum(),
+        materialized_data_bytes: data_producers_list
             .iter()
             .map(|p| {
                 let out_bytes = p.spatial_size() * 4;
                 // write once + read back by consumer
                 2 * out_bytes
             })
-            .sum()
+            .sum(),
     };
-
-    let vector_len = if cfg.vectorize {
-        ctx.order
-            .last()
-            .map(|&ax| cfg.spatial_splits[ax][3])
-            .unwrap_or(1)
-    } else {
-        1
-    };
-
-    let mut features = KernelFeatures {
-        target,
-        flops: root.flops(),
-        output_elements,
-        output_bytes: output_elements * 4,
-        input_bytes_total,
-        body_loads: groups.len(),
-        reduce_size,
-        grid: cfg.spatial_level_product(0),
-        parallel_chunks: ctx
-            .order
-            .iter()
-            .take(cfg.fuse_outer)
-            .map(|&ax| cfg.spatial_splits[ax][0])
-            .product(),
-        vthreads: cfg.spatial_level_product(1),
-        block_threads: cfg.spatial_level_product(2),
-        thread_tile,
-        reduce_outer: cfg.reduce_level_product(0),
-        reduce_mid: cfg.reduce_level_product(1),
-        reduce_inner: cfg.reduce_level_product(2),
-        unroll: cfg.unroll,
-        vector_len,
-        contiguous_inner,
-        cache_shared: cfg.cache_shared,
-        shared_bytes_per_block,
-        thread_reg_bytes,
-        l1_tile_bytes,
-        l2_tile_bytes,
-        inline_data: cfg.inline_data,
-        data_node_bytes,
-        fpga: None,
-    };
+    let features = compute_features(root, cfg, target, &groups, &consts);
 
     // ---- build the nest ------------------------------------------------
     let store = ctx.store_stmt();
@@ -571,11 +345,13 @@ pub fn lower(
             body = ctx.wrap_reduce_level(body, 1, LoopKind::Serial);
             // Shared-memory staging once per outer reduce step.
             if cfg.cache_shared {
+                let block_env = tile_env(root, cfg, &[1, 2, 3], &[1, 2]);
                 let mut staged: Vec<Stmt> = groups
                     .iter()
-                    .map(|(t, sites)| Stmt::StageIn {
-                        tensor: t.clone(),
-                        bytes: sites
+                    .map(|g| Stmt::StageIn {
+                        tensor: g.tensor.clone(),
+                        bytes: g
+                            .sites
                             .iter()
                             .map(|ix| footprint(ix, &block_env))
                             .max()
@@ -592,42 +368,9 @@ pub fn lower(
             ctx.wrap_fused(body, &ctx.order.clone(), 0, "block", LoopKind::BlockIdx)
         }
         TargetKind::Fpga => {
-            // PE array: levels 2 and 3 are spatial hardware parallelism;
-            // levels 0 and 1 are sequential rounds.
-            let pe: i64 = cfg.spatial_level_product(2) * cfg.spatial_level_product(3);
-            let rounds: i64 = cfg.spatial_level_product(0) * cfg.spatial_level_product(1);
-            let round_env = tile_env(root, cfg, &[2, 3], &[0, 1, 2]);
-            // BRAM must hold the full per-round tile; DDR streaming is
-            // cheaper: a tensor is fetched from DDR a bounded number of
-            // times over the whole run (on-chip reuse across rounds, e.g.
-            // weights stay resident while spatial rounds advance).
-            const DDR_REFETCH_CAP: f64 = 8.0;
-            let mut buffer_bytes = 0i64;
-            let mut stream_bytes = 0i64;
-            for (tensor, sites) in &groups {
-                let fp = sites
-                    .iter()
-                    .map(|ix| footprint(ix, &round_env))
-                    .max()
-                    .unwrap_or(0)
-                    * 4;
-                buffer_bytes += fp;
-                let total = graph.tensor(tensor).map(|t| t.bytes()).unwrap_or(fp);
-                let amortized =
-                    ((total as f64 * DDR_REFETCH_CAP / rounds.max(1) as f64).ceil() as i64).max(1);
-                stream_bytes += fp.min(amortized);
-            }
-            let write_bytes = pe * 4;
-            features.fpga = Some(FpgaFeatures {
-                pe,
-                rounds,
-                buffer_bytes,
-                stream_bytes,
-                write_bytes,
-                partition: cfg.fpga_partition,
-                pipeline: cfg.fpga_pipeline,
-            });
-
+            // PE-array feature accounting (pe/rounds/buffer/stream bytes)
+            // lives in `compute_features`; only the pipelined round nest is
+            // built here.
             let mut body = vec![store];
             body = ctx.wrap_reduce_level(body, 2, inner_kind);
             body = ctx.wrap_spatial_level(body, 3, LoopKind::Unrolled);
@@ -641,8 +384,9 @@ pub fn lower(
 
     // Materialized producers execute first; epilogue consumers (bias,
     // activation) run after the main nest. At the model level the epilogue
-    // is fused at writeback — its FLOPs count, but it adds no extra DRAM
-    // round trip (the anchor's intermediate stays in registers).
+    // is fused at writeback — its FLOPs are already counted by
+    // `compute_features`, but it adds no extra DRAM round trip (the
+    // anchor's intermediate stays in registers).
     let mut stmts: Vec<Stmt> = Vec::new();
     if !cfg.inline_data {
         for p in &data_producers_list {
@@ -651,7 +395,6 @@ pub fn lower(
     }
     stmts.extend(nest);
     for e in graph.epilogue_chain() {
-        features.flops += e.flops();
         stmts.push(naive_producer_nest(e));
     }
 

@@ -1,0 +1,537 @@
+//! Split-phase lowering: the config-independent half of
+//! [`crate::lower::lower`], computed once per (graph, target) and reused
+//! across every candidate.
+//!
+//! Full lowering does two kinds of work per schedule point:
+//!
+//! 1. **Config-independent**: inlining data-movement producers into the
+//!    root body (a fixpoint of expression cloning and substitution),
+//!    collecting the body's load sites, and deriving graph constants
+//!    (FLOPs, input bytes, producer sizes). None of this depends on the
+//!    candidate being evaluated — only on the graph and, binarily, on the
+//!    `inline_data` flag.
+//! 2. **Config-dependent**: split-factor products, interval footprints of
+//!    the cached load sites, and — only when the loop nest itself is
+//!    needed — the statement tree with all its substitutions.
+//!
+//! Exploration evaluates thousands of candidates per trial and only ever
+//! consumes [`KernelFeatures`] (the cost models never look at the nest).
+//! [`LoweredTemplate`] therefore precomputes phase 1 for *both*
+//! `inline_data` variants and exposes [`LoweredTemplate::features`], a
+//! cheap apply step that never clones or re-walks the expression tree.
+//! [`crate::lower::lower`] is built on the same `compute_features` helper,
+//! so the two paths agree bit-for-bit by construction (see
+//! `tests/fastpath.rs` for the differential check).
+
+use flextensor_ir::expr::Expr;
+use flextensor_ir::graph::{ComputeOp, Graph};
+
+use crate::config::{NodeConfig, TargetKind};
+use crate::features::{FpgaFeatures, KernelFeatures};
+use crate::interval::{footprint, Interval, IntervalEnv};
+use crate::lower::LowerError;
+
+/// Returns the data-movement producer chain of the root op: compute nodes
+/// with no reduce axes whose outputs the root (transitively) reads.
+pub(crate) fn data_producers<'g>(graph: &'g Graph, root: &ComputeOp) -> Vec<&'g ComputeOp> {
+    let mut out: Vec<&ComputeOp> = Vec::new();
+    let mut frontier = root.input_tensors();
+    while let Some(t) = frontier.pop() {
+        if let Some(p) = graph
+            .compute_ops()
+            .find(|c| c.output == t && c.reduce.is_empty() && c.name != root.name)
+        {
+            if !out.iter().any(|o| o.name == p.name) {
+                out.push(p);
+                frontier.extend(p.input_tensors());
+            }
+        }
+    }
+    // Topological order (producers of producers first).
+    out.reverse();
+    out
+}
+
+/// Substitutes loads of producer tensors with the producer's body, with the
+/// producer's spatial variables replaced by the load's index expressions.
+/// Applied to fixpoint so chains (dilate → pad → conv) inline fully.
+pub(crate) fn inline_producers(graph: &Graph, root: &ComputeOp, body: &Expr) -> Expr {
+    fn rewrite(graph: &Graph, root_name: &str, e: &Expr) -> (Expr, bool) {
+        match e {
+            Expr::Load { tensor, indices } => {
+                // First rewrite inside the indices themselves.
+                let mut changed = false;
+                let new_indices: Vec<Expr> = indices
+                    .iter()
+                    .map(|ix| {
+                        let (r, c) = rewrite(graph, root_name, ix);
+                        changed |= c;
+                        r
+                    })
+                    .collect();
+                if let Some(p) = graph
+                    .compute_ops()
+                    .find(|c| &c.output == tensor && c.reduce.is_empty() && c.name != root_name)
+                {
+                    // Rename producer vars to fresh temporaries, then
+                    // substitute the temporaries with the index expressions
+                    // (avoids capture when index exprs mention names that
+                    // collide with producer axis names).
+                    let mut b = p.body.clone();
+                    let temps: Vec<String> = (0..p.spatial.len())
+                        .map(|i| format!("__inl_{}_{i}", p.name))
+                        .collect();
+                    for (axis, tmp) in p.spatial.iter().zip(&temps) {
+                        b = b.substitute(&axis.name, &Expr::Var(tmp.clone()));
+                    }
+                    for (tmp, ix) in temps.iter().zip(&new_indices) {
+                        b = b.substitute(tmp, ix);
+                    }
+                    (b, true)
+                } else {
+                    (
+                        Expr::Load {
+                            tensor: tensor.clone(),
+                            indices: new_indices,
+                        },
+                        changed,
+                    )
+                }
+            }
+            Expr::Bin(op, a, bx) => {
+                let (ra, ca) = rewrite(graph, root_name, a);
+                let (rb, cb) = rewrite(graph, root_name, bx);
+                (Expr::Bin(*op, Box::new(ra), Box::new(rb)), ca || cb)
+            }
+            Expr::Select(c, a, bx) => {
+                let (ra, ca) = rewrite(graph, root_name, a);
+                let (rb, cb) = rewrite(graph, root_name, bx);
+                // Conditions only contain index arithmetic; no loads there.
+                (
+                    Expr::Select(c.clone(), Box::new(ra), Box::new(rb)),
+                    ca || cb,
+                )
+            }
+            _ => (e.clone(), false),
+        }
+    }
+    let mut cur = body.clone();
+    for _ in 0..8 {
+        let (next, changed) = rewrite(graph, &root.name, &cur);
+        cur = next;
+        if !changed {
+            break;
+        }
+    }
+    cur
+}
+
+/// All load sites of one tensor in the (possibly inlined) root body,
+/// together with the tensor's whole-graph byte size when declared.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LoadGroup {
+    /// Tensor name.
+    pub tensor: String,
+    /// Index expressions of every load site of this tensor.
+    pub sites: Vec<Vec<Expr>>,
+    /// Total bytes of the declared tensor (`None` when the graph has no
+    /// declaration, e.g. a fully inlined intermediate).
+    pub total_bytes: Option<i64>,
+}
+
+/// Collects the distinct loads of a body together with their index
+/// expressions, keyed by tensor name in first-occurrence order, and
+/// resolves each tensor's declared byte size from the graph.
+pub(crate) fn load_groups(graph: &Graph, body: &Expr) -> Vec<LoadGroup> {
+    let mut groups: Vec<(String, Vec<Vec<Expr>>)> = Vec::new();
+    fn walk(e: &Expr, groups: &mut Vec<(String, Vec<Vec<Expr>>)>) {
+        match e {
+            Expr::Load { tensor, indices } => {
+                for ix in indices {
+                    walk(ix, groups);
+                }
+                match groups.iter_mut().find(|(t, _)| t == tensor) {
+                    Some((_, v)) => v.push(indices.clone()),
+                    None => groups.push((tensor.clone(), vec![indices.clone()])),
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                walk(a, groups);
+                walk(b, groups);
+            }
+            Expr::Select(_, a, b) => {
+                walk(a, groups);
+                walk(b, groups);
+            }
+            _ => {}
+        }
+    }
+    walk(body, &mut groups);
+    groups
+        .into_iter()
+        .map(|(tensor, sites)| {
+            let total_bytes = graph.tensor(&tensor).map(|t| t.bytes());
+            LoadGroup {
+                tensor,
+                sites,
+                total_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Interval environment covering the variation of each original axis over
+/// the given spatial levels and reduce levels. E.g. for spatial levels
+/// {1,2,3} the axis `i` varies over `[0, f1*f2*f3 - 1]` (a per-block tile).
+pub(crate) fn tile_env(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    spatial_levels: &[usize],
+    reduce_levels: &[usize],
+) -> IntervalEnv {
+    let mut env = IntervalEnv::new();
+    for (i, a) in root.spatial.iter().enumerate() {
+        let tile: i64 = spatial_levels
+            .iter()
+            .map(|&l| cfg.spatial_splits[i][l])
+            .product();
+        env.insert(a.name.clone(), Interval::new(0, tile - 1));
+    }
+    for (i, a) in root.reduce.iter().enumerate() {
+        let tile: i64 = reduce_levels
+            .iter()
+            .map(|&l| cfg.reduce_splits[i][l])
+            .product();
+        env.insert(a.name.clone(), Interval::new(0, tile - 1));
+    }
+    env
+}
+
+/// Sum over tensors of the footprint (bytes) of all loads of that tensor
+/// under `env` (taking the hull across load sites of the same tensor).
+pub(crate) fn loads_footprint_bytes(groups: &[LoadGroup], env: &IntervalEnv) -> i64 {
+    let mut total = 0i64;
+    for g in groups {
+        let fp = g
+            .sites
+            .iter()
+            .map(|ix| footprint(ix, env))
+            .max()
+            .unwrap_or(0);
+        total += fp * 4;
+    }
+    total
+}
+
+/// Config-independent graph constants shared by every candidate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FeatureConsts {
+    /// FLOPs of the root (anchor) compute node.
+    pub root_flops: u64,
+    /// Summed FLOPs of the fused epilogue chain.
+    pub epilogue_flops: u64,
+    /// Output elements of the root node.
+    pub output_elements: i64,
+    /// Reduce-domain iterations per output element.
+    pub reduce_size: i64,
+    /// Total bytes of all graph input tensors.
+    pub input_bytes_total: i64,
+    /// Extra DRAM bytes when data-movement producers are materialized
+    /// (write + read back of every intermediate).
+    pub materialized_data_bytes: i64,
+}
+
+/// Computes [`KernelFeatures`] for a validated config from precomputed
+/// load groups and graph constants. This is the single source of truth for
+/// feature computation: both [`crate::lower::lower`] and
+/// [`LoweredTemplate::features`] call it, so the fast path cannot drift
+/// from the full lowering.
+pub(crate) fn compute_features(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    target: TargetKind,
+    groups: &[LoadGroup],
+    consts: &FeatureConsts,
+) -> KernelFeatures {
+    // Tile environments at the levels the models care about.
+    let block_env = tile_env(root, cfg, &[1, 2, 3], &[1, 2]); // per-block, per outer-reduce step
+                                                              // Registers hold the accumulators plus the operands of one reduce
+                                                              // iteration (two when unrolling interleaves iterations) — not the whole
+                                                              // staged tile, which lives in shared memory / cache.
+    let thread_env = tile_env(root, cfg, &[3], &[]);
+    let l1_env = tile_env(root, cfg, &[3], &[2]);
+    let l2_env = tile_env(root, cfg, &[2, 3], &[1, 2]);
+
+    let shared_bytes_per_block = loads_footprint_bytes(groups, &block_env);
+    let thread_input_bytes = loads_footprint_bytes(groups, &thread_env);
+    let thread_tile: i64 = cfg.spatial_level_product(3);
+    let thread_reg_bytes = thread_tile * cfg.spatial_level_product(1) * 4
+        + thread_input_bytes * if cfg.unroll { 2 } else { 1 };
+    let l1_tile_bytes = loads_footprint_bytes(groups, &l1_env) + thread_tile * 4;
+    let l2_tile_bytes =
+        loads_footprint_bytes(groups, &l2_env) + cfg.spatial_level_product(2) * thread_tile * 4;
+
+    // Innermost-contiguity: the fastest-varying spatial sub-loop belongs to
+    // the reorder-last axis; it is contiguous iff that axis is the last
+    // output dimension.
+    let contiguous_inner = cfg
+        .reorder
+        .last()
+        .is_some_and(|&ax| ax == root.spatial.len() - 1);
+
+    let data_node_bytes: i64 = if cfg.inline_data {
+        0
+    } else {
+        consts.materialized_data_bytes
+    };
+
+    let vector_len = if cfg.vectorize {
+        cfg.reorder
+            .last()
+            .map(|&ax| cfg.spatial_splits[ax][3])
+            .unwrap_or(1)
+    } else {
+        1
+    };
+
+    let mut features = KernelFeatures {
+        target,
+        flops: consts.root_flops,
+        output_elements: consts.output_elements,
+        output_bytes: consts.output_elements * 4,
+        input_bytes_total: consts.input_bytes_total,
+        body_loads: groups.len(),
+        reduce_size: consts.reduce_size,
+        grid: cfg.spatial_level_product(0),
+        parallel_chunks: cfg
+            .reorder
+            .iter()
+            .take(cfg.fuse_outer)
+            .map(|&ax| cfg.spatial_splits[ax][0])
+            .product(),
+        vthreads: cfg.spatial_level_product(1),
+        block_threads: cfg.spatial_level_product(2),
+        thread_tile,
+        reduce_outer: cfg.reduce_level_product(0),
+        reduce_mid: cfg.reduce_level_product(1),
+        reduce_inner: cfg.reduce_level_product(2),
+        unroll: cfg.unroll,
+        vector_len,
+        contiguous_inner,
+        cache_shared: cfg.cache_shared,
+        shared_bytes_per_block,
+        thread_reg_bytes,
+        l1_tile_bytes,
+        l2_tile_bytes,
+        inline_data: cfg.inline_data,
+        data_node_bytes,
+        fpga: None,
+    };
+
+    if target == TargetKind::Fpga {
+        // PE array: levels 2 and 3 are spatial hardware parallelism;
+        // levels 0 and 1 are sequential rounds.
+        let pe: i64 = cfg.spatial_level_product(2) * cfg.spatial_level_product(3);
+        let rounds: i64 = cfg.spatial_level_product(0) * cfg.spatial_level_product(1);
+        let round_env = tile_env(root, cfg, &[2, 3], &[0, 1, 2]);
+        // BRAM must hold the full per-round tile; DDR streaming is
+        // cheaper: a tensor is fetched from DDR a bounded number of
+        // times over the whole run (on-chip reuse across rounds, e.g.
+        // weights stay resident while spatial rounds advance).
+        const DDR_REFETCH_CAP: f64 = 8.0;
+        let mut buffer_bytes = 0i64;
+        let mut stream_bytes = 0i64;
+        for g in groups {
+            let fp = g
+                .sites
+                .iter()
+                .map(|ix| footprint(ix, &round_env))
+                .max()
+                .unwrap_or(0)
+                * 4;
+            buffer_bytes += fp;
+            let total = g.total_bytes.unwrap_or(fp);
+            let amortized =
+                ((total as f64 * DDR_REFETCH_CAP / rounds.max(1) as f64).ceil() as i64).max(1);
+            stream_bytes += fp.min(amortized);
+        }
+        let write_bytes = pe * 4;
+        features.fpga = Some(FpgaFeatures {
+            pe,
+            rounds,
+            buffer_bytes,
+            stream_bytes,
+            write_bytes,
+            partition: cfg.fpga_partition,
+            pipeline: cfg.fpga_pipeline,
+        });
+    }
+
+    // Fused epilogue consumers (bias, activation) add FLOPs but no extra
+    // DRAM round trip — same accounting as full lowering.
+    features.flops += consts.epilogue_flops;
+    features
+}
+
+/// The config-independent half of lowering for one (graph, target) pair.
+///
+/// Build it once per search (the evaluation pool does this for its
+/// workers) and call [`LoweredTemplate::features`] per candidate: the
+/// apply step validates the config and derives [`KernelFeatures`] from the
+/// cached load groups without cloning or re-walking any expression tree.
+/// Both `inline_data` variants of the body are precomputed, so every point
+/// of the schedule space is covered.
+///
+/// # Examples
+///
+/// ```
+/// use flextensor_ir::ops;
+/// use flextensor_schedule::config::{NodeConfig, TargetKind};
+/// use flextensor_schedule::lower::lower;
+/// use flextensor_schedule::template::LoweredTemplate;
+///
+/// let g = ops::gemm(64, 32, 16);
+/// let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+/// let cfg = NodeConfig::naive(g.root_op());
+/// let fast = tpl.features(&cfg).unwrap();
+/// let full = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+/// assert_eq!(fast, full.features);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoweredTemplate {
+    target: TargetKind,
+    root: ComputeOp,
+    /// Load groups per `inline_data` variant: `[false, true]`.
+    groups: [Vec<LoadGroup>; 2],
+    consts: FeatureConsts,
+    graph_flops: u64,
+}
+
+impl LoweredTemplate {
+    /// Precomputes the config-independent lowering state for a graph on a
+    /// target: both body variants' load groups and the graph constants.
+    pub fn new(graph: &Graph, target: TargetKind) -> LoweredTemplate {
+        let root = graph.anchor_op().clone();
+        let raw_groups = load_groups(graph, &root.body);
+        let inlined_body = inline_producers(graph, &root, &root.body);
+        let inlined_groups = load_groups(graph, &inlined_body);
+        let materialized_data_bytes: i64 = data_producers(graph, &root)
+            .iter()
+            .map(|p| 2 * (p.spatial_size() * 4)) // write once + read back
+            .sum();
+        let consts = FeatureConsts {
+            root_flops: root.flops(),
+            epilogue_flops: graph.epilogue_chain().iter().map(|e| e.flops()).sum(),
+            output_elements: root.spatial_size(),
+            reduce_size: root.reduce_size(),
+            input_bytes_total: graph.inputs().map(|t| t.bytes()).sum(),
+            materialized_data_bytes,
+        };
+        LoweredTemplate {
+            target,
+            root,
+            groups: [raw_groups, inlined_groups],
+            consts,
+            graph_flops: graph.flops(),
+        }
+    }
+
+    /// The target this template lowers for.
+    pub fn target(&self) -> TargetKind {
+        self.target
+    }
+
+    /// The anchor compute op the template schedules.
+    pub fn root(&self) -> &ComputeOp {
+        &self.root
+    }
+
+    /// Total FLOPs of the whole graph (what cost consumers report
+    /// throughput against).
+    pub fn graph_flops(&self) -> u64 {
+        self.graph_flops
+    }
+
+    /// The cheap apply step: validates `cfg` and computes the exact
+    /// [`KernelFeatures`] full lowering would produce, without building
+    /// the loop nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LowerError`] when the configuration does not validate
+    /// against the template's root op — the same failures (and messages)
+    /// as [`crate::lower::lower`].
+    pub fn features(&self, cfg: &NodeConfig) -> Result<KernelFeatures, LowerError> {
+        cfg.validate(&self.root).map_err(LowerError)?;
+        let groups = &self.groups[cfg.inline_data as usize];
+        Ok(compute_features(
+            &self.root,
+            cfg,
+            self.target,
+            groups,
+            &self.consts,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use flextensor_ir::ops::{self, ConvParams};
+
+    fn tiled_gemm_cfg(op: &ComputeOp) -> NodeConfig {
+        let mut c = NodeConfig::naive(op);
+        c.spatial_splits = vec![vec![4, 2, 4, 2], vec![2, 2, 4, 2]];
+        c.reduce_splits = vec![vec![4, 2, 2]];
+        c.cache_shared = true;
+        c.unroll = true;
+        c.vectorize = true;
+        c
+    }
+
+    #[test]
+    fn template_features_match_full_lowering_gemm() {
+        let g = ops::gemm(64, 32, 16);
+        let cfg = tiled_gemm_cfg(g.root_op());
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let tpl = LoweredTemplate::new(&g, target);
+            let fast = tpl.features(&cfg).unwrap();
+            let full = lower(&g, &cfg, target).unwrap();
+            assert_eq!(fast, full.features, "{target}");
+        }
+    }
+
+    #[test]
+    fn template_features_match_for_materialized_producers() {
+        let g = ops::conv2d(ConvParams::same(1, 4, 8, 3), 8, 8);
+        for inline_data in [true, false] {
+            let mut cfg = NodeConfig::naive(g.root_op());
+            cfg.inline_data = inline_data;
+            let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+            let fast = tpl.features(&cfg).unwrap();
+            let full = lower(&g, &cfg, TargetKind::Gpu).unwrap();
+            assert_eq!(fast, full.features, "inline_data = {inline_data}");
+        }
+    }
+
+    #[test]
+    fn template_rejects_invalid_configs_like_lower() {
+        let g = ops::gemm(64, 32, 16);
+        let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+        let mut cfg = NodeConfig::naive(g.root_op());
+        cfg.spatial_splits[0] = vec![3, 1, 1, 1];
+        let fast_err = tpl.features(&cfg).unwrap_err();
+        let full_err = lower(&g, &cfg, TargetKind::Gpu).unwrap_err();
+        assert_eq!(fast_err, full_err);
+    }
+
+    #[test]
+    fn template_reports_graph_flops() {
+        let g = ops::gemm(64, 32, 16);
+        let tpl = LoweredTemplate::new(&g, TargetKind::Cpu);
+        assert_eq!(tpl.graph_flops(), g.flops());
+        assert_eq!(tpl.root().name, g.anchor_op().name);
+        assert_eq!(tpl.target(), TargetKind::Cpu);
+    }
+}

@@ -12,6 +12,7 @@ use flextensor_ir::graph::Graph;
 use flextensor_schedule::config::{NodeConfig, TargetKind};
 use flextensor_schedule::features::KernelFeatures;
 use flextensor_schedule::lower::lower;
+use flextensor_schedule::template::LoweredTemplate;
 
 use crate::cpu::cpu_time;
 use crate::fpga::fpga_time;
@@ -94,6 +95,21 @@ impl Evaluator {
             flops: graph.flops(),
         })
     }
+
+    /// Fast-path evaluation through a precomputed [`LoweredTemplate`]:
+    /// derives features via the cheap config-apply step instead of a full
+    /// re-lowering. Produces bit-identical costs to [`Evaluator::evaluate`]
+    /// (both paths share the same feature computation); the template must
+    /// have been built for this evaluator's target.
+    pub fn evaluate_template(&self, template: &LoweredTemplate, cfg: &NodeConfig) -> Option<Cost> {
+        debug_assert_eq!(template.target(), self.target());
+        let features = template.features(cfg).ok()?;
+        let seconds = self.time_features(&features)?;
+        Some(Cost {
+            seconds,
+            flops: template.graph_flops(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +137,27 @@ mod tests {
             let cost = e.evaluate(&g, &cfg).expect("feasible on all targets");
             assert!(cost.seconds > 0.0);
             assert!(cost.gflops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn template_fast_path_matches_full_evaluation() {
+        let g = ops::gemm(256, 256, 256);
+        let cfg = {
+            let mut c = NodeConfig::naive(g.root_op());
+            c.spatial_splits = vec![vec![8, 1, 16, 2], vec![8, 1, 16, 2]];
+            c.reduce_splits = vec![vec![64, 2, 2]];
+            c.cache_shared = true;
+            c
+        };
+        for dev in [
+            Device::Gpu(v100()),
+            Device::Cpu(xeon_e5_2699_v4()),
+            Device::Fpga(vu9p()),
+        ] {
+            let e = Evaluator::new(dev);
+            let tpl = LoweredTemplate::new(&g, e.target());
+            assert_eq!(e.evaluate_template(&tpl, &cfg), e.evaluate(&g, &cfg));
         }
     }
 

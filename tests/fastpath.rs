@@ -1,0 +1,107 @@
+//! Differential tests for the split-phase lowering fast path.
+//!
+//! The invariant: for every operator of the Table 3 suite, every target,
+//! and every sampled config, evaluating through a cached
+//! [`LoweredTemplate`] must produce *identical* `KernelFeatures` and
+//! `Cost` to a full `lower()` — including identical rejections of invalid
+//! configs. The exploration layers (EvalPool, search drivers) rely on
+//! this to switch to the fast path without changing a single result.
+
+use flextensor_explore::pool::EvalPool;
+use flextensor_explore::space::Space;
+use flextensor_ir::graph::Graph;
+use flextensor_ir::ops;
+use flextensor_ir::suite::{small_case, OperatorKind};
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_schedule::lower::lower;
+use flextensor_schedule::template::LoweredTemplate;
+use flextensor_sim::model::Evaluator;
+use flextensor_sim::spec::{v100, vu9p, xeon_e5_2699_v4, Device};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn device_for(target: TargetKind) -> Device {
+    match target {
+        TargetKind::Cpu => Device::Cpu(xeon_e5_2699_v4()),
+        TargetKind::Gpu => Device::Gpu(v100()),
+        TargetKind::Fpga => Device::Fpga(vu9p()),
+    }
+}
+
+/// Sampled configs for a graph: the naive start point, random points, and
+/// the full one-step neighborhood of the start (covers every direction
+/// kind, including `inline_data` toggles).
+fn sample_configs(graph: &Graph, target: TargetKind, seed: u64) -> Vec<NodeConfig> {
+    let space = Space::new(graph, target);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cfgs = vec![space.start_point().clone()];
+    for _ in 0..12 {
+        cfgs.push(space.random_point(&mut rng));
+    }
+    let start = space.start_point().clone();
+    for &dir in space.directions() {
+        if let Some(n) = space.apply(&start, dir) {
+            cfgs.push(n);
+        }
+    }
+    cfgs
+}
+
+#[test]
+fn template_features_match_lower_for_every_suite_op() {
+    for kind in OperatorKind::all() {
+        let graph = small_case(kind);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let template = LoweredTemplate::new(&graph, target);
+            for (ci, cfg) in sample_configs(&graph, target, 0xFA57).iter().enumerate() {
+                let fast = template.features(cfg);
+                let full = lower(&graph, cfg, target).map(|k| k.features);
+                assert_eq!(fast, full, "{kind:?} on {target} config #{ci}");
+            }
+        }
+    }
+}
+
+#[test]
+fn template_evaluation_cost_matches_full_evaluation() {
+    for kind in OperatorKind::all() {
+        let graph = small_case(kind);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let ev = Evaluator::new(device_for(target));
+            let template = LoweredTemplate::new(&graph, target);
+            for (ci, cfg) in sample_configs(&graph, target, 0xBEEF).iter().enumerate() {
+                assert_eq!(
+                    ev.evaluate_template(&template, cfg),
+                    ev.evaluate(&graph, cfg),
+                    "{kind:?} on {target} config #{ci}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn template_rejections_match_lower_rejections() {
+    let graph = small_case(OperatorKind::Gemm);
+    let template = LoweredTemplate::new(&graph, TargetKind::Gpu);
+    let mut bad = NodeConfig::naive(graph.anchor_op());
+    bad.spatial_splits[0] = vec![7, 1, 1, 1]; // product mismatch
+    assert_eq!(
+        template.features(&bad).unwrap_err(),
+        lower(&graph, &bad, TargetKind::Gpu).unwrap_err()
+    );
+}
+
+#[test]
+fn pool_fast_path_equals_reference_pool_across_workers() {
+    let graph = ops::gemm(64, 64, 64);
+    let ev = Evaluator::new(Device::Gpu(v100()));
+    let space = Space::new(&graph, ev.target());
+    let mut rng = StdRng::seed_from_u64(42);
+    let cands: Vec<NodeConfig> = (0..48).map(|_| space.random_point(&mut rng)).collect();
+    let baseline = EvalPool::new_reference(&graph, &ev, 1, 1 << 16).evaluate_batch(&cands);
+    for workers in [1, 4] {
+        let fast = EvalPool::new(&graph, &ev, workers, 1 << 16).evaluate_batch(&cands);
+        assert_eq!(fast, baseline, "workers = {workers}");
+    }
+}
