@@ -1,0 +1,262 @@
+//! Structured diagnostics and reports.
+//!
+//! A [`Diagnostic`] is one finding of one rule: a stable rule id, a
+//! severity, a span path naming the offending config field / feature /
+//! loop, a human-readable message, and a machine-readable integer payload.
+//! A [`Report`] is the ordered list of findings from one analysis run,
+//! renderable as text or as deterministic JSON (see `docs/ANALYZE.md` for
+//! the schema).
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+///
+/// `Error` findings are *legality* facts: the schedule cannot execute
+/// correctly (or at all) on the target, and the search-time gate may prune
+/// it without evaluation. `Warn` and `Info` findings are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory observation, no action needed.
+    Info,
+    /// Likely performance problem; the schedule still runs correctly.
+    Warn,
+    /// Legality violation: the schedule is invalid or infeasible.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in text and JSON rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding of one lint rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `legality/gpu-thread-count`.
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Span path of the offending entity: a config field
+    /// (`spatial_splits[1]`), a feature (`features.block_threads`), or a
+    /// loop path (`nest.k.0`).
+    pub span: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Machine-readable payload: named integer facts (measured value,
+    /// device limit, ...), in deterministic order.
+    pub payload: Vec<(&'static str, i64)>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(
+        rule: &'static str,
+        severity: Severity,
+        span: impl Into<String>,
+        message: impl Into<String>,
+        payload: Vec<(&'static str, i64)>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            span: span.into(),
+            message: message.into(),
+            payload,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.span, self.message
+        )
+    }
+}
+
+/// The ordered findings of one analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in registry-then-discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Wraps a list of findings.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Report {
+        Report { diagnostics }
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `Warn` findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Number of `Info` findings.
+    pub fn info_count(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Whether the schedule is free of legality violations (no `Error`s).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Renders the report as human-readable lines plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.error_count(),
+            self.warn_count(),
+            self.info_count()
+        ));
+        out
+    }
+
+    /// Renders the report as one deterministic JSON object (single line).
+    ///
+    /// Schema (version 1): `{"version":1,"errors":N,"warnings":N,
+    /// "infos":N,"diagnostics":[{"rule":s,"severity":s,"span":s,
+    /// "message":s,"payload":{k:v,...}},...]}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{{\"version\":1,\"errors\":{},\"warnings\":{},\"infos\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warn_count(),
+            self.info_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"severity\":\"{}\",\"span\":{},\"message\":{},\"payload\":{{",
+                json_string(d.rule),
+                d.severity,
+                json_string(&d.span),
+                json_string(&d.message)
+            ));
+            for (j, (k, v)) in d.payload.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{}:{v}", json_string(k)));
+            }
+            s.push_str("}}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal (with surrounding quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(vec![
+            Diagnostic::new(
+                "legality/gpu-thread-count",
+                Severity::Error,
+                "features.block_threads",
+                "4096 threads per block exceed the device limit 1024",
+                vec![("value", 4096), ("limit", 1024)],
+            ),
+            Diagnostic::new(
+                "perf/tiny-grid",
+                Severity::Info,
+                "features.grid",
+                "grid of 4 blocks underfills 80 SMs",
+                vec![("value", 4), ("limit", 80)],
+            ),
+        ])
+    }
+
+    #[test]
+    fn counts_by_severity() {
+        let r = sample();
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warn_count(), 0);
+        assert_eq!(r.info_count(), 1);
+        assert!(!r.is_clean());
+        assert!(Report::default().is_clean());
+    }
+
+    #[test]
+    fn text_rendering_lists_findings_and_summary() {
+        let t = sample().render_text();
+        assert!(t.contains("error[legality/gpu-thread-count] features.block_threads:"));
+        assert!(t.contains("info[perf/tiny-grid]"));
+        assert!(t.ends_with("1 error(s), 0 warning(s), 1 info(s)\n"));
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_escaped() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"version\":1,\"errors\":1,\"warnings\":0,\"infos\":1,"));
+        assert!(j.contains("\"payload\":{\"value\":4096,\"limit\":1024}"));
+        assert_eq!(j, sample().to_json());
+        let quoted = Report::new(vec![Diagnostic::new(
+            "x",
+            Severity::Warn,
+            "s",
+            "say \"hi\"\n",
+            vec![],
+        )]);
+        assert!(quoted.to_json().contains("say \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn severity_orders_info_warn_error() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

@@ -1,0 +1,1003 @@
+//! The lint rules and their registry.
+//!
+//! Every rule implements [`Lint`] and inspects an [`AnalysisInput`]: the
+//! scheduled op, its [`NodeConfig`], the target [`Device`], and — when the
+//! config lowers — the derived [`KernelFeatures`] and loop nest. Rules are
+//! grouped into **legality** (`Error`: the schedule is invalid or
+//! infeasible on the device), **performance** (`Warn`/`Info` smells), and
+//! **determinism** (unordered floating-point accumulation).
+//!
+//! The legality feature rules mirror the infeasibility checks of the
+//! `flextensor-sim` cost models *exactly* (same integer arithmetic), so an
+//! `Error` verdict proves the evaluator would return `None` — the property
+//! the search-time pruning gate and the conformance oracle rely on.
+
+use flextensor_ir::graph::ComputeOp;
+use flextensor_schedule::config::{NodeConfig, REDUCE_PARTS, SPATIAL_PARTS};
+use flextensor_schedule::features::KernelFeatures;
+use flextensor_schedule::nest::Stmt;
+use flextensor_sim::spec::{CpuSpec, Device, FpgaSpec, GpuSpec};
+
+use crate::report::{Diagnostic, Severity};
+
+/// Rule group, mirroring the id prefix (`legality/`, `perf/`,
+/// `determinism/`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleGroup {
+    /// Schedule validity and device feasibility (`Error`-level).
+    Legality,
+    /// Performance smells (`Warn`/`Info`-level).
+    Performance,
+    /// Reproducibility hazards.
+    Determinism,
+}
+
+/// Everything a rule may inspect. `features` and `nest` are `None` when
+/// the config does not lower (config-level rules still run).
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisInput<'a> {
+    /// The compute op being scheduled.
+    pub op: &'a ComputeOp,
+    /// The schedule configuration under analysis.
+    pub cfg: &'a NodeConfig,
+    /// The target device model (source of capacity limits).
+    pub device: &'a Device,
+    /// Cost-model features of the lowered kernel, when available.
+    pub features: Option<&'a KernelFeatures>,
+    /// Top-level statements of the lowered kernel, when available.
+    pub nest: Option<&'a [Stmt]>,
+}
+
+/// A single lint rule.
+pub trait Lint {
+    /// Stable rule id, e.g. `legality/gpu-thread-count`.
+    fn id(&self) -> &'static str;
+    /// The rule's group.
+    fn group(&self) -> RuleGroup;
+    /// Worst severity this rule can emit.
+    fn severity(&self) -> Severity;
+    /// One-line description for the rule catalog.
+    fn description(&self) -> &'static str;
+    /// Appends this rule's findings on `input` to `out`.
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// All rules, in deterministic catalog order (legality, determinism,
+/// performance).
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(SplitShape),
+        Box::new(Reorder),
+        Box::new(FuseDepth),
+        Box::new(FpgaPartition),
+        Box::new(GpuThreadCount),
+        Box::new(GpuSharedCapacity),
+        Box::new(GpuRegisterPressure),
+        Box::new(FpgaPeBudget),
+        Box::new(FpgaBramCapacity),
+        Box::new(ConcurrentWriteRace),
+        Box::new(ParallelReduction),
+        Box::new(TailRemainder),
+        Box::new(UnrollBlowup),
+        Box::new(VectorizeStrided),
+        Box::new(WarpGranularity),
+        Box::new(RegisterSpill),
+        Box::new(TinyGrid),
+    ]
+}
+
+fn err(
+    rule: &'static str,
+    span: impl Into<String>,
+    message: impl Into<String>,
+    payload: Vec<(&'static str, i64)>,
+) -> Diagnostic {
+    Diagnostic::new(rule, Severity::Error, span, message, payload)
+}
+
+// ---------------------------------------------------------------------
+// Legality: config-level rules (mirror `NodeConfig::validate` spans).
+// ---------------------------------------------------------------------
+
+/// `legality/split-shape`: split factor lists must match the op's axes in
+/// count and length, be positive, and multiply to each axis extent.
+struct SplitShape;
+
+impl Lint for SplitShape {
+    fn id(&self) -> &'static str {
+        "legality/split-shape"
+    }
+    fn group(&self) -> RuleGroup {
+        RuleGroup::Legality
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "split factors must be positive and multiply to the axis extent"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let (op, cfg) = (input.op, input.cfg);
+        if cfg.spatial_splits.len() != op.spatial.len() {
+            out.push(err(
+                self.id(),
+                "spatial_splits",
+                format!(
+                    "expected {} spatial split lists, got {}",
+                    op.spatial.len(),
+                    cfg.spatial_splits.len()
+                ),
+                vec![
+                    ("expected", op.spatial.len() as i64),
+                    ("value", cfg.spatial_splits.len() as i64),
+                ],
+            ));
+            return;
+        }
+        if cfg.reduce_splits.len() != op.reduce.len() {
+            out.push(err(
+                self.id(),
+                "reduce_splits",
+                format!(
+                    "expected {} reduce split lists, got {}",
+                    op.reduce.len(),
+                    cfg.reduce_splits.len()
+                ),
+                vec![
+                    ("expected", op.reduce.len() as i64),
+                    ("value", cfg.reduce_splits.len() as i64),
+                ],
+            ));
+            return;
+        }
+        type SplitGroup<'a> = (
+            &'a str,
+            &'a [flextensor_ir::graph::Axis],
+            &'a [Vec<i64>],
+            usize,
+        );
+        let groups: [SplitGroup<'_>; 2] = [
+            (
+                "spatial_splits",
+                &op.spatial,
+                &cfg.spatial_splits,
+                SPATIAL_PARTS,
+            ),
+            (
+                "reduce_splits",
+                &op.reduce,
+                &cfg.reduce_splits,
+                REDUCE_PARTS,
+            ),
+        ];
+        for (field, axes, splits, parts) in groups {
+            for (i, (axis, f)) in axes.iter().zip(splits).enumerate() {
+                let span = format!("{field}[{i}]");
+                if f.len() != parts {
+                    out.push(err(
+                        self.id(),
+                        span,
+                        format!(
+                            "axis {}: expected {parts} factors, got {}",
+                            axis.name,
+                            f.len()
+                        ),
+                        vec![("expected", parts as i64), ("value", f.len() as i64)],
+                    ));
+                    continue;
+                }
+                let prod: i64 = f.iter().product();
+                if prod != axis.extent || f.iter().any(|&x| x < 1) {
+                    out.push(err(
+                        self.id(),
+                        span,
+                        format!(
+                            "axis {}: factors {f:?} do not multiply to extent {}",
+                            axis.name, axis.extent
+                        ),
+                        vec![("value", prod), ("expected", axis.extent)],
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `legality/reorder`: the reorder vector must be a permutation of the
+/// spatial axes.
+struct Reorder;
+
+impl Lint for Reorder {
+    fn id(&self) -> &'static str {
+        "legality/reorder"
+    }
+    fn group(&self) -> RuleGroup {
+        RuleGroup::Legality
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "reorder must be a permutation of the spatial axes"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let (op, cfg) = (input.op, input.cfg);
+        let ns = op.spatial.len();
+        if cfg.reorder.len() != ns {
+            out.push(err(
+                self.id(),
+                "reorder",
+                format!("expected {ns} reorder entries, got {}", cfg.reorder.len()),
+                vec![("expected", ns as i64), ("value", cfg.reorder.len() as i64)],
+            ));
+            return;
+        }
+        let mut seen = vec![false; ns];
+        for (i, &x) in cfg.reorder.iter().enumerate() {
+            if x >= ns || seen[x] {
+                out.push(err(
+                    self.id(),
+                    format!("reorder[{i}]"),
+                    format!(
+                        "entry {x} makes {:?} not a permutation of 0..{ns}",
+                        cfg.reorder
+                    ),
+                    vec![("value", x as i64), ("limit", ns as i64 - 1)],
+                ));
+                return;
+            }
+            seen[x] = true;
+        }
+    }
+}
+
+/// `legality/fuse-depth`: `fuse_outer` must lie in `1..=spatial axes`.
+struct FuseDepth;
+
+impl Lint for FuseDepth {
+    fn id(&self) -> &'static str {
+        "legality/fuse-depth"
+    }
+    fn group(&self) -> RuleGroup {
+        RuleGroup::Legality
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "fuse depth must be between 1 and the number of spatial axes"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let ns = input.op.spatial.len();
+        let f = input.cfg.fuse_outer;
+        if f < 1 || f > ns {
+            out.push(err(
+                self.id(),
+                "fuse_outer",
+                format!("fuse_outer {f} out of range 1..={ns}"),
+                vec![("value", f as i64), ("limit", ns as i64)],
+            ));
+        }
+    }
+}
+
+/// `legality/fpga-partition`: FPGA partition and pipeline parameters must
+/// be in range (partition ≥ 1, pipeline in 1..=3).
+struct FpgaPartition;
+
+impl Lint for FpgaPartition {
+    fn id(&self) -> &'static str {
+        "legality/fpga-partition"
+    }
+    fn group(&self) -> RuleGroup {
+        RuleGroup::Legality
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "FPGA partition factor and pipeline depth must be in range"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let cfg = input.cfg;
+        if cfg.fpga_partition < 1 {
+            out.push(err(
+                self.id(),
+                "fpga_partition",
+                format!("partition factor {} must be >= 1", cfg.fpga_partition),
+                vec![("value", cfg.fpga_partition), ("limit", 1)],
+            ));
+        }
+        if cfg.fpga_pipeline < 1 || cfg.fpga_pipeline > 3 {
+            out.push(err(
+                self.id(),
+                "fpga_pipeline",
+                format!("pipeline depth {} out of range 1..=3", cfg.fpga_pipeline),
+                vec![("value", cfg.fpga_pipeline), ("limit", 3)],
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legality: feature-level rules (mirror the sim model feasibility checks).
+// ---------------------------------------------------------------------
+
+/// `legality/gpu-thread-count`: threads per block must be in
+/// `1..=max_threads_per_block` (mirrors the first `gpu_time` check).
+pub(crate) fn gpu_thread_count(spec: &GpuSpec, f: &KernelFeatures) -> Option<Diagnostic> {
+    let tpb = f.block_threads;
+    if tpb < 1 || tpb > spec.max_threads_per_block {
+        return Some(err(
+            "legality/gpu-thread-count",
+            "features.block_threads",
+            format!(
+                "{tpb} threads per block outside 1..={} on {}",
+                spec.max_threads_per_block, spec.name
+            ),
+            vec![("value", tpb), ("limit", spec.max_threads_per_block)],
+        ));
+    }
+    None
+}
+
+/// `legality/gpu-shared-capacity`: staged shared memory must fit the
+/// per-block budget (mirrors the second `gpu_time` check).
+pub(crate) fn gpu_shared_capacity(spec: &GpuSpec, f: &KernelFeatures) -> Option<Diagnostic> {
+    let shared_pb = if f.cache_shared {
+        f.shared_bytes_per_block
+    } else {
+        0
+    };
+    if shared_pb > spec.shared_per_block {
+        return Some(err(
+            "legality/gpu-shared-capacity",
+            "features.shared_bytes_per_block",
+            format!(
+                "{shared_pb} B of shared memory per block exceed the {} B budget on {}",
+                spec.shared_per_block, spec.name
+            ),
+            vec![("value", shared_pb), ("limit", spec.shared_per_block)],
+        ));
+    }
+    None
+}
+
+/// `legality/gpu-register-pressure`: at least one block must fit an SM
+/// under the warp/shared/register occupancy limits (mirrors the
+/// `blocks_per_sm < 1` check of `gpu_time`, same integer arithmetic).
+pub(crate) fn gpu_register_pressure(spec: &GpuSpec, f: &KernelFeatures) -> Option<Diagnostic> {
+    let tpb = f.block_threads;
+    if tpb < 1 {
+        return None; // covered by legality/gpu-thread-count
+    }
+    let shared_pb = if f.cache_shared {
+        f.shared_bytes_per_block
+    } else {
+        0
+    };
+    let warps_pb = (tpb + 31) / 32;
+    let blocks_by_warps = spec.max_warps_per_sm / warps_pb;
+    let blocks_by_shared = if shared_pb > 0 {
+        spec.shared_per_sm / shared_pb
+    } else {
+        spec.max_blocks_per_sm
+    };
+    let reg_bytes_pt = f.thread_reg_bytes.max(128);
+    let blocks_by_regs = spec.regfile_per_sm / (reg_bytes_pt * tpb).max(1);
+    let blocks_per_sm = blocks_by_warps
+        .min(blocks_by_shared)
+        .min(blocks_by_regs)
+        .min(spec.max_blocks_per_sm);
+    if blocks_per_sm < 1 {
+        return Some(err(
+            "legality/gpu-register-pressure",
+            "features.thread_reg_bytes",
+            format!(
+                "no block fits an SM: {} register B/thread x {tpb} threads exceed the {} B \
+                 register file (or shared memory) on {}",
+                reg_bytes_pt, spec.regfile_per_sm, spec.name
+            ),
+            vec![
+                ("value", reg_bytes_pt * tpb),
+                ("limit", spec.regfile_per_sm),
+                ("blocks_by_regs", blocks_by_regs),
+                ("blocks_by_shared", blocks_by_shared),
+            ],
+        ));
+    }
+    None
+}
+
+/// `legality/fpga-pe-budget`: the PE count must fit the DSP budget
+/// (mirrors the first `fpga_time` check).
+pub(crate) fn fpga_pe_budget(spec: &FpgaSpec, f: &KernelFeatures) -> Option<Diagnostic> {
+    let fp = f.fpga.as_ref()?;
+    if fp.pe > spec.max_pe() {
+        return Some(err(
+            "legality/fpga-pe-budget",
+            "features.fpga.pe",
+            format!(
+                "{} PEs exceed the {}-PE DSP budget on {}",
+                fp.pe,
+                spec.max_pe(),
+                spec.name
+            ),
+            vec![("value", fp.pe), ("limit", spec.max_pe())],
+        ));
+    }
+    None
+}
+
+/// `legality/fpga-bram-capacity`: on-chip buffers (double-buffered when
+/// the pipeline overlaps) must fit BRAM (mirrors the second `fpga_time`
+/// check).
+pub(crate) fn fpga_bram_capacity(spec: &FpgaSpec, f: &KernelFeatures) -> Option<Diagnostic> {
+    let fp = f.fpga.as_ref()?;
+    let buffers = fp.buffer_bytes + fp.write_bytes;
+    let bram_need = if fp.pipeline >= 2 {
+        buffers * 2
+    } else {
+        buffers
+    };
+    if bram_need > spec.bram_bytes {
+        return Some(err(
+            "legality/fpga-bram-capacity",
+            "features.fpga.buffer_bytes",
+            format!(
+                "{bram_need} B of buffers exceed the {} B BRAM on {}",
+                spec.bram_bytes, spec.name
+            ),
+            vec![("value", bram_need), ("limit", spec.bram_bytes)],
+        ));
+    }
+    None
+}
+
+/// Runs every feature-level legality rule for `device` on `f`, appending
+/// findings to `out`. An appended `Error` proves
+/// `Evaluator::time_features` returns `None` for these features.
+pub fn feature_legality(device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>) {
+    match device {
+        Device::Gpu(spec) => {
+            out.extend(gpu_thread_count(spec, f));
+            out.extend(gpu_shared_capacity(spec, f));
+            out.extend(gpu_register_pressure(spec, f));
+        }
+        Device::Cpu(_) => {} // the CPU model has no hard capacity limits
+        Device::Fpga(spec) => {
+            out.extend(fpga_pe_budget(spec, f));
+            out.extend(fpga_bram_capacity(spec, f));
+        }
+    }
+}
+
+macro_rules! feature_lint {
+    ($ty:ident, $id:literal, $group:ident, $sev:ident, $desc:literal, $body:expr) => {
+        struct $ty;
+        impl Lint for $ty {
+            fn id(&self) -> &'static str {
+                $id
+            }
+            fn group(&self) -> RuleGroup {
+                RuleGroup::$group
+            }
+            fn severity(&self) -> Severity {
+                Severity::$sev
+            }
+            fn description(&self) -> &'static str {
+                $desc
+            }
+            fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+                let Some(f) = input.features else { return };
+                #[allow(clippy::redundant_closure_call)]
+                ($body)(input.device, f, out);
+            }
+        }
+    };
+}
+
+feature_lint!(
+    GpuThreadCount,
+    "legality/gpu-thread-count",
+    Legality,
+    Error,
+    "threads per block must be within the device limit",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Gpu(spec) = device {
+            out.extend(gpu_thread_count(spec, f));
+        }
+    }
+);
+
+feature_lint!(
+    GpuSharedCapacity,
+    "legality/gpu-shared-capacity",
+    Legality,
+    Error,
+    "staged shared memory must fit the per-block budget",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Gpu(spec) = device {
+            out.extend(gpu_shared_capacity(spec, f));
+        }
+    }
+);
+
+feature_lint!(
+    GpuRegisterPressure,
+    "legality/gpu-register-pressure",
+    Legality,
+    Error,
+    "at least one block must fit an SM under register/shared occupancy",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Gpu(spec) = device {
+            out.extend(gpu_register_pressure(spec, f));
+        }
+    }
+);
+
+feature_lint!(
+    FpgaPeBudget,
+    "legality/fpga-pe-budget",
+    Legality,
+    Error,
+    "instantiated PEs must fit the DSP budget",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Fpga(spec) = device {
+            out.extend(fpga_pe_budget(spec, f));
+        }
+    }
+);
+
+feature_lint!(
+    FpgaBramCapacity,
+    "legality/fpga-bram-capacity",
+    Legality,
+    Error,
+    "on-chip buffers (double-buffered when pipelined) must fit BRAM",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Fpga(spec) = device {
+            out.extend(fpga_bram_capacity(spec, f));
+        }
+    }
+);
+
+// ---------------------------------------------------------------------
+// Legality + determinism: nest-level dependence rules.
+// ---------------------------------------------------------------------
+
+/// Walks the nest; for every concurrent loop with extent > 1 and every
+/// store in its subtree whose indices do not mention the loop variable,
+/// calls `emit(loop_path, loop_var, store)`.
+fn unindexed_concurrent_stores(stmts: &[Stmt], mut emit: impl FnMut(&str, &str, &Stmt)) {
+    fn walk(
+        s: &Stmt,
+        concurrent: &mut Vec<(String, String)>, // (path, var)
+        emit: &mut impl FnMut(&str, &str, &Stmt),
+    ) {
+        match s {
+            Stmt::For {
+                var,
+                extent,
+                kind,
+                body,
+            } => {
+                let pushed = kind.is_concurrent() && *extent > 1;
+                if pushed {
+                    let path = match concurrent.last() {
+                        Some((p, _)) => format!("{p}/{var}"),
+                        None => format!("nest.{var}"),
+                    };
+                    concurrent.push((path, var.clone()));
+                }
+                for b in body {
+                    walk(b, concurrent, emit);
+                }
+                if pushed {
+                    concurrent.pop();
+                }
+            }
+            Stmt::Store { indices, .. } => {
+                let mut vars = Vec::new();
+                for ix in indices {
+                    ix.collect_vars(&mut vars);
+                }
+                for (path, var) in concurrent.iter() {
+                    if !vars.iter().any(|v| v == var) {
+                        emit(path, var, s);
+                    }
+                }
+            }
+            Stmt::StageIn { .. } => {}
+        }
+    }
+    let mut stack = Vec::new();
+    for s in stmts {
+        walk(s, &mut stack, &mut emit);
+    }
+}
+
+/// `legality/concurrent-write-race`: a non-reduction store inside a
+/// concurrent loop whose indices do not depend on the loop variable —
+/// distinct iterations write the same element (write-write race).
+struct ConcurrentWriteRace;
+
+impl Lint for ConcurrentWriteRace {
+    fn id(&self) -> &'static str {
+        "legality/concurrent-write-race"
+    }
+    fn group(&self) -> RuleGroup {
+        RuleGroup::Legality
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "concurrent iterations must not write the same output element"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(stmts) = input.nest else { return };
+        unindexed_concurrent_stores(stmts, |path, var, store| {
+            if let Stmt::Store { tensor, reduce, .. } = store {
+                if !reduce {
+                    out.push(err(
+                        self.id(),
+                        path,
+                        format!(
+                            "concurrent loop {var} writes {tensor} at indices independent \
+                             of {var}: write-write race"
+                        ),
+                        vec![],
+                    ));
+                }
+            }
+        });
+    }
+}
+
+/// `determinism/parallel-reduction`: a reduction update inside a
+/// concurrent loop whose indices do not depend on the loop variable —
+/// concurrent read-modify-write without atomics (also a data race), and
+/// even with atomics the accumulation order is nondeterministic.
+struct ParallelReduction;
+
+impl Lint for ParallelReduction {
+    fn id(&self) -> &'static str {
+        "determinism/parallel-reduction"
+    }
+    fn group(&self) -> RuleGroup {
+        RuleGroup::Determinism
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "reductions must not accumulate concurrently without atomics"
+    }
+    fn check(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(stmts) = input.nest else { return };
+        unindexed_concurrent_stores(stmts, |path, var, store| {
+            if let Stmt::Store { tensor, reduce, .. } = store {
+                if *reduce {
+                    out.push(err(
+                        self.id(),
+                        path,
+                        format!(
+                            "concurrent loop {var} accumulates into {tensor} at indices \
+                             independent of {var}: atomic-free parallel reduction"
+                        ),
+                        vec![],
+                    ));
+                }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Performance smells.
+// ---------------------------------------------------------------------
+
+/// Last-wave utilization of `work` units over `slots` parallel slots
+/// (1.0 when work divides evenly or there is no work/slots).
+fn wave_utilization(work: i64, slots: i64) -> f64 {
+    if work < 1 || slots < 1 {
+        return 1.0;
+    }
+    let waves = (work + slots - 1) / slots;
+    work as f64 / (waves * slots) as f64
+}
+
+fn cpu_tail(spec: &CpuSpec, f: &KernelFeatures, out: &mut Vec<Diagnostic>) {
+    let util = wave_utilization(f.parallel_chunks, spec.cores);
+    if util < 0.75 {
+        out.push(Diagnostic::new(
+            "perf/tail-remainder",
+            Severity::Warn,
+            "features.parallel_chunks",
+            format!(
+                "{} parallel chunks leave the last wave of {} cores {:.0}% utilized",
+                f.parallel_chunks,
+                spec.cores,
+                util * 100.0
+            ),
+            vec![("value", f.parallel_chunks), ("limit", spec.cores)],
+        ));
+    }
+}
+
+fn gpu_tail(spec: &GpuSpec, f: &KernelFeatures, out: &mut Vec<Diagnostic>) {
+    // Mirror the occupancy arithmetic to find the real block slots; only
+    // meaningful for feasible kernels.
+    let tpb = f.block_threads;
+    if tpb < 1 || tpb > spec.max_threads_per_block {
+        return;
+    }
+    let shared_pb = if f.cache_shared {
+        f.shared_bytes_per_block
+    } else {
+        0
+    };
+    if shared_pb > spec.shared_per_block {
+        return;
+    }
+    let warps_pb = (tpb + 31) / 32;
+    let blocks_by_warps = spec.max_warps_per_sm / warps_pb;
+    let blocks_by_shared = if shared_pb > 0 {
+        spec.shared_per_sm / shared_pb
+    } else {
+        spec.max_blocks_per_sm
+    };
+    let reg_bytes_pt = f.thread_reg_bytes.max(128);
+    let blocks_by_regs = spec.regfile_per_sm / (reg_bytes_pt * tpb).max(1);
+    let blocks_per_sm = blocks_by_warps
+        .min(blocks_by_shared)
+        .min(blocks_by_regs)
+        .min(spec.max_blocks_per_sm);
+    if blocks_per_sm < 1 {
+        return;
+    }
+    let slots = spec.sms * blocks_per_sm;
+    let util = wave_utilization(f.grid, slots);
+    if util < 0.75 {
+        out.push(Diagnostic::new(
+            "perf/tail-remainder",
+            Severity::Warn,
+            "features.grid",
+            format!(
+                "{} blocks leave the last wave of {} block slots {:.0}% utilized",
+                f.grid,
+                slots,
+                util * 100.0
+            ),
+            vec![("value", f.grid), ("limit", slots)],
+        ));
+    }
+}
+
+feature_lint!(
+    TailRemainder,
+    "perf/tail-remainder",
+    Performance,
+    Warn,
+    "work should divide evenly over parallel execution slots",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        match device {
+            Device::Cpu(spec) => cpu_tail(spec, f, out),
+            Device::Gpu(spec) => gpu_tail(spec, f, out),
+            Device::Fpga(_) => {}
+        }
+    }
+);
+
+/// Unrolled statements above this count blow up the instruction stream.
+const UNROLL_BODY_LIMIT: i64 = 256;
+
+feature_lint!(
+    UnrollBlowup,
+    "perf/unroll-blowup",
+    Performance,
+    Warn,
+    "unrolled body size should stay within the instruction budget",
+    |_device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        let body = f.thread_tile * f.reduce_inner;
+        if f.unroll && body > UNROLL_BODY_LIMIT {
+            out.push(Diagnostic::new(
+                "perf/unroll-blowup",
+                Severity::Warn,
+                "features.thread_tile",
+                format!(
+                    "unrolling a {body}-statement body (tile {} x inner reduce {}) blows up \
+                     the instruction stream",
+                    f.thread_tile, f.reduce_inner
+                ),
+                vec![("value", body), ("limit", UNROLL_BODY_LIMIT)],
+            ));
+        }
+    }
+);
+
+feature_lint!(
+    VectorizeStrided,
+    "perf/vectorize-strided",
+    Performance,
+    Warn,
+    "vectorization requires a unit-stride innermost loop",
+    |_device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if f.vector_len > 1 && !f.contiguous_inner {
+            out.push(Diagnostic::new(
+                "perf/vectorize-strided",
+                Severity::Warn,
+                "features.vector_len",
+                format!(
+                    "vector length {} on a non-contiguous innermost loop forces gather/scatter",
+                    f.vector_len
+                ),
+                vec![("value", f.vector_len), ("limit", 1)],
+            ));
+        }
+    }
+);
+
+feature_lint!(
+    WarpGranularity,
+    "perf/warp-granularity",
+    Performance,
+    Warn,
+    "threads per block should be a multiple of the warp size",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Gpu(spec) = device {
+            let tpb = f.block_threads;
+            if tpb >= 1 && tpb <= spec.max_threads_per_block && tpb % 32 != 0 {
+                let warps_pb = (tpb + 31) / 32;
+                let eff = tpb as f64 / (warps_pb * 32) as f64;
+                out.push(Diagnostic::new(
+                    "perf/warp-granularity",
+                    Severity::Warn,
+                    "features.block_threads",
+                    format!(
+                        "{tpb} threads per block is not a multiple of the 32-thread warp \
+                         ({:.0}% lane utilization)",
+                        eff * 100.0
+                    ),
+                    vec![("value", tpb), ("limit", 32)],
+                ));
+            }
+        }
+    }
+);
+
+/// Register bytes per thread above this spill to local memory (mirrors
+/// the `gpu_time` spill penalty threshold).
+const REGISTER_SPILL_LIMIT: i64 = 1024;
+
+feature_lint!(
+    RegisterSpill,
+    "perf/register-spill",
+    Performance,
+    Warn,
+    "oversized register tiles spill to local memory",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Gpu(_) = device {
+            let reg_bytes_pt = f.thread_reg_bytes.max(128);
+            if reg_bytes_pt > REGISTER_SPILL_LIMIT {
+                out.push(Diagnostic::new(
+                    "perf/register-spill",
+                    Severity::Warn,
+                    "features.thread_reg_bytes",
+                    format!(
+                        "{reg_bytes_pt} register B/thread exceed the {REGISTER_SPILL_LIMIT} B \
+                         spill threshold"
+                    ),
+                    vec![("value", reg_bytes_pt), ("limit", REGISTER_SPILL_LIMIT)],
+                ));
+            }
+        }
+    }
+);
+
+feature_lint!(
+    TinyGrid,
+    "perf/tiny-grid",
+    Performance,
+    Info,
+    "the grid should launch at least one block per SM",
+    |device: &Device, f: &KernelFeatures, out: &mut Vec<Diagnostic>| {
+        if let Device::Gpu(spec) = device {
+            if f.grid >= 1 && f.grid < spec.sms {
+                out.push(Diagnostic::new(
+                    "perf/tiny-grid",
+                    Severity::Info,
+                    "features.grid",
+                    format!(
+                        "{} blocks underfill the {} SMs of {}",
+                        f.grid, spec.sms, spec.name
+                    ),
+                    vec![("value", f.grid), ("limit", spec.sms)],
+                ));
+            }
+        }
+    }
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::expr::Expr;
+    use flextensor_ir::graph::Combiner;
+    use flextensor_schedule::nest::LoopKind;
+
+    #[test]
+    fn registry_ids_are_unique_and_prefixed_by_group() {
+        let rules = registry();
+        let mut ids: Vec<&str> = rules.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), rules.len(), "duplicate rule id");
+        for r in &rules {
+            let prefix = match r.group() {
+                RuleGroup::Legality => "legality/",
+                RuleGroup::Performance => "perf/",
+                RuleGroup::Determinism => "determinism/",
+            };
+            assert!(r.id().starts_with(prefix), "{} vs {:?}", r.id(), r.group());
+            assert!(!r.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn wave_utilization_math() {
+        assert_eq!(wave_utilization(44, 22), 1.0);
+        assert_eq!(wave_utilization(33, 22), 0.75);
+        assert_eq!(wave_utilization(0, 22), 1.0);
+        assert!(wave_utilization(1, 80) < 0.05);
+    }
+
+    #[test]
+    fn race_walker_finds_unindexed_concurrent_store() {
+        // parallel i { O[0] = i } — indices independent of i.
+        let nest = vec![Stmt::loop_(
+            "i",
+            4,
+            LoopKind::Parallel,
+            vec![Stmt::Store {
+                tensor: "O".into(),
+                indices: vec![Expr::int(0)],
+                value: Expr::var("i"),
+                reduce: false,
+                combiner: Combiner::Sum,
+            }],
+        )];
+        let mut hits = Vec::new();
+        unindexed_concurrent_stores(&nest, |path, var, _| {
+            hits.push((path.to_string(), var.to_string()));
+        });
+        assert_eq!(hits, vec![("nest.i".to_string(), "i".to_string())]);
+    }
+
+    #[test]
+    fn race_walker_skips_serial_unit_and_indexed_loops() {
+        // serial k and extent-1 parallel j are exempt; indexed i is fine.
+        let store = Stmt::Store {
+            tensor: "O".into(),
+            indices: vec![Expr::var("i")],
+            value: Expr::var("k"),
+            reduce: false,
+            combiner: Combiner::Sum,
+        };
+        let nest = vec![Stmt::loop_(
+            "i",
+            4,
+            LoopKind::ThreadIdx,
+            vec![Stmt::loop_(
+                "j",
+                1,
+                LoopKind::Parallel,
+                vec![Stmt::loop_("k", 8, LoopKind::Serial, vec![store])],
+            )],
+        )];
+        let mut hits = 0;
+        unindexed_concurrent_stores(&nest, |_, _, _| hits += 1);
+        assert_eq!(hits, 0);
+    }
+}

@@ -22,6 +22,7 @@
 //! # Ok::<(), flextensor_autotvm::tuner::TuneError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gbt;

@@ -88,8 +88,13 @@ impl Table {
 /// evaluations, cache hit rate, worker count, and the real wall-clock
 /// spent inside batched evaluation.
 pub fn eval_summary(stats: &flextensor_explore::pool::EvalStats) -> String {
+    let pruned = if stats.pruned > 0 {
+        format!(", {} statically pruned", stats.pruned)
+    } else {
+        String::new()
+    };
     format!(
-        "{} fresh evals, {} cache hits ({:.1}% hit rate), {} worker{}, {} wall-clock evaluating",
+        "{} fresh evals, {} cache hits ({:.1}% hit rate){pruned}, {} worker{}, {} wall-clock evaluating",
         stats.evaluated,
         stats.cache_hits,
         100.0 * stats.hit_rate(),
@@ -141,10 +146,11 @@ mod tests {
 
     #[test]
     fn eval_summary_reports_all_fields() {
-        let s = flextensor_explore::pool::EvalStats {
+        let mut s = flextensor_explore::pool::EvalStats {
             evaluated: 40,
             cache_hits: 10,
             cache_misses: 40,
+            pruned: 0,
             workers: 8,
             wall_clock_s: 0.25,
         };
@@ -153,6 +159,10 @@ mod tests {
         assert!(line.contains("10 cache hits"), "{line}");
         assert!(line.contains("20.0% hit rate"), "{line}");
         assert!(line.contains("8 workers"), "{line}");
+        assert!(!line.contains("pruned"), "{line}");
+        s.pruned = 6;
+        let line = eval_summary(&s);
+        assert!(line.contains("6 statically pruned"), "{line}");
     }
 }
 

@@ -5,6 +5,7 @@
 //! micro-benches over the substrates. The library part hosts shared
 //! harness utilities in [`harness`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

@@ -1,0 +1,224 @@
+//! Static-analyzer audit of the regression corpus — the library behind
+//! the `probe_analyze` binary.
+//!
+//! Every committed fixture is pushed through `flextensor-analyze` on the
+//! device model matching its target, and the analyzer's verdict is
+//! compared with the fixture's recorded expectation: `Pass` fixtures must
+//! be `Error`-free, `Reject` fixtures must be refused (at decode, or by
+//! an `Error`-level diagnostic). The rendered report is deterministic —
+//! no wall-clock, no paths — so CI can diff it against a committed golden
+//! copy and fail on any verdict drift.
+
+use flextensor_analyze::{analyze_schedule, Report};
+use flextensor_ir::suite::{small_case, OperatorKind};
+use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_sim::spec::{v100, vu9p, xeon_e5_2699_v4, Device};
+
+use crate::corpus::{Expectation, Fixture};
+
+/// The device model the audit analyzes a target's fixtures against (the
+/// same models the oracle tiers use).
+pub fn audit_device(target: TargetKind) -> Device {
+    match target {
+        TargetKind::Cpu => Device::Cpu(xeon_e5_2699_v4()),
+        TargetKind::Gpu => Device::Gpu(v100()),
+        TargetKind::Fpga => Device::Fpga(vu9p()),
+    }
+}
+
+/// The analyzer's verdict on one fixture.
+#[derive(Debug, Clone)]
+pub struct AuditEntry {
+    /// Fixture name (file stem).
+    pub name: String,
+    /// The fixture's operator kind.
+    pub kind: OperatorKind,
+    /// The fixture's target.
+    pub target: TargetKind,
+    /// What the fixture expects of its config.
+    pub expect: Expectation,
+    /// Decode failure, when the encoded vector never became a config
+    /// (an acceptable rejection for `Reject` fixtures).
+    pub decode_error: Option<String>,
+    /// The analyzer report, when the config decoded.
+    pub report: Option<Report>,
+    /// Whether the verdict matches the expectation: `Pass` ⇒ `Error`-free,
+    /// `Reject` ⇒ refused at decode or `Error`-level diagnostics.
+    pub matches: bool,
+}
+
+/// The whole corpus audit.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// One entry per fixture, in corpus (file-name) order.
+    pub entries: Vec<AuditEntry>,
+}
+
+impl AuditReport {
+    /// Fixtures whose analyzer verdict contradicts their expectation.
+    pub fn mismatches(&self) -> usize {
+        self.entries.iter().filter(|e| !e.matches).count()
+    }
+
+    /// Renders the audit as stable, line-oriented text.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("== analyzer audit: {} fixture(s) ==\n", self.entries.len());
+        let (mut errors, mut warnings, mut infos) = (0, 0, 0);
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} [{}/{}, {}]{}\n",
+                e.name,
+                e.kind.abbr(),
+                e.target,
+                e.expect.name(),
+                if e.matches { "" } else { "  <-- MISMATCH" },
+            ));
+            if let Some(err) = &e.decode_error {
+                out.push_str(&format!("  rejected at decode: {err}\n"));
+            }
+            if let Some(r) = &e.report {
+                errors += r.error_count();
+                warnings += r.warn_count();
+                infos += r.info_count();
+                if r.diagnostics.is_empty() {
+                    out.push_str("  clean\n");
+                } else {
+                    for d in &r.diagnostics {
+                        out.push_str(&format!("  {d}\n"));
+                    }
+                }
+            }
+        }
+        out.push_str(&format!(
+            "summary: {errors} error(s), {warnings} warning(s), {infos} info(s) across {} \
+             fixture(s); {}\n",
+            self.entries.len(),
+            match self.mismatches() {
+                0 => "every verdict matches its expectation".to_string(),
+                n => format!("{n} VERDICT MISMATCH(ES)"),
+            }
+        ));
+        out
+    }
+
+    /// Renders the audit as one deterministic JSON document.
+    pub fn to_json(&self) -> String {
+        use flextensor_telemetry::json::write_str;
+        let mut out = format!(
+            "{{\"version\":1,\"fixtures\":{},\"mismatches\":{},\"entries\":[",
+            self.entries.len(),
+            self.mismatches()
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_str(&mut out, &e.name);
+            out.push_str(",\"kind\":");
+            write_str(&mut out, e.kind.abbr());
+            out.push_str(",\"target\":");
+            write_str(&mut out, &e.target.to_string());
+            out.push_str(",\"expect\":");
+            write_str(&mut out, e.expect.name());
+            out.push_str(&format!(",\"matches\":{}", e.matches));
+            if let Some(err) = &e.decode_error {
+                out.push_str(",\"decode_error\":");
+                write_str(&mut out, err);
+            }
+            if let Some(r) = &e.report {
+                out.push_str(",\"report\":");
+                out.push_str(&r.to_json());
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Audits one fixture: decodes its stored encoding and analyzes the
+/// schedule on the device model of the fixture's target.
+pub fn audit_fixture(f: &Fixture) -> AuditEntry {
+    let graph = small_case(f.kind);
+    let device = audit_device(f.target);
+    match NodeConfig::decode(graph.anchor_op(), &f.encoded) {
+        Err(e) => AuditEntry {
+            name: f.name.clone(),
+            kind: f.kind,
+            target: f.target,
+            expect: f.expect,
+            decode_error: Some(e),
+            report: None,
+            matches: f.expect == Expectation::Reject,
+        },
+        Ok(cfg) => {
+            let report = analyze_schedule(&graph, &cfg, &device);
+            let matches = match f.expect {
+                Expectation::Pass => report.error_count() == 0,
+                Expectation::Reject => report.error_count() > 0,
+            };
+            AuditEntry {
+                name: f.name.clone(),
+                kind: f.kind,
+                target: f.target,
+                expect: f.expect,
+                decode_error: None,
+                report: Some(report),
+                matches,
+            }
+        }
+    }
+}
+
+/// Audits a whole corpus, preserving fixture order.
+pub fn audit_corpus(fixtures: &[Fixture]) -> AuditReport {
+    AuditReport {
+        entries: fixtures.iter().map(audit_fixture).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::seed_corpus;
+
+    #[test]
+    fn seed_corpus_audit_is_deterministic_and_matches_expectations() {
+        let fixtures = seed_corpus();
+        let a = audit_corpus(&fixtures);
+        let b = audit_corpus(&fixtures);
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.mismatches(), 0, "{}", a.render_text());
+        assert_eq!(a.entries.len(), fixtures.len());
+    }
+
+    #[test]
+    fn audit_text_reports_verdicts_per_fixture() {
+        let text = audit_corpus(&seed_corpus()).render_text();
+        assert!(text.contains("== analyzer audit:"), "{text}");
+        assert!(text.contains("101-gemm-naive [GMM/cpu, pass]"), "{text}");
+        // Pass fixtures may still carry performance lints — only
+        // `Error`-level diagnostics contradict a pass expectation.
+        assert!(text.contains("warn[perf/tail-remainder]"), "{text}");
+        assert!(text.contains("error[legality/split-shape]"), "{text}");
+        assert!(
+            text.contains("every verdict matches its expectation"),
+            "{text}"
+        );
+        assert!(!text.contains("MISMATCH"), "{text}");
+    }
+
+    #[test]
+    fn audit_flags_a_wrong_expectation() {
+        let mut fixtures = seed_corpus();
+        let last = fixtures.last_mut().unwrap();
+        assert_eq!(last.expect, Expectation::Pass);
+        last.expect = Expectation::Reject;
+        let a = audit_corpus(&fixtures);
+        assert_eq!(a.mismatches(), 1);
+        assert!(a.render_text().contains("MISMATCH"));
+        assert!(a.to_json().contains("\"matches\":false"));
+    }
+}

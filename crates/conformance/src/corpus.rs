@@ -17,7 +17,10 @@ use flextensor_schedule::config::{NodeConfig, TargetKind};
 use flextensor_telemetry::json::{self, Json};
 
 use crate::gen::{mutate, Mutation};
-use crate::oracle::{check_model, check_mutant_rejected, check_semantic, check_structural};
+use crate::oracle::{
+    check_analyzer, check_model, check_mutant_rejected, check_semantic, check_structural,
+    oracle_devices,
+};
 use crate::shrink::shrink;
 
 /// What replaying a fixture must conclude about its config.
@@ -140,9 +143,10 @@ impl Fixture {
 
     /// Replays the fixture against the current implementation.
     ///
-    /// `Pass` fixtures must decode, round-trip, and clear all three oracle
-    /// tiers; `Reject` fixtures must be refused — by `decode` itself, or by
-    /// the validator and lowering for every target once decoded.
+    /// `Pass` fixtures must decode, round-trip, and clear all four oracle
+    /// tiers (the analyzer tier on every device model); `Reject` fixtures
+    /// must be refused — by `decode` itself, or by the validator and
+    /// lowering for every target once decoded.
     ///
     /// # Errors
     ///
@@ -159,7 +163,11 @@ impl Fixture {
                 }
                 check_structural(op, &cfg)?;
                 check_semantic(&graph, &cfg, self.target, 7)?;
-                check_model(&graph, &cfg)
+                check_model(&graph, &cfg)?;
+                for device in oracle_devices() {
+                    check_analyzer(&graph, &cfg, &device, 7)?;
+                }
+                Ok(())
             }
             Expectation::Reject => match NodeConfig::decode(op, &self.encoded) {
                 // Rejected at the decoding layer: exactly what we want.

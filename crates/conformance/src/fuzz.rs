@@ -1,4 +1,4 @@
-//! The seeded fuzz loop: sample → corrupt → check all three oracle tiers,
+//! The seeded fuzz loop: sample → corrupt → check all four oracle tiers,
 //! shrinking anything that fails into a replayable fixture.
 //!
 //! Iterations walk the suite round-robin (operator kinds × targets in a
@@ -15,8 +15,8 @@ use rand::SeedableRng;
 use crate::corpus::{Expectation, Fixture};
 use crate::gen::{mutate, ALL_MUTATIONS};
 use crate::oracle::{
-    check_model, check_mutant_rejected, check_semantic, check_structural, check_worker_invariance,
-    Tier,
+    check_analyzer, check_model, check_mutant_rejected, check_semantic, check_structural,
+    check_worker_invariance, oracle_devices, Tier,
 };
 use crate::shrink::shrink;
 
@@ -58,6 +58,8 @@ pub struct FuzzReport {
     pub model_checks: u64,
     /// Worker-invariance batches compared.
     pub invariance_checks: u64,
+    /// Static-analyzer verdicts checked against the dynamic layers.
+    pub analyzer_checks: u64,
     /// Every failure, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -81,6 +83,10 @@ impl FuzzReport {
         out.push_str(&format!(
             "  model:      {} points, {} invariance batches\n",
             self.model_checks, self.invariance_checks
+        ));
+        out.push_str(&format!(
+            "  analyzer:   {} verdicts\n",
+            self.analyzer_checks
         ));
         if self.violations.is_empty() {
             out.push_str("  violations: none\n");
@@ -111,6 +117,9 @@ struct Slot {
 pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
     let kinds = OperatorKind::all();
     let targets = [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga];
+    // Index-aligned with `targets`: the device model the analyzer tier
+    // checks for the iteration's target.
+    let devices = oracle_devices();
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut report = FuzzReport {
         seed: opts.seed,
@@ -224,6 +233,32 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
             });
         }
 
+        // Tier 4: the static analyzer's verdict agrees with the cost
+        // model and (when both deem the point legal) the interpreter.
+        report.analyzer_checks += 1;
+        let device = &devices[ti];
+        if let Err(message) = check_analyzer(&slot.graph, &cfg, device, opts.seed) {
+            let graph = &slot.graph;
+            let shrunk = shrink(&op, &cfg, |c| {
+                c.validate(&op).is_ok() && check_analyzer(graph, c, device, opts.seed).is_err()
+            });
+            report.violations.push(Violation {
+                tier: Tier::Analyzer,
+                message,
+                fixture: Fixture {
+                    name: case.clone(),
+                    kind,
+                    target,
+                    expect: Expectation::Pass,
+                    encoded: shrunk.encode(),
+                    note: format!(
+                        "shrunk analyzer-verdict divergence, fuzz seed {}",
+                        opts.seed
+                    ),
+                },
+            });
+        }
+
         // Tier 3b: pooled worker-invariance batches.
         slot.pending.push(cfg);
         if slot.pending.len() >= INVARIANCE_BATCH {
@@ -304,6 +339,7 @@ mod tests {
         assert!(r.mutant_checks > 0);
         assert_eq!(r.semantic_checks, 45);
         assert_eq!(r.model_checks, 45);
+        assert_eq!(r.analyzer_checks, 45);
         assert!(r.invariance_checks > 0, "leftover batches must flush");
         assert!(
             r.violations.is_empty(),

@@ -13,6 +13,10 @@
 //! * **Model** — the CPU/GPU/FPGA analytical costs are finite and
 //!   positive whenever the models deem a point feasible, and identical
 //!   whether evaluated serially or through a multi-worker [`EvalPool`].
+//! * **Analyzer** — `flextensor-analyze`'s static verdict agrees with the
+//!   dynamic layers: an `Error`-level report implies the cost model
+//!   rejects the schedule, and an analyzer-clean, model-feasible schedule
+//!   must execute without diverging from the reference.
 
 use flextensor_explore::pool::EvalPool;
 use flextensor_interp::machine::check_against_reference;
@@ -36,6 +40,8 @@ pub enum Tier {
     Semantic,
     /// Analytical cost-model sanity.
     Model,
+    /// Static-analyzer verdicts vs. the cost models and the interpreter.
+    Analyzer,
 }
 
 impl std::fmt::Display for Tier {
@@ -44,6 +50,7 @@ impl std::fmt::Display for Tier {
             Tier::Structural => "structural",
             Tier::Semantic => "semantic",
             Tier::Model => "model",
+            Tier::Analyzer => "analyzer",
         })
     }
 }
@@ -194,6 +201,48 @@ pub fn check_model(graph: &Graph, cfg: &NodeConfig) -> Result<(), String> {
     Ok(())
 }
 
+/// Analyzer oracle: the static analyzer's verdict for `cfg` on `device`
+/// must agree with the dynamic layers it abstracts.
+///
+/// * An `Error`-level report claims the schedule is illegal on the
+///   device, so the cost model must reject it (`evaluate` → `None`);
+///   the converse is not required — the analyzer may miss
+///   infeasibilities, but must never cry wolf.
+/// * A clean report on a model-feasible schedule claims legality, so the
+///   scheduled interpreter must match the reference (within
+///   [`SEMANTIC_TOL`]).
+///
+/// # Errors
+///
+/// Returns a description of the disagreement, naming the analyzer rule
+/// when the static verdict was the wrong one.
+pub fn check_analyzer(
+    graph: &Graph,
+    cfg: &NodeConfig,
+    device: &Device,
+    seed: u64,
+) -> Result<(), String> {
+    let target = device.target();
+    let report = flextensor_analyze::analyze_schedule(graph, cfg, device);
+    let cost = Evaluator::new(device.clone()).evaluate(graph, cfg);
+    let first_error = report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == flextensor_analyze::Severity::Error);
+    match (first_error, cost) {
+        (Some(d), Some(c)) => Err(format!(
+            "{target}: analyzer claims illegal ({} at {}) but the cost model accepts the \
+             schedule at {:.3e}s",
+            d.rule, d.span, c.seconds
+        )),
+        (None, Some(_)) => check_semantic(graph, cfg, target, seed)
+            .map_err(|e| format!("analyzer-clean schedule misbehaves: {e}")),
+        // Error + infeasible: static and dynamic agree. Clean +
+        // infeasible: allowed — the gate is sound, not complete.
+        _ => Ok(()),
+    }
+}
+
 /// Model oracle, batch half: evaluating `configs` through a serial pool
 /// and a multi-worker pool must produce identical outcomes (the
 /// `eval_workers` invariance the parallel back-end guarantees).
@@ -265,6 +314,27 @@ mod tests {
                 if let Some(bad) = mutate(&base, op, m) {
                     check_mutant_rejected(&g, &bad)
                         .unwrap_or_else(|e| panic!("{}: {m}: {e}", g.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyzer_oracle_agrees_on_naive_and_random_points() {
+        for kind in [OperatorKind::Gemm, OperatorKind::Conv2d] {
+            let g = small_case(kind);
+            let cfg = NodeConfig::naive(g.anchor_op());
+            for d in oracle_devices() {
+                check_analyzer(&g, &cfg, &d, 7)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", g.name, d.name()));
+            }
+            let space = Space::new(&g, TargetKind::Gpu);
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..8 {
+                let p = space.random_point(&mut rng);
+                for d in oracle_devices() {
+                    check_analyzer(&g, &p, &d, 9)
+                        .unwrap_or_else(|e| panic!("{}/{}: {e}", g.name, d.name()));
                 }
             }
         }

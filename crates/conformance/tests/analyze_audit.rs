@@ -1,0 +1,42 @@
+//! Golden-report drift check for the static-analyzer corpus audit.
+//!
+//! `analyze-golden.txt` is the committed output of
+//! `probe_analyze corpus`. Any change to analyzer verdicts over the
+//! committed fixtures — a new rule firing, a severity change, a message
+//! rewording — shows up as a diff here and must be reviewed (and the
+//! golden regenerated) rather than slipping through silently. CI runs the
+//! same comparison via the binary.
+
+use std::path::Path;
+
+use flextensor_conformance::audit::audit_corpus;
+use flextensor_conformance::corpus::load_corpus;
+
+const GOLDEN: &str = include_str!("../analyze-golden.txt");
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+#[test]
+fn corpus_audit_matches_the_committed_golden_report() {
+    let fixtures = load_corpus(corpus_dir()).expect("committed corpus loads");
+    let report = audit_corpus(&fixtures);
+    assert_eq!(report.mismatches(), 0, "{}", report.render_text());
+    assert_eq!(
+        report.render_text(),
+        GOLDEN,
+        "analyzer verdicts drifted from crates/conformance/analyze-golden.txt; \
+         regenerate with `cargo run -p flextensor-bench --bin probe_analyze -- corpus` \
+         and review the diff"
+    );
+}
+
+#[test]
+fn audit_json_is_well_formed_and_complete() {
+    let fixtures = load_corpus(corpus_dir()).expect("committed corpus loads");
+    let json = audit_corpus(&fixtures).to_json();
+    let v = flextensor_telemetry::json::parse(&json).expect("audit JSON parses");
+    assert_eq!(v.get_u64("fixtures").unwrap() as usize, fixtures.len());
+    assert_eq!(v.get_u64("mismatches").unwrap(), 0);
+}

@@ -31,6 +31,7 @@
 //! exploration back-end ([`flextensor_explore`]). The [`dnn`] module
 //! optimizes whole networks (YOLO-v1, OverFeat — §6.6).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dnn;

@@ -79,6 +79,17 @@ impl OptimizeOptions {
         self
     }
 
+    /// Enables (or disables) the static analyzer pruning gate: candidates
+    /// that `flextensor-analyze` proves infeasible for the target device
+    /// are rejected before the cost model runs. The analyzer's soundness
+    /// contract guarantees the chosen schedule and its cost are identical
+    /// either way; pruned candidates skip the modeled measurement cost and
+    /// are tallied in [`EvalStats::pruned`].
+    pub fn with_analyzer_gate(mut self, enabled: bool) -> OptimizeOptions {
+        self.search.analyzer_gate = enabled;
+        self
+    }
+
     /// Attaches a telemetry sink: the exploration back-end streams
     /// structured [`TraceEvent`](flextensor_telemetry::TraceEvent)s
     /// (trial lifecycle, candidate evaluations, SA moves, Q-network
@@ -234,6 +245,18 @@ mod tests {
         let r = optimize(&task, &OptimizeOptions::quick()).unwrap();
         assert_eq!(r.analysis.num_compute_nodes, 2);
         assert_eq!(r.analysis.root_reduce, 3);
+    }
+
+    #[test]
+    fn analyzer_gate_does_not_change_the_chosen_schedule() {
+        let task = Task::new(ops::gemm(256, 256, 256), Device::Gpu(v100()));
+        let off = optimize(&task, &OptimizeOptions::quick()).unwrap();
+        let on = optimize(&task, &OptimizeOptions::quick().with_analyzer_gate(true)).unwrap();
+        assert_eq!(on.config.encode(), off.config.encode());
+        assert_eq!(on.cost.seconds.to_bits(), off.cost.seconds.to_bits());
+        assert_eq!(off.eval_stats.pruned, 0);
+        assert!(on.eval_stats.pruned > 0);
+        assert!(on.exploration_time_s < off.exploration_time_s);
     }
 
     #[test]

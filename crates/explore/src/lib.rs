@@ -45,6 +45,7 @@
 //! # Ok::<(), flextensor_explore::methods::SearchError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod methods;

@@ -98,6 +98,13 @@ pub struct SearchOptions {
     pub eval_workers: usize,
     /// Approximate entry bound for the evaluation memo cache.
     pub cache_capacity: usize,
+    /// Statically prune candidates the analyzer proves infeasible
+    /// (`flextensor-analyze`'s feature-level legality rules) before the
+    /// cost model runs. The analyzer's soundness contract guarantees the
+    /// best configuration and cost are identical either way; pruned
+    /// candidates skip the modeled measurement cost, and their tally shows
+    /// up in [`EvalStats::pruned`] and `analyzer_stats` trace records.
+    pub analyzer_gate: bool,
     /// Structured trace sink (disabled by default). When enabled, the
     /// search emits the full event stream of `docs/TRACE_FORMAT.md`:
     /// trial lifecycle, every absorbed candidate, SA moves, Q-network
@@ -119,6 +126,7 @@ impl Default for SearchOptions {
             stop_when_seconds: None,
             eval_workers: 1,
             cache_capacity: 1 << 20,
+            analyzer_gate: false,
             telemetry: Telemetry::null(),
         }
     }
@@ -186,10 +194,12 @@ impl<'a> Driver<'a> {
     /// Folds one batched evaluation outcome into `H` and the time
     /// accounting, and logs the candidate. Only *fresh* outcomes (the
     /// pool actually ran the evaluator) count as on-device measurements;
-    /// cache hits cost zero modeled time. Returns the performance value
-    /// `E` (0 for infeasible).
+    /// cache hits cost zero modeled time, and so do candidates the
+    /// analyzer gate pruned — no kernel was ever compiled or launched for
+    /// them. Returns the performance value `E` (0 for infeasible).
     fn absorb(&mut self, trial: usize, cfg: &NodeConfig, outcome: EvalOutcome) -> f64 {
-        if outcome.fresh {
+        let measured = outcome.fresh && !outcome.pruned;
+        if measured {
             self.measurements += 1;
             self.time_s += self.opts.measure_overhead_s;
             if let Some(c) = outcome.cost {
@@ -199,11 +209,13 @@ impl<'a> Driver<'a> {
             // the overhead, but has no kernel time to repeat.
         }
         if self.opts.telemetry.is_enabled() {
+            // Pruned candidates log as non-fresh: replay's time fold bills
+            // `fresh` records, and pruned points cost nothing.
             self.opts.telemetry.emit(TraceEvent::CandidateEvaluated {
                 trial,
                 key: config_key(&cfg.encode()),
                 seconds: outcome.cost.map(|c| c.seconds),
-                fresh: outcome.fresh,
+                fresh: measured,
             });
         }
         let e = match outcome.cost {
@@ -270,7 +282,11 @@ pub fn search(
 
     let mut d = Driver {
         graph,
-        pool: EvalPool::new(graph, evaluator, opts.eval_workers, opts.cache_capacity),
+        pool: if opts.analyzer_gate {
+            EvalPool::new_gated(graph, evaluator, opts.eval_workers, opts.cache_capacity)
+        } else {
+            EvalPool::new(graph, evaluator, opts.eval_workers, opts.cache_capacity)
+        },
         space,
         history: History::new(),
         measurements: 0,
@@ -535,6 +551,61 @@ mod tests {
         let b = search(&g, &ev, Method::QMethod, &quick_opts(8)).unwrap();
         assert_eq!(a.best.encode(), b.best.encode());
         assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn analyzer_gate_preserves_search_results() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        for m in [Method::QMethod, Method::PMethod, Method::RandomWalk] {
+            let off = search(&g, &ev, m, &quick_opts(10)).unwrap();
+            let mut opts = quick_opts(10);
+            opts.analyzer_gate = true;
+            let on = search(&g, &ev, m, &opts).unwrap();
+            // Identical best point and bit-identical cost: pruning only
+            // skips evaluations that were provably infeasible anyway.
+            assert_eq!(on.best.encode(), off.best.encode(), "{m}");
+            assert_eq!(
+                on.best_cost.seconds.to_bits(),
+                off.best_cost.seconds.to_bits(),
+                "{m}"
+            );
+            // The gate's whole point: pruned candidates are never billed
+            // as modeled on-device measurements.
+            assert_eq!(off.eval_stats.pruned, 0, "{m}");
+            assert!(on.eval_stats.pruned > 0, "{m}: nothing was pruned");
+            assert_eq!(
+                on.measurements + on.eval_stats.pruned,
+                off.measurements,
+                "{m}"
+            );
+            assert!(on.exploration_time_s < off.exploration_time_s, "{m}");
+        }
+    }
+
+    #[test]
+    fn gated_search_traces_still_replay_exactly() {
+        use flextensor_telemetry::{replay, MemorySink};
+        use std::sync::Arc;
+
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let sink = Arc::new(MemorySink::new());
+        let mut opts = quick_opts(6);
+        opts.analyzer_gate = true;
+        opts.telemetry = Telemetry::new(sink.clone());
+        let r = search(&g, &ev, Method::QMethod, &opts).unwrap();
+
+        let events = sink.events();
+        let rep = replay::replay(&events).unwrap();
+        assert!(rep.summary_matches(), "{:#?}", rep.replayed);
+        match rep.analyzer {
+            Some(TraceEvent::AnalyzerStats { pruned, .. }) => {
+                assert_eq!(pruned, r.eval_stats.pruned);
+                assert!(pruned > 0);
+            }
+            other => panic!("gated run must record analyzer_stats, got {other:?}"),
+        }
     }
 
     #[test]

@@ -143,13 +143,17 @@ impl MemoCache {
 /// [`SearchResult`](crate::methods::SearchResult) and the bench harness.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EvalStats {
-    /// Fresh cost-model evaluations actually run (== distinct points, as
-    /// long as the cache never flushed).
+    /// Fresh evaluations resolved by this pool (cache misses). Includes
+    /// candidates the analyzer gate rejected statically; those are also
+    /// counted in `pruned`.
     pub evaluated: usize,
     /// Lookups answered from the memo cache.
     pub cache_hits: usize,
     /// Lookups that required a fresh evaluation.
     pub cache_misses: usize,
+    /// Candidates the static analyzer gate rejected before the cost model
+    /// ran (always 0 when the gate is off).
+    pub pruned: usize,
     /// Worker threads used for evaluation.
     pub workers: usize,
     /// Real time spent inside batched evaluation, seconds.
@@ -166,6 +170,7 @@ impl EvalStats {
     ///     evaluated: 40,
     ///     cache_hits: 10,
     ///     cache_misses: 40,
+    ///     pruned: 0,
     ///     workers: 4,
     ///     wall_clock_s: 0.2,
     /// };
@@ -196,6 +201,10 @@ pub struct EvalOutcome {
     /// already knew the answer. Fresh evaluations are the ones that cost
     /// modeled measurement time.
     pub fresh: bool,
+    /// `true` when the static analyzer gate rejected the point before the
+    /// cost model ran (implies `cost == None`; such candidates cost no
+    /// modeled measurement time).
+    pub pruned: bool,
 }
 
 /// What workers need to evaluate a point; shared immutably.
@@ -210,15 +219,54 @@ struct EvalCtx {
     /// which re-lower every candidate from scratch for differential
     /// testing and perf-probe baselines.
     use_template: bool,
+    /// When `true`, candidates whose features trip an `Error`-level
+    /// static-analysis rule are rejected before the cost model runs.
+    /// Sound by `flextensor_analyze::gate_rejects`'s contract: a rejected
+    /// candidate would have evaluated to `None` anyway, so gating never
+    /// changes a cost — only whether modeled measurement time is spent.
+    analyzer_gate: bool,
 }
 
 impl EvalCtx {
-    fn eval(&self, cfg: &NodeConfig) -> Option<Cost> {
-        if self.use_template {
-            self.evaluator.evaluate_template(&self.template, cfg)
-        } else {
-            self.evaluator.evaluate(&self.graph, cfg)
+    /// Evaluates one point; the second component reports a gate rejection.
+    fn eval(&self, cfg: &NodeConfig) -> (Option<Cost>, bool) {
+        if !self.analyzer_gate {
+            let cost = if self.use_template {
+                self.evaluator.evaluate_template(&self.template, cfg)
+            } else {
+                self.evaluator.evaluate(&self.graph, cfg)
+            };
+            return (cost, false);
         }
+        // Gated path: derive features once, consult the analyzer, and only
+        // then run the cost model — on the same features, so costs are
+        // bit-identical to the ungated path.
+        let (features, flops) = if self.use_template {
+            (
+                self.template.features(cfg).ok(),
+                self.template.graph_flops(),
+            )
+        } else {
+            let target = self.evaluator.target();
+            (
+                flextensor_schedule::lower::lower(&self.graph, cfg, target)
+                    .ok()
+                    .map(|k| k.features),
+                self.graph.flops(),
+            )
+        };
+        let Some(features) = features else {
+            // Invalid for the graph (a config-level legality error).
+            return (None, true);
+        };
+        if flextensor_analyze::gate_rejects(self.evaluator.device(), &features).is_some() {
+            return (None, true);
+        }
+        let cost = self
+            .evaluator
+            .time_features(&features)
+            .map(|seconds| Cost { seconds, flops });
+        (cost, false)
     }
 }
 
@@ -227,7 +275,7 @@ impl EvalCtx {
 struct BatchJob {
     configs: Vec<NodeConfig>,
     next: AtomicUsize,
-    results: Vec<OnceLock<Option<Cost>>>,
+    results: Vec<OnceLock<(Option<Cost>, bool)>>,
 }
 
 /// A persistent pool of evaluation workers with a memo cache in front.
@@ -243,6 +291,7 @@ pub struct EvalPool {
     done_rx: Option<Receiver<()>>,
     handles: Vec<JoinHandle<()>>,
     evaluated: usize,
+    pruned: usize,
     wall_clock: Duration,
 }
 
@@ -284,6 +333,29 @@ impl EvalPool {
         )
     }
 
+    /// A pool like [`EvalPool::new`] with the static analyzer gate
+    /// enabled: candidates whose lowered features trip an `Error`-level
+    /// `flextensor-analyze` legality rule are rejected *before* the cost
+    /// model runs ([`EvalOutcome::pruned`], [`EvalStats::pruned`]).
+    /// Because the gate only rejects candidates the evaluator would have
+    /// scored `None`, every returned cost is bit-identical to an ungated
+    /// pool's.
+    pub fn new_gated(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache_capacity: usize,
+    ) -> EvalPool {
+        EvalPool::build(
+            graph,
+            evaluator,
+            workers,
+            Arc::new(MemoCache::new(cache_capacity)),
+            true,
+            true,
+        )
+    }
+
     /// A reference pool that re-lowers every candidate from scratch
     /// instead of applying the cached [`LoweredTemplate`]. Results are
     /// bit-identical to [`EvalPool::new`] (both paths share one feature
@@ -302,6 +374,7 @@ impl EvalPool {
             workers,
             Arc::new(MemoCache::new(cache_capacity)),
             false,
+            false,
         )
     }
 
@@ -313,7 +386,7 @@ impl EvalPool {
         workers: usize,
         cache: Arc<MemoCache>,
     ) -> EvalPool {
-        EvalPool::build(graph, evaluator, workers, cache, true)
+        EvalPool::build(graph, evaluator, workers, cache, true, false)
     }
 
     fn build(
@@ -322,6 +395,7 @@ impl EvalPool {
         workers: usize,
         cache: Arc<MemoCache>,
         use_template: bool,
+        analyzer_gate: bool,
     ) -> EvalPool {
         let workers = resolve_workers(workers);
         let ctx = Arc::new(EvalCtx {
@@ -329,6 +403,7 @@ impl EvalPool {
             evaluator: evaluator.clone(),
             template: LoweredTemplate::new(graph, evaluator.target()),
             use_template,
+            analyzer_gate,
         });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
@@ -367,6 +442,7 @@ impl EvalPool {
             done_rx,
             handles,
             evaluated: 0,
+            pruned: 0,
             wall_clock: Duration::ZERO,
         }
     }
@@ -381,6 +457,12 @@ impl EvalPool {
     /// ([`EvalPool::new_reference`]).
     pub fn uses_template(&self) -> bool {
         self.ctx.use_template
+    }
+
+    /// Whether the static analyzer gate is enabled
+    /// ([`EvalPool::new_gated`]).
+    pub fn analyzer_gate(&self) -> bool {
+        self.ctx.analyzer_gate
     }
 
     /// The memo cache in front of the evaluator.
@@ -405,7 +487,11 @@ impl EvalPool {
         let mut hits = 0usize;
         for i in 0..n {
             if let Some(cost) = self.cache.peek(&keys[i]) {
-                out[i] = Some(EvalOutcome { cost, fresh: false });
+                out[i] = Some(EvalOutcome {
+                    cost,
+                    fresh: false,
+                    pruned: false,
+                });
                 hits += 1;
             } else if !first_of_key.contains_key(keys[i].as_slice()) {
                 first_of_key.insert(&keys[i], i);
@@ -416,7 +502,7 @@ impl EvalPool {
 
         // Evaluate the misses — inline when serial or trivially small,
         // fanned out over the persistent workers otherwise.
-        let fresh: Vec<Option<Cost>> = if self.senders.is_empty() || work.len() <= 1 {
+        let fresh: Vec<(Option<Cost>, bool)> = if self.senders.is_empty() || work.len() <= 1 {
             work.iter().map(|&i| self.ctx.eval(&configs[i])).collect()
         } else {
             let job = Arc::new(BatchJob {
@@ -439,30 +525,37 @@ impl EvalPool {
 
         // Reduce in candidate order: publish fresh results, then resolve
         // duplicates as hits.
-        for (slot, &i) in fresh.iter().zip(&work) {
+        for (&(cost, pruned), &i) in fresh.iter().zip(&work) {
             out[i] = Some(EvalOutcome {
-                cost: *slot,
+                cost,
                 fresh: true,
+                pruned,
             });
         }
         for i in 0..n {
             if out[i].is_none() {
                 let j = first_of_key[keys[i].as_slice()];
                 let cost = out[j].expect("first occurrence resolved").cost;
-                out[i] = Some(EvalOutcome { cost, fresh: false });
+                out[i] = Some(EvalOutcome {
+                    cost,
+                    fresh: false,
+                    pruned: false,
+                });
                 hits += 1;
             }
         }
         // All cache writes happen here, on the coordinator, in candidate
         // order, so cache content is deterministic. Keys move into the
-        // cache (no clone per fresh evaluation).
+        // cache (no clone per fresh evaluation). Gate rejections memoize
+        // as `None` — sound, since they would have evaluated to `None`.
         drop(first_of_key);
-        for (slot, &i) in fresh.iter().zip(&work) {
-            self.cache.insert(std::mem::take(&mut keys[i]), *slot);
+        for (&(cost, _), &i) in fresh.iter().zip(&work) {
+            self.cache.insert(std::mem::take(&mut keys[i]), cost);
         }
         self.cache.count_hits(hits);
         self.cache.count_misses(work.len());
         self.evaluated += work.len();
+        self.pruned += fresh.iter().filter(|&&(_, pruned)| pruned).count();
         self.wall_clock += t0.elapsed();
 
         out.into_iter()
@@ -481,6 +574,7 @@ impl EvalPool {
             evaluated: self.evaluated,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
+            pruned: self.pruned,
             workers: self.workers,
             wall_clock_s: self.wall_clock.as_secs_f64(),
         }
@@ -509,6 +603,15 @@ impl EvalPool {
             workers: s.workers,
             wall_s: s.wall_clock_s,
         });
+        // Gate-enabled pools additionally record the pruning tally; traces
+        // from ungated runs (including all pre-gate fixtures) are
+        // unchanged byte for byte.
+        if self.ctx.analyzer_gate {
+            telemetry.emit(TraceEvent::AnalyzerStats {
+                trial,
+                pruned: s.pruned,
+            });
+        }
     }
 }
 
@@ -643,16 +746,48 @@ mod tests {
             pool.evaluate(&bad),
             EvalOutcome {
                 cost: None,
-                fresh: true
+                fresh: true,
+                pruned: false
             }
         );
         assert_eq!(
             pool.evaluate(&bad),
             EvalOutcome {
                 cost: None,
-                fresh: false
+                fresh: false,
+                pruned: false
             }
         );
         assert_eq!(pool.stats().evaluated, 1);
+    }
+
+    #[test]
+    fn gated_pool_prunes_infeasible_and_matches_costs() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cands: Vec<_> = (0..40).map(|_| space.random_point(&mut rng)).collect();
+        // An invalid config prunes at the config level.
+        let mut bad = NodeConfig::naive(g.root_op());
+        bad.spatial_splits[0] = vec![3, 1, 1, 1];
+        cands.push(bad);
+        let plain = EvalPool::new(&g, &ev, 1, 1 << 16).evaluate_batch(&cands);
+        for workers in [1, 4] {
+            let mut pool = EvalPool::new_gated(&g, &ev, workers, 1 << 16);
+            assert!(pool.analyzer_gate());
+            let gated = pool.evaluate_batch(&cands);
+            for (p, q) in plain.iter().zip(&gated) {
+                assert_eq!(p.cost, q.cost);
+                assert!(!q.pruned || q.cost.is_none());
+            }
+            let s = pool.stats();
+            assert!(s.pruned >= 1, "invalid config must be pruned");
+            assert_eq!(s.pruned, gated.iter().filter(|o| o.pruned).count());
+        }
+        assert_eq!(
+            EvalPool::new(&g, &ev, 1, 1 << 16).stats().pruned,
+            0,
+            "ungated pools never prune"
+        );
     }
 }

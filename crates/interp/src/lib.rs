@@ -29,6 +29,7 @@
 //! # Ok::<(), flextensor_interp::eval::EvalError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod eval;

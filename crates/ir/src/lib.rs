@@ -34,6 +34,7 @@
 //! assert_eq!(info.root_reduce, 3);             // rc, rx, ry
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

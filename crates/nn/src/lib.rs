@@ -29,6 +29,7 @@
 //! assert!((out[0] - 1.0).abs() < 0.5);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::Rng;

@@ -116,71 +116,92 @@ impl NodeConfig {
     ///
     /// Returns a human-readable description of the first violated
     /// invariant: factor-count or product mismatches, an invalid reorder
-    /// permutation, or an out-of-range fuse depth.
+    /// permutation, or an out-of-range fuse depth. Every message leads
+    /// with the offending field and index (`spatial_splits[1]: ...`),
+    /// using the same spans `flextensor-analyze` puts on its diagnostics.
     pub fn validate(&self, op: &ComputeOp) -> Result<(), String> {
         if self.spatial_splits.len() != op.spatial.len() {
             return Err(format!(
-                "expected {} spatial splits, got {}",
+                "spatial_splits: expected {} entries for the op's spatial axes, got {}",
                 op.spatial.len(),
                 self.spatial_splits.len()
             ));
         }
         if self.reduce_splits.len() != op.reduce.len() {
             return Err(format!(
-                "expected {} reduce splits, got {}",
+                "reduce_splits: expected {} entries for the op's reduce axes, got {}",
                 op.reduce.len(),
                 self.reduce_splits.len()
             ));
         }
-        for (axis, f) in op.spatial.iter().zip(&self.spatial_splits) {
+        for (i, (axis, f)) in op.spatial.iter().zip(&self.spatial_splits).enumerate() {
             if f.len() != SPATIAL_PARTS {
                 return Err(format!(
-                    "axis {}: expected {SPATIAL_PARTS} factors",
-                    axis.name
+                    "spatial_splits[{i}]: axis {} needs {SPATIAL_PARTS} factors, got {}",
+                    axis.name,
+                    f.len()
                 ));
             }
             let prod: i64 = f.iter().product();
             if prod != axis.extent || f.iter().any(|&x| x < 1) {
                 return Err(format!(
-                    "axis {}: factors {:?} do not multiply to extent {}",
+                    "spatial_splits[{i}]: axis {}: factors {:?} do not multiply to extent {}",
                     axis.name, f, axis.extent
                 ));
             }
         }
-        for (axis, f) in op.reduce.iter().zip(&self.reduce_splits) {
+        for (i, (axis, f)) in op.reduce.iter().zip(&self.reduce_splits).enumerate() {
             if f.len() != REDUCE_PARTS {
                 return Err(format!(
-                    "axis {}: expected {REDUCE_PARTS} factors",
-                    axis.name
+                    "reduce_splits[{i}]: axis {} needs {REDUCE_PARTS} factors, got {}",
+                    axis.name,
+                    f.len()
                 ));
             }
             let prod: i64 = f.iter().product();
             if prod != axis.extent || f.iter().any(|&x| x < 1) {
                 return Err(format!(
-                    "axis {}: factors {:?} do not multiply to extent {}",
+                    "reduce_splits[{i}]: axis {}: factors {:?} do not multiply to extent {}",
                     axis.name, f, axis.extent
                 ));
             }
         }
         let mut seen = vec![false; op.spatial.len()];
         if self.reorder.len() != op.spatial.len() {
-            return Err("reorder length mismatch".into());
+            return Err(format!(
+                "reorder: expected length {}, got {}",
+                op.spatial.len(),
+                self.reorder.len()
+            ));
         }
-        for &i in &self.reorder {
+        for (pos, &i) in self.reorder.iter().enumerate() {
             if i >= op.spatial.len() || seen[i] {
-                return Err(format!("invalid reorder permutation {:?}", self.reorder));
+                return Err(format!(
+                    "reorder[{pos}]: entry {i} makes {:?} not a permutation of 0..{}",
+                    self.reorder,
+                    op.spatial.len()
+                ));
             }
             seen[i] = true;
         }
         if self.fuse_outer < 1 || self.fuse_outer > op.spatial.len() {
             return Err(format!(
-                "fuse_outer {} out of range 1..={}",
+                "fuse_outer: depth {} out of range 1..={}",
                 self.fuse_outer,
                 op.spatial.len()
             ));
         }
-        if self.fpga_partition < 1 || self.fpga_pipeline < 1 || self.fpga_pipeline > 3 {
-            return Err("invalid FPGA parameters".into());
+        if self.fpga_partition < 1 {
+            return Err(format!(
+                "fpga_partition: factor {} must be positive",
+                self.fpga_partition
+            ));
+        }
+        if self.fpga_pipeline < 1 || self.fpga_pipeline > 3 {
+            return Err(format!(
+                "fpga_pipeline: depth {} out of range 1..=3",
+                self.fpga_pipeline
+            ));
         }
         Ok(())
     }
@@ -377,6 +398,124 @@ mod tests {
         assert!(c.validate(&op).is_err());
         c.fuse_outer = 3;
         assert!(c.validate(&op).is_err());
+    }
+
+    // One test per validate() message: each must lead with the offending
+    // field and index, matching the spans flextensor-analyze reports.
+
+    #[test]
+    fn validate_names_spatial_split_count_mismatch() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.spatial_splits.pop();
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(
+            err,
+            "spatial_splits: expected 2 entries for the op's spatial axes, got 1"
+        );
+    }
+
+    #[test]
+    fn validate_names_reduce_split_count_mismatch() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.reduce_splits.clear();
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(
+            err,
+            "reduce_splits: expected 1 entries for the op's reduce axes, got 0"
+        );
+    }
+
+    #[test]
+    fn validate_names_spatial_factor_arity() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.spatial_splits[1] = vec![1, 32];
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(err, "spatial_splits[1]: axis j needs 4 factors, got 2");
+    }
+
+    #[test]
+    fn validate_names_spatial_product_mismatch() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.spatial_splits[0] = vec![2, 2, 2, 2]; // 16 != 64
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(
+            err,
+            "spatial_splits[0]: axis i: factors [2, 2, 2, 2] do not multiply to extent 64"
+        );
+    }
+
+    #[test]
+    fn validate_names_reduce_factor_arity() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.reduce_splits[0] = vec![16];
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(err, "reduce_splits[0]: axis k needs 3 factors, got 1");
+    }
+
+    #[test]
+    fn validate_names_reduce_product_mismatch() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.reduce_splits[0] = vec![1, 1, 8]; // 8 != 16
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(
+            err,
+            "reduce_splits[0]: axis k: factors [1, 1, 8] do not multiply to extent 16"
+        );
+    }
+
+    #[test]
+    fn validate_names_reorder_length_mismatch() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.reorder = vec![0];
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(err, "reorder: expected length 2, got 1");
+    }
+
+    #[test]
+    fn validate_names_reorder_permutation_slot() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.reorder = vec![0, 0]; // duplicate surfaces at slot 1
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(
+            err,
+            "reorder[1]: entry 0 makes [0, 0] not a permutation of 0..2"
+        );
+        c.reorder = vec![5, 1]; // out-of-range surfaces at slot 0
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(
+            err,
+            "reorder[0]: entry 5 makes [5, 1] not a permutation of 0..2"
+        );
+    }
+
+    #[test]
+    fn validate_names_fuse_depth_range() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.fuse_outer = 3;
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(err, "fuse_outer: depth 3 out of range 1..=2");
+    }
+
+    #[test]
+    fn validate_names_fpga_fields_separately() {
+        let op = gemm_op();
+        let mut c = NodeConfig::naive(&op);
+        c.fpga_partition = 0;
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(err, "fpga_partition: factor 0 must be positive");
+        c.fpga_partition = 1;
+        c.fpga_pipeline = 4;
+        let err = c.validate(&op).unwrap_err();
+        assert_eq!(err, "fpga_pipeline: depth 4 out of range 1..=3");
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! # Ok::<(), flextensor_schedule::lower::LowerError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

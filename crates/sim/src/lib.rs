@@ -38,6 +38,7 @@
 //! assert!(cost.gflops() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cpu;

@@ -144,6 +144,7 @@ pub fn write_opt_f64(out: &mut String, v: Option<f64>) {
 /// Returns a description of the first syntax error, with its byte offset.
 pub fn parse(src: &str) -> Result<Json, String> {
     let mut p = Parser {
+        src,
         bytes: src.as_bytes(),
         pos: 0,
     };
@@ -157,6 +158,7 @@ pub fn parse(src: &str) -> Result<Json, String> {
 }
 
 struct Parser<'a> {
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -298,11 +300,14 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (the input is a &str, so
-                    // continuation bytes are always well-formed).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one UTF-8 scalar. The cursor only ever
+                    // advances by whole ASCII tokens or whole chars, so it
+                    // sits on a char boundary and `get` always succeeds.
+                    let c = self
+                        .src
+                        .get(self.pos..)
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| format!("invalid UTF-8 boundary at byte {}", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

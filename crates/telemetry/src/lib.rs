@@ -50,6 +50,7 @@
 //! assert!(matches!(events[0], TraceEvent::TrialStarted { trial: 1, .. }));
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod json;
@@ -166,6 +167,17 @@ pub enum TraceEvent {
         /// Real wall-clock spent inside batched evaluation so far, seconds.
         wall_s: f64,
     },
+    /// Cumulative static-analyzer pruning statistics after a batch.
+    /// Emitted only by gate-enabled evaluation pools, immediately after
+    /// the batch's [`TraceEvent::PoolStats`] record; traces from ungated
+    /// runs never contain it.
+    AnalyzerStats {
+        /// Trial whose batch just completed.
+        trial: usize,
+        /// Candidates the analyzer gate rejected before the cost model
+        /// ran, cumulative over the run.
+        pruned: usize,
+    },
     /// The run finished. Replay recomputes every field of this record
     /// (except the pass-through `wall_s`) from the preceding events.
     RunSummary {
@@ -200,6 +212,7 @@ impl TraceEvent {
             TraceEvent::SaStep { .. } => "sa_step",
             TraceEvent::QUpdate { .. } => "q_update",
             TraceEvent::PoolStats { .. } => "pool_stats",
+            TraceEvent::AnalyzerStats { .. } => "analyzer_stats",
             TraceEvent::RunSummary { .. } => "run_summary",
         }
     }
@@ -308,6 +321,9 @@ impl TraceEvent {
                 );
                 write_f64(&mut s, *wall_s);
             }
+            TraceEvent::AnalyzerStats { trial, pruned } => {
+                let _ = write!(s, ",\"trial\":{trial},\"pruned\":{pruned}");
+            }
             TraceEvent::RunSummary {
                 trials,
                 measurements,
@@ -401,6 +417,10 @@ impl TraceEvent {
                 cache_entries: field(v.get_usize("cache_entries"))?,
                 workers: field(v.get_usize("workers"))?,
                 wall_s: field(v.get_f64("wall_s"))?,
+            },
+            "analyzer_stats" => TraceEvent::AnalyzerStats {
+                trial: field(v.get_usize("trial"))?,
+                pruned: field(v.get_usize("pruned"))?,
             },
             "run_summary" => TraceEvent::RunSummary {
                 trials: field(v.get_usize("trials"))?,
@@ -716,6 +736,10 @@ mod tests {
                 cache_entries: 12,
                 workers: 4,
                 wall_s: 0.001,
+            },
+            TraceEvent::AnalyzerStats {
+                trial: 1,
+                pruned: 5,
             },
             TraceEvent::RunSummary {
                 trials: 4,

@@ -104,6 +104,9 @@ pub struct Replay {
     pub q_updates: Vec<QPoint>,
     /// The last recorded pool statistics, if any.
     pub pool: Option<TraceEvent>,
+    /// The last recorded analyzer-gate statistics, if any (only present
+    /// in traces of gate-enabled runs).
+    pub analyzer: Option<TraceEvent>,
     /// The `RunSummary` as recorded by the live run.
     pub recorded: TraceEvent,
     /// The `RunSummary` recomputed from the event stream (with the
@@ -140,6 +143,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
     let mut per_trial_wall: Vec<(usize, f64)> = Vec::new();
     let mut q_updates: Vec<QPoint> = Vec::new();
     let mut pool: Option<TraceEvent> = None;
+    let mut analyzer: Option<TraceEvent> = None;
     let mut open_trial: Option<(usize, f64)> = None; // (trial, start wall_s)
     let mut max_trial = 0usize;
 
@@ -234,6 +238,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
                 epsilon: *epsilon,
             }),
             TraceEvent::PoolStats { .. } => pool = Some(ev.clone()),
+            TraceEvent::AnalyzerStats { .. } => analyzer = Some(ev.clone()),
             TraceEvent::RunSummary { .. } => {
                 if recorded.is_some() {
                     return Err(TraceError(
@@ -287,6 +292,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
         per_trial_wall_s: per_trial_wall,
         q_updates,
         pool,
+        analyzer,
         recorded,
         replayed,
     })
@@ -451,6 +457,30 @@ mod tests {
         assert_eq!(r.acceptance[1].accepted, 0);
         assert_eq!(r.per_trial_wall_s.len(), 3);
         assert!((r.per_trial_wall_s[1].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analyzer_stats_are_captured_without_affecting_the_fold() {
+        let mut events = mini_trace();
+        let summary_at = events.len() - 1;
+        events.insert(
+            summary_at,
+            TraceEvent::AnalyzerStats {
+                trial: 2,
+                pruned: 4,
+            },
+        );
+        let r = replay(&events).unwrap();
+        assert!(r.summary_matches(), "{:#?}", r);
+        assert_eq!(
+            r.analyzer,
+            Some(TraceEvent::AnalyzerStats {
+                trial: 2,
+                pruned: 4,
+            })
+        );
+        // Ungated traces carry no analyzer record at all.
+        assert_eq!(replay(&mini_trace()).unwrap().analyzer, None);
     }
 
     #[test]

@@ -127,6 +127,13 @@ pub fn render(r: &Replay) -> String {
         _ => out.push_str("\nevaluation pool: no pool_stats records\n"),
     }
 
+    if let Some(TraceEvent::AnalyzerStats { pruned, .. }) = &r.analyzer {
+        let _ = writeln!(
+            out,
+            "analyzer gate: {pruned} candidate(s) statically pruned before evaluation"
+        );
+    }
+
     if r.q_updates.is_empty() {
         out.push_str("q-network: no training rounds recorded\n");
     } else {

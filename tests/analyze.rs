@@ -1,0 +1,210 @@
+//! Integration coverage for the static schedule analyzer.
+//!
+//! Two halves, matching the analyzer's contract:
+//!
+//! * **Negative sweep** — the naive schedule of every suite operator on
+//!   its small conformance shape is `Error`-free on all three device
+//!   models (performance lints are allowed; naive schedules are slow,
+//!   not illegal).
+//! * **Positive cases** — one hand-built trigger per legality rule (and
+//!   the determinism rule), asserting the expected rule id fires with
+//!   the expected span.
+
+use flextensor_analyze::{analyze, analyze_schedule, gate_rejects, AnalysisInput, Severity};
+use flextensor_ir::expr::Expr;
+use flextensor_ir::graph::Combiner;
+use flextensor_ir::suite::{small_case, OperatorKind};
+use flextensor_schedule::config::NodeConfig;
+use flextensor_schedule::lower::lower;
+use flextensor_schedule::nest::{LoopKind, Stmt};
+use flextensor_sim::spec::{v100, vu9p, xeon_e5_2699_v4, Device};
+
+fn devices() -> [Device; 3] {
+    [
+        Device::Cpu(xeon_e5_2699_v4()),
+        Device::Gpu(v100()),
+        Device::Fpga(vu9p()),
+    ]
+}
+
+#[test]
+fn naive_suite_schedules_are_error_free_on_every_target() {
+    for kind in OperatorKind::all() {
+        let graph = small_case(kind);
+        let cfg = NodeConfig::naive(graph.anchor_op());
+        for device in devices() {
+            let report = analyze_schedule(&graph, &cfg, &device);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{} on {}: {}",
+                graph.name,
+                device.name(),
+                report.render_text()
+            );
+        }
+    }
+}
+
+/// Asserts the report's first diagnostic has the given rule and span.
+fn assert_first(report: &flextensor_analyze::Report, rule: &str, span: &str) {
+    let d = report
+        .diagnostics
+        .first()
+        .unwrap_or_else(|| panic!("expected {rule}, report is clean"));
+    assert_eq!(d.rule, rule, "{}", report.render_text());
+    assert_eq!(d.span, span, "{}", report.render_text());
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn split_shape_rule_fires_on_bad_product() {
+    let graph = small_case(OperatorKind::Gemm);
+    let mut cfg = NodeConfig::naive(graph.anchor_op());
+    cfg.spatial_splits[0] = vec![3, 1, 1, 1];
+    let report = analyze_schedule(&graph, &cfg, &Device::Gpu(v100()));
+    assert_first(&report, "legality/split-shape", "spatial_splits[0]");
+}
+
+#[test]
+fn reorder_rule_fires_on_duplicate_entry() {
+    let graph = small_case(OperatorKind::Gemm);
+    let mut cfg = NodeConfig::naive(graph.anchor_op());
+    let dup = cfg.reorder[0];
+    let last = cfg.reorder.len() - 1;
+    cfg.reorder[last] = dup;
+    let report = analyze_schedule(&graph, &cfg, &Device::Cpu(xeon_e5_2699_v4()));
+    assert_first(&report, "legality/reorder", &format!("reorder[{last}]"));
+}
+
+#[test]
+fn fuse_depth_rule_fires_out_of_range() {
+    let graph = small_case(OperatorKind::Gemm);
+    let mut cfg = NodeConfig::naive(graph.anchor_op());
+    cfg.fuse_outer = 99;
+    let report = analyze_schedule(&graph, &cfg, &Device::Cpu(xeon_e5_2699_v4()));
+    assert_first(&report, "legality/fuse-depth", "fuse_outer");
+}
+
+#[test]
+fn fpga_partition_rule_fires_on_bad_pipeline_depth() {
+    let graph = small_case(OperatorKind::Gemm);
+    let mut cfg = NodeConfig::naive(graph.anchor_op());
+    cfg.fpga_pipeline = 4;
+    let report = analyze_schedule(&graph, &cfg, &Device::Fpga(vu9p()));
+    assert_first(&report, "legality/fpga-partition", "fpga_pipeline");
+}
+
+/// Lowers the naive small-GEMM schedule for `device` and returns its
+/// features — a feasible baseline the feature-rule tests then corrupt.
+fn baseline_features(device: &Device) -> flextensor_schedule::features::KernelFeatures {
+    let graph = small_case(OperatorKind::Gemm);
+    let cfg = NodeConfig::naive(graph.anchor_op());
+    let kernel = lower(&graph, &cfg, device.target()).expect("naive schedule lowers");
+    kernel.features
+}
+
+#[test]
+fn gpu_thread_count_rule_fires_and_gate_rejects() {
+    let device = Device::Gpu(v100());
+    let spec = v100();
+    let mut f = baseline_features(&device);
+    assert!(gate_rejects(&device, &f).is_none());
+    f.block_threads = spec.max_threads_per_block + 1;
+    let d = gate_rejects(&device, &f).expect("oversized block rejected");
+    assert_eq!(d.rule, "legality/gpu-thread-count");
+    assert_eq!(d.span, "features.block_threads");
+}
+
+#[test]
+fn gpu_shared_capacity_rule_fires_and_gate_rejects() {
+    let device = Device::Gpu(v100());
+    let spec = v100();
+    let mut f = baseline_features(&device);
+    f.cache_shared = true;
+    f.shared_bytes_per_block = spec.shared_per_block + 1;
+    let d = gate_rejects(&device, &f).expect("oversized shared staging rejected");
+    assert_eq!(d.rule, "legality/gpu-shared-capacity");
+    assert_eq!(d.span, "features.shared_bytes_per_block");
+}
+
+#[test]
+fn gpu_register_pressure_rule_fires_and_gate_rejects() {
+    let device = Device::Gpu(v100());
+    let spec = v100();
+    let mut f = baseline_features(&device);
+    // Keep the block itself legal so the earlier rules stay silent; the
+    // register file then cannot host even one block.
+    f.block_threads = 256;
+    f.thread_reg_bytes = spec.regfile_per_sm;
+    let d = gate_rejects(&device, &f).expect("register-starved block rejected");
+    assert_eq!(d.rule, "legality/gpu-register-pressure");
+    assert_eq!(d.span, "features.thread_reg_bytes");
+}
+
+#[test]
+fn fpga_pe_budget_rule_fires_and_gate_rejects() {
+    let device = Device::Fpga(vu9p());
+    let spec = vu9p();
+    let mut f = baseline_features(&device);
+    f.fpga
+        .as_mut()
+        .expect("FPGA lowering fills fpga features")
+        .pe = spec.max_pe() + 1;
+    let d = gate_rejects(&device, &f).expect("PE overflow rejected");
+    assert_eq!(d.rule, "legality/fpga-pe-budget");
+    assert_eq!(d.span, "features.fpga.pe");
+}
+
+#[test]
+fn fpga_bram_capacity_rule_fires_and_gate_rejects() {
+    let device = Device::Fpga(vu9p());
+    let spec = vu9p();
+    let mut f = baseline_features(&device);
+    f.fpga
+        .as_mut()
+        .expect("FPGA lowering fills fpga features")
+        .buffer_bytes = spec.bram_bytes + 1;
+    let d = gate_rejects(&device, &f).expect("BRAM overflow rejected");
+    assert_eq!(d.rule, "legality/fpga-bram-capacity");
+    assert_eq!(d.span, "features.fpga.buffer_bytes");
+}
+
+/// Runs the registry on a hand-built nest (config-level context is the
+/// clean naive small-GEMM schedule, so only nest rules can fire errors).
+fn analyze_nest(nest: &[Stmt]) -> flextensor_analyze::Report {
+    let graph = small_case(OperatorKind::Gemm);
+    let cfg = NodeConfig::naive(graph.anchor_op());
+    let device = Device::Cpu(xeon_e5_2699_v4());
+    analyze(&AnalysisInput {
+        op: graph.root_op(),
+        cfg: &cfg,
+        device: &device,
+        features: None,
+        nest: Some(nest),
+    })
+}
+
+fn store(reduce: bool) -> Stmt {
+    Stmt::Store {
+        tensor: "O".into(),
+        indices: vec![Expr::int(0)],
+        value: Expr::var("i"),
+        reduce,
+        combiner: Combiner::Sum,
+    }
+}
+
+#[test]
+fn concurrent_write_race_rule_fires_on_unindexed_parallel_store() {
+    let nest = vec![Stmt::loop_("i", 4, LoopKind::Parallel, vec![store(false)])];
+    let report = analyze_nest(&nest);
+    assert_first(&report, "legality/concurrent-write-race", "nest.i");
+}
+
+#[test]
+fn parallel_reduction_rule_fires_on_unindexed_concurrent_accumulation() {
+    let nest = vec![Stmt::loop_("i", 4, LoopKind::ThreadIdx, vec![store(true)])];
+    let report = analyze_nest(&nest);
+    assert_first(&report, "determinism/parallel-reduction", "nest.i");
+}
