@@ -17,10 +17,19 @@
 //! Flags: `--seed N` (default 2024), `--workers N` (default 4),
 //! `--candidates N` per workload (default 512), `--budget-s S` total
 //! measurement budget in seconds (default 30), `--out PATH` (default
-//! `results/BENCH_explore.json`).
+//! `results/BENCH_explore.json`), `--db PATH` (default off).
+//!
+//! With `--db`, each workload's best candidate is recorded into a
+//! [`TuneDb`] at PATH after the cross-check; a later run against the
+//! same PATH replays the stored config and asserts its re-evaluated
+//! cost is bit-identical to the recorded one. The database never
+//! influences the measured workload or the output JSON, so
+//! `results/BENCH_explore.json` keeps its exact schema (and is
+//! byte-stable modulo timing) whether the db is absent, cold, or warm.
 
 use std::time::Instant;
 
+use flextensor::serve::task_key;
 use flextensor_bench::harness::arg;
 use flextensor_explore::pool::EvalPool;
 use flextensor_explore::space::Space;
@@ -29,6 +38,7 @@ use flextensor_ir::ops::{self, ConvParams};
 use flextensor_schedule::config::NodeConfig;
 use flextensor_sim::model::Evaluator;
 use flextensor_sim::spec::{v100, Device};
+use flextensor_tunedb::{TuneDb, TuneRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,6 +47,9 @@ struct WorkloadResult {
     candidates: usize,
     fast_cand_per_s: f64,
     naive_cand_per_s: f64,
+    /// Encoding + modeled seconds of the cheapest feasible candidate
+    /// (first-wins on ties); what `--db` records.
+    best: Option<(Vec<i64>, f64)>,
 }
 
 impl WorkloadResult {
@@ -94,6 +107,16 @@ fn run_workload(
     let naive_out = EvalPool::new_reference(graph, &ev, workers, 1 << 20).evaluate_batch(&cands);
     assert_eq!(fast_out, naive_out, "fast path diverged on {name}");
 
+    let best = fast_out
+        .iter()
+        .zip(cands.iter())
+        .filter_map(|(o, c)| o.cost.map(|cost| (c, cost.seconds)))
+        .fold(None::<(&NodeConfig, f64)>, |acc, (c, s)| match acc {
+            Some((_, incumbent)) if incumbent <= s => acc,
+            _ => Some((c, s)),
+        })
+        .map(|(c, s)| (c.encode(), s));
+
     // The naive path is the slow one; give it the larger share.
     let naive_cand_per_s = measure(graph, &ev, workers, &cands, true, budget_s * 0.7);
     let fast_cand_per_s = measure(graph, &ev, workers, &cands, false, budget_s * 0.3);
@@ -102,6 +125,65 @@ fn run_workload(
         candidates,
         fast_cand_per_s,
         naive_cand_per_s,
+        best,
+    }
+}
+
+/// `--db` integration: record each workload's best candidate into the
+/// store, or — when the key is already present — replay the stored
+/// config and assert its re-evaluated modeled cost is bit-identical to
+/// the recorded one. Purely additive: never touches the measured
+/// workload or the output JSON.
+fn record_or_replay(db_path: &str, seed: u64, workloads: &[(&Graph, &WorkloadResult)]) {
+    let (db, report) = match TuneDb::open(db_path) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("warning: cannot open tune db {db_path}: {e}");
+            return;
+        }
+    };
+    if report.lines_dropped > 0 {
+        eprintln!(
+            "warning: tune db recovered with {} corrupt line(s) dropped",
+            report.lines_dropped
+        );
+    }
+    let device = Device::Gpu(v100());
+    let ev = Evaluator::new(device.clone());
+    for (graph, r) in workloads {
+        let key = task_key(graph, &device);
+        if let Some(rec) = db.peek(&key) {
+            let cfg = NodeConfig::decode(graph.root_op(), &rec.config)
+                .unwrap_or_else(|e| panic!("stored config for {} invalid: {e}", key.flat()));
+            let cost = ev
+                .evaluate(graph, &cfg)
+                .unwrap_or_else(|| panic!("stored config for {} infeasible", key.flat()));
+            assert_eq!(
+                cost.seconds.to_bits(),
+                rec.seconds.to_bits(),
+                "replayed cost diverged for {}",
+                key.flat()
+            );
+            println!("db: {} replay ok ({} s)", key.flat(), rec.seconds);
+        } else if let Some((config, seconds)) = &r.best {
+            let rec = TuneRecord {
+                key: key.clone(),
+                config: config.clone(),
+                seconds: *seconds,
+                seed,
+                trials: r.candidates,
+                commit: "probe-perf".to_string(),
+            };
+            match db.put(rec) {
+                Ok(()) => println!("db: {} recorded ({seconds} s)", key.flat()),
+                Err(e) => eprintln!("warning: cannot record {}: {e}", key.flat()),
+            }
+        } else {
+            println!(
+                "db: {} has no feasible candidate; nothing recorded",
+                key.flat()
+            );
+        }
     }
 }
 
@@ -111,6 +193,7 @@ fn main() {
     let candidates: usize = arg("candidates", 512);
     let budget_s: f64 = arg("budget-s", 30.0);
     let out: String = arg("out", "results/BENCH_explore.json".to_string());
+    let db_path: String = arg("db", String::new());
 
     println!(
         "== Probe: evaluation fast path (seed {seed}, {workers} workers, \
@@ -149,6 +232,14 @@ fn main() {
     let overall: f64 =
         (results.iter().map(|r| r.speedup().ln()).sum::<f64>() / results.len() as f64).exp();
     println!("\noverall speedup (geometric mean): {overall:.2}x");
+
+    if !db_path.is_empty() {
+        record_or_replay(
+            &db_path,
+            seed,
+            &[(&gemm, &results[0]), (&conv, &results[1])],
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");

@@ -15,8 +15,8 @@ use rand::SeedableRng;
 use crate::corpus::{Expectation, Fixture};
 use crate::gen::{mutate, ALL_MUTATIONS};
 use crate::oracle::{
-    check_analyzer, check_model, check_mutant_rejected, check_semantic, check_structural,
-    check_worker_invariance, oracle_devices, Tier,
+    check_analyzer, check_model, check_mutant_rejected, check_semantic, check_store_roundtrip,
+    check_structural, check_worker_invariance, oracle_devices, Tier,
 };
 use crate::shrink::shrink;
 
@@ -60,6 +60,8 @@ pub struct FuzzReport {
     pub invariance_checks: u64,
     /// Static-analyzer verdicts checked against the dynamic layers.
     pub analyzer_checks: u64,
+    /// Tuning-record store round-trips checked for fidelity.
+    pub store_checks: u64,
     /// Every failure, in discovery order.
     pub violations: Vec<Violation>,
 }
@@ -87,6 +89,10 @@ impl FuzzReport {
         out.push_str(&format!(
             "  analyzer:   {} verdicts\n",
             self.analyzer_checks
+        ));
+        out.push_str(&format!(
+            "  store:      {} round-trips\n",
+            self.store_checks
         ));
         if self.violations.is_empty() {
             out.push_str("  violations: none\n");
@@ -257,6 +263,27 @@ pub fn fuzz(opts: &FuzzOptions) -> FuzzReport {
                     ),
                 },
             });
+        }
+
+        // Tier 5 (sampled sparsely — each check does real file I/O): a
+        // point's tuning record survives the persistence loop byte- and
+        // bit-identically.
+        if i % 16 == 0 {
+            report.store_checks += 1;
+            if let Err(message) = check_store_roundtrip(&slot.graph, &cfg) {
+                report.violations.push(Violation {
+                    tier: Tier::Store,
+                    message,
+                    fixture: Fixture {
+                        name: format!("{case}-store"),
+                        kind,
+                        target,
+                        expect: Expectation::Pass,
+                        encoded: cfg.encode(),
+                        note: format!("store round-trip infidelity, fuzz seed {}", opts.seed),
+                    },
+                });
+            }
         }
 
         // Tier 3b: pooled worker-invariance batches.

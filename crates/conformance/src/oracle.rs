@@ -42,6 +42,8 @@ pub enum Tier {
     Model,
     /// Static-analyzer verdicts vs. the cost models and the interpreter.
     Analyzer,
+    /// Tuning-record persistence fidelity (serialize → store → recover).
+    Store,
 }
 
 impl std::fmt::Display for Tier {
@@ -51,6 +53,7 @@ impl std::fmt::Display for Tier {
             Tier::Semantic => "semantic",
             Tier::Model => "model",
             Tier::Analyzer => "analyzer",
+            Tier::Store => "store",
         })
     }
 }
@@ -271,6 +274,83 @@ pub fn check_worker_invariance(graph: &Graph, configs: &[NodeConfig]) -> Result<
     Ok(())
 }
 
+/// Store oracle: a schedule's tuning record must survive the persistence
+/// loop with full fidelity. For every device that deems `cfg` feasible,
+/// the record is serialized, parsed back, written through a real
+/// single-shard [`TuneDb`](flextensor_tunedb::TuneDb), recovered on
+/// reopen, and the recovered config re-evaluated — every hop must be
+/// byte- (for the JSONL line) and bit- (for the cost) identical, with no
+/// lines dropped by recovery.
+///
+/// # Errors
+///
+/// Returns a description of the first hop that loses information.
+pub fn check_store_roundtrip(graph: &Graph, cfg: &NodeConfig) -> Result<(), String> {
+    use flextensor_tunedb::{testutil, TuneDb, TuneKey, TuneRecord};
+
+    for device in oracle_devices() {
+        let target = device.target();
+        let evaluator = Evaluator::new(device.clone());
+        let Some(cost) = evaluator.evaluate(graph, cfg) else {
+            continue;
+        };
+        let mut shape: Vec<i64> = graph.anchor_op().spatial.iter().map(|a| a.extent).collect();
+        shape.extend(graph.anchor_op().reduce.iter().map(|a| a.extent));
+        let key = TuneKey::new(
+            graph.name.split('_').next().unwrap_or("op"),
+            shape,
+            device.name(),
+        );
+        let record = TuneRecord {
+            key: key.clone(),
+            config: cfg.encode(),
+            seconds: cost.seconds,
+            seed: 7,
+            trials: 1,
+            commit: "oracle".to_string(),
+        };
+        let line = record.to_jsonl();
+        let parsed = TuneRecord::from_jsonl(&line)
+            .map_err(|e| format!("{target}: serialized record does not parse: {e}"))?;
+        if parsed.to_jsonl() != line {
+            return Err(format!("{target}: parse→serialize is not byte-identical"));
+        }
+        let dir = testutil::temp_dir("oracle-roundtrip");
+        let (db, _) = TuneDb::open_with_shards(&dir, 1)
+            .map_err(|e| format!("{target}: cannot open store: {e}"))?;
+        db.put(record)
+            .map_err(|e| format!("{target}: put failed: {e}"))?;
+        drop(db);
+        let (db, report) = TuneDb::open_with_shards(&dir, 1)
+            .map_err(|e| format!("{target}: cannot reopen store: {e}"))?;
+        if report.lines_dropped != 0 {
+            return Err(format!(
+                "{target}: recovery dropped {} line(s) from an uncorrupted store",
+                report.lines_dropped
+            ));
+        }
+        let recovered = db
+            .peek(&key)
+            .ok_or_else(|| format!("{target}: record lost across reopen"))?;
+        let _ = std::fs::remove_dir_all(&dir);
+        if recovered.to_jsonl() != line {
+            return Err(format!("{target}: recovered record is not byte-identical"));
+        }
+        let decoded = NodeConfig::decode(graph.root_op(), &recovered.config)
+            .map_err(|e| format!("{target}: recovered config does not decode: {e}"))?;
+        let replayed = evaluator
+            .evaluate(graph, &decoded)
+            .ok_or_else(|| format!("{target}: recovered config became infeasible"))?;
+        if replayed.seconds.to_bits() != cost.seconds.to_bits() {
+            return Err(format!(
+                "{target}: replayed cost {} != recorded cost {}",
+                replayed.seconds, cost.seconds
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +369,17 @@ mod tests {
             check_semantic(&g, &cfg, t, 7).unwrap();
         }
         check_model(&g, &cfg).unwrap();
+        check_store_roundtrip(&g, &cfg).unwrap();
+    }
+
+    #[test]
+    fn store_roundtrip_holds_for_random_points() {
+        let g = small_case(OperatorKind::Gemm);
+        let space = Space::new(&g, TargetKind::Gpu);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..4 {
+            check_store_roundtrip(&g, &space.random_point(&mut rng)).unwrap();
+        }
     }
 
     #[test]

@@ -36,11 +36,20 @@
 
 pub mod dnn;
 pub mod optimize;
+pub mod serve;
 
 pub use flextensor_explore::methods::{Method, SearchOptions};
 pub use flextensor_explore::pool::{EvalPool, EvalStats, MemoCache};
 pub use flextensor_telemetry::{JsonlSink, MemorySink, NullSink, Telemetry, TraceEvent, TraceSink};
+pub use flextensor_tunedb::{TuneDb, TuneKey, TuneRecord};
 pub use optimize::{optimize, OptimizeError, OptimizeOptions, OptimizeResult, Task};
+pub use serve::{
+    task_key, ServeError, ServeOptions, ServeResult, ServeSource, Session, SessionServer,
+    SessionStats, Ticket, TuneRunner, Tuned,
+};
+
+// The tuning database crate, re-exported for downstream users.
+pub use flextensor_tunedb as tunedb;
 
 // Re-export the substrate crates under stable names.
 pub use flextensor_explore as explore;

@@ -100,6 +100,17 @@ impl OptimizeOptions {
         self.search.telemetry = telemetry;
         self
     }
+
+    /// Seeds exploration from stored configurations (canonical integer
+    /// encodings) — typically the nearest-shape neighbor's best configs
+    /// from a `flextensor-tunedb` database. Each encoding is adapted
+    /// onto the task's op and joins the trial-0 seed batch; the RNG
+    /// sequence is unchanged, so a warm run differs from a cold one only
+    /// by the extra evaluated seeds.
+    pub fn with_warm_start(mut self, configs: Vec<Vec<i64>>) -> OptimizeOptions {
+        self.search.warm_start = configs;
+        self
+    }
 }
 
 /// The result of optimizing one task.
@@ -126,6 +137,9 @@ pub struct OptimizeResult {
     /// Evaluation-layer statistics: fresh evaluations, cache hit rate,
     /// worker count, and real wall-clock spent evaluating.
     pub eval_stats: EvalStats,
+    /// Warm-start encodings adapted and absorbed into the seed batch
+    /// (0 for cold runs).
+    pub warm_seeds: usize,
 }
 
 impl OptimizeResult {
@@ -198,6 +212,7 @@ pub fn optimize(task: &Task, opts: &OptimizeOptions) -> Result<OptimizeResult, O
         space_size: result.space_size,
         trace: result.trace,
         eval_stats: result.eval_stats,
+        warm_seeds: result.warm_seeds,
     })
 }
 

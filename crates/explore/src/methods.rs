@@ -111,6 +111,14 @@ pub struct SearchOptions {
     /// training rounds, pool statistics, and a final run summary that a
     /// recorded trace replays to bit-for-bit.
     pub telemetry: Telemetry,
+    /// Warm-start seed configurations (canonical integer encodings),
+    /// typically the nearest-shape neighbor's best configs from a
+    /// `flextensor-tunedb` database. Each encoding is adapted onto this
+    /// op ([`crate::warm::adapt_encoding`]) and joins the trial-0 seed
+    /// batch *after* the naive point and the random samples, so a
+    /// warm-started run draws the identical RNG sequence as a cold one.
+    /// Unadaptable encodings are skipped.
+    pub warm_start: Vec<Vec<i64>>,
 }
 
 impl Default for SearchOptions {
@@ -128,6 +136,7 @@ impl Default for SearchOptions {
             cache_capacity: 1 << 20,
             analyzer_gate: false,
             telemetry: Telemetry::null(),
+            warm_start: Vec::new(),
         }
     }
 }
@@ -165,6 +174,9 @@ pub struct SearchResult {
     /// Evaluation-layer statistics: fresh evaluations, cache hit rate,
     /// worker count, and real wall-clock spent evaluating.
     pub eval_stats: EvalStats,
+    /// Warm-start encodings that were successfully adapted and absorbed
+    /// into the trial-0 seed batch (0 for cold searches).
+    pub warm_seeds: usize,
 }
 
 /// Errors from exploration.
@@ -312,6 +324,17 @@ pub fn search(
     let mut seeds = vec![d.space.start_point().clone()];
     for _ in 0..opts.initial_samples {
         seeds.push(d.space.random_point(&mut rng));
+    }
+    // Warm-start seeds join *after* the random draws, so the RNG sequence
+    // (and hence every cold-path decision) is unchanged by their presence.
+    let mut warm_seeds = 0usize;
+    for enc in &opts.warm_start {
+        if let Some(cfg) = crate::warm::adapt_encoding(d.space.op(), enc) {
+            if !seeds.contains(&cfg) {
+                seeds.push(cfg);
+                warm_seeds += 1;
+            }
+        }
     }
     tel.emit(TraceEvent::TrialStarted {
         trial: 0,
@@ -481,6 +504,7 @@ pub fn search(
         exploration_time_s: d.time_s,
         space_size,
         eval_stats: d.pool.stats(),
+        warm_seeds,
     })
 }
 
@@ -606,6 +630,24 @@ mod tests {
             }
             other => panic!("gated run must record analyzer_stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_start_absorbs_seeds_without_touching_the_cold_rng_path() {
+        let g = ops::gemm(128, 128, 128);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        // A well-tuned config for a neighboring shape.
+        let src = ops::gemm(256, 256, 256);
+        let tuned = search(&src, &ev, Method::PMethod, &quick_opts(10)).unwrap();
+        let cold = search(&g, &ev, Method::RandomWalk, &quick_opts(0)).unwrap();
+        let mut opts = quick_opts(0);
+        opts.warm_start = vec![tuned.best.encode(), vec![1, 2, 3]]; // second is garbage
+        let warm = search(&g, &ev, Method::RandomWalk, &opts).unwrap();
+        assert_eq!(cold.warm_seeds, 0);
+        assert_eq!(warm.warm_seeds, 1);
+        // With zero trials the result is the best of the seed batch, and
+        // the warm batch is a superset of the cold one.
+        assert!(warm.best_cost.seconds <= cold.best_cost.seconds);
     }
 
     #[test]

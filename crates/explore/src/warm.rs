@@ -1,0 +1,196 @@
+//! Warm-start seed adaptation: fitting a stored configuration (possibly
+//! tuned for a *different* shape of the same operator family) onto the
+//! current op so it can join the trial-0 seed batch.
+//!
+//! A neighbor's encoding rarely validates as-is — its split factors
+//! multiply to the neighbor's extents, not ours. Adaptation keeps the
+//! *structure* of the tiling and re-fits the numbers:
+//!
+//! * each axis keeps the largest divisor of its extent that each stored
+//!   outer factor provides (`gcd(factor, remaining)`), with the innermost
+//!   level absorbing the remainder — so the product is exactly the new
+//!   extent and every factor stays positive;
+//! * the reorder permutation and fuse depth transfer verbatim when valid
+//!   for this op, otherwise fall back to the naive defaults;
+//! * boolean toggles (unroll, vectorize, cache, inline) transfer as
+//!   truthiness; FPGA parameters transfer when in range.
+//!
+//! The whole procedure is a pure function of `(op, encoding)` — no RNG —
+//! so warm-started searches stay bit-for-bit deterministic.
+
+use flextensor_ir::graph::ComputeOp;
+use flextensor_schedule::config::{NodeConfig, REDUCE_PARTS, SPATIAL_PARTS};
+
+/// Adapts a stored config encoding onto `op`. Returns `None` when the
+/// encoding's structure cannot fit the op at all (wrong axis counts).
+/// The returned config always validates against `op`.
+pub fn adapt_encoding(op: &ComputeOp, encoding: &[i64]) -> Option<NodeConfig> {
+    // Exact fit first: an encoding recorded for this very shape.
+    if let Ok(cfg) = NodeConfig::decode(op, encoding) {
+        if cfg.validate(op).is_ok() {
+            return Some(cfg);
+        }
+    }
+    let ns = op.spatial.len();
+    let nr = op.reduce.len();
+    if encoding.len() != ns * SPATIAL_PARTS + nr * REDUCE_PARTS + ns + 7 {
+        return None;
+    }
+    let mut cfg = NodeConfig::naive(op);
+    let mut pos = 0usize;
+    for (i, axis) in op.spatial.iter().enumerate() {
+        cfg.spatial_splits[i] = refit(&encoding[pos..pos + SPATIAL_PARTS], axis.extent);
+        pos += SPATIAL_PARTS;
+    }
+    for (i, axis) in op.reduce.iter().enumerate() {
+        cfg.reduce_splits[i] = refit(&encoding[pos..pos + REDUCE_PARTS], axis.extent);
+        pos += REDUCE_PARTS;
+    }
+    let reorder = &encoding[pos..pos + ns];
+    pos += ns;
+    if is_permutation(reorder, ns) {
+        cfg.reorder = reorder.iter().map(|&x| x as usize).collect();
+    }
+    let rest = &encoding[pos..pos + 7];
+    if rest[0] >= 1 && rest[0] as usize <= ns {
+        cfg.fuse_outer = rest[0] as usize;
+    }
+    cfg.unroll = rest[1] != 0;
+    cfg.vectorize = rest[2] != 0;
+    cfg.cache_shared = rest[3] != 0;
+    cfg.inline_data = rest[4] != 0;
+    if rest[5] >= 1 {
+        cfg.fpga_partition = rest[5];
+    }
+    if (1..=3).contains(&rest[6]) {
+        cfg.fpga_pipeline = rest[6];
+    }
+    if cfg.validate(op).is_ok() {
+        Some(cfg)
+    } else {
+        // Structural transfer failed a semantic rule (e.g. an op-specific
+        // constraint): fall back to the factor structure alone.
+        let mut plain = NodeConfig::naive(op);
+        plain.spatial_splits = cfg.spatial_splits;
+        plain.reduce_splits = cfg.reduce_splits;
+        plain.validate(op).is_ok().then_some(plain)
+    }
+}
+
+/// Re-fits stored split factors onto an axis of extent `extent`: outer
+/// levels keep `gcd(factor, remaining)`, the innermost level absorbs the
+/// remainder. The result is always `parts` positive factors multiplying
+/// to exactly `extent`.
+fn refit(factors: &[i64], extent: i64) -> Vec<i64> {
+    let parts = factors.len();
+    let mut out = vec![1i64; parts];
+    let mut rem = extent.max(1);
+    for (slot, &f) in out.iter_mut().zip(factors).take(parts - 1) {
+        let d = gcd(f.max(1), rem);
+        *slot = d;
+        rem /= d;
+    }
+    out[parts - 1] = rem;
+    out
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a.max(1)
+}
+
+fn is_permutation(xs: &[i64], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    if xs.len() != n {
+        return false;
+    }
+    for &x in xs {
+        if x < 0 || x as usize >= n || seen[x as usize] {
+            return false;
+        }
+        seen[x as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+
+    #[test]
+    fn exact_encodings_pass_through() {
+        let g = ops::gemm(16, 24, 12);
+        let op = g.root_op();
+        let mut cfg = NodeConfig::naive(op);
+        cfg.spatial_splits[0] = vec![2, 2, 2, 2];
+        cfg.unroll = true;
+        cfg.validate(op).unwrap();
+        let adapted = adapt_encoding(op, &cfg.encode()).unwrap();
+        assert_eq!(adapted, cfg);
+    }
+
+    #[test]
+    fn neighbor_shapes_are_refitted() {
+        // Tune-like config for gemm(32, 32, 32)...
+        let src = ops::gemm(32, 32, 32);
+        let mut cfg = NodeConfig::naive(src.root_op());
+        cfg.spatial_splits = vec![vec![2, 4, 2, 2], vec![1, 8, 2, 2]];
+        cfg.reduce_splits = vec![vec![4, 4, 2]];
+        cfg.reorder = vec![1, 0];
+        cfg.unroll = true;
+        cfg.cache_shared = true;
+        cfg.validate(src.root_op()).unwrap();
+        // ... adapted onto gemm(64, 48, 20).
+        let dst = ops::gemm(64, 48, 20);
+        let adapted = adapt_encoding(dst.root_op(), &cfg.encode()).unwrap();
+        adapted.validate(dst.root_op()).unwrap();
+        // Structure transferred: the outer tiling survives where divisors
+        // allow, booleans and reorder transfer verbatim.
+        assert_eq!(adapted.reorder, vec![1, 0]);
+        assert!(adapted.unroll && adapted.cache_shared);
+        assert_eq!(adapted.spatial_splits[0].iter().product::<i64>(), 64);
+        assert_eq!(adapted.spatial_splits[1].iter().product::<i64>(), 48);
+        assert_eq!(adapted.reduce_splits[0].iter().product::<i64>(), 20);
+        assert_eq!(adapted.spatial_splits[0][..2], [2, 4]);
+    }
+
+    #[test]
+    fn wrong_arity_encodings_are_rejected() {
+        let gemm = ops::gemm(8, 8, 8);
+        let conv = ops::conv2d(ops::ConvParams::same(1, 4, 8, 3), 6, 6);
+        let enc = NodeConfig::naive(conv.anchor_op()).encode();
+        assert!(adapt_encoding(gemm.root_op(), &enc).is_none());
+        assert!(adapt_encoding(gemm.root_op(), &[]).is_none());
+    }
+
+    #[test]
+    fn garbage_fields_fall_back_to_naive_defaults() {
+        let g = ops::gemm(8, 8, 8);
+        let op = g.root_op();
+        let mut enc = NodeConfig::naive(op).encode();
+        let n = enc.len();
+        enc[n - 7] = 99; // fuse depth out of range
+        enc[n - 1] = 42; // pipeline out of range
+        enc[n - 2] = -3; // partition non-positive
+        let adapted = adapt_encoding(op, &enc).unwrap();
+        assert_eq!(adapted.fuse_outer, 1);
+        assert_eq!(adapted.fpga_pipeline, 1);
+        assert_eq!(adapted.fpga_partition, 1);
+        adapted.validate(op).unwrap();
+    }
+
+    #[test]
+    fn adaptation_is_deterministic() {
+        let src = ops::gemm(32, 32, 32);
+        let mut cfg = NodeConfig::naive(src.root_op());
+        cfg.spatial_splits = vec![vec![2, 4, 2, 2], vec![1, 8, 2, 2]];
+        cfg.validate(src.root_op()).unwrap();
+        let dst = ops::gemm(48, 48, 48);
+        let a = adapt_encoding(dst.root_op(), &cfg.encode()).unwrap();
+        let b = adapt_encoding(dst.root_op(), &cfg.encode()).unwrap();
+        assert_eq!(a.encode(), b.encode());
+    }
+}

@@ -178,6 +178,50 @@ pub enum TraceEvent {
         /// ran, cumulative over the run.
         pruned: usize,
     },
+    /// Cumulative schedule-database statistics (`flextensor-tunedb`):
+    /// lookup hits/misses, warm-start seeds served, records appended,
+    /// and lines dropped by crash recovery. Emitted by the session
+    /// server when it reports; replay captures the last one seen without
+    /// folding it into the run summary.
+    DbStats {
+        /// Keys resident in the database index.
+        records: usize,
+        /// Lookups answered from the store.
+        hits: usize,
+        /// Lookups that missed.
+        misses: usize,
+        /// Warm-start seeds served from nearest-shape neighbors.
+        warm_starts: usize,
+        /// Records appended since the database was opened.
+        puts: usize,
+        /// Log lines dropped by corruption recovery at open.
+        dropped: usize,
+    },
+    /// Per-session statistics from the tuning session server: request
+    /// outcomes by class (database hit, fresh tune, coalesced duplicate,
+    /// failure) plus total queue latency. `queue_wait_s` is wall-clock
+    /// and is zeroed by [`TraceEvent::strip_wall_clock`]; every other
+    /// field is deterministic given the request sequence.
+    SessionStats {
+        /// Session name.
+        session: String,
+        /// Requests submitted by the session.
+        submitted: usize,
+        /// Requests answered successfully.
+        completed: usize,
+        /// Requests that failed (evaluator error).
+        failed: usize,
+        /// Requests answered directly from the database snapshot.
+        hits: usize,
+        /// Requests that ran a fresh search.
+        misses: usize,
+        /// Fresh searches that were seeded from a neighbor record.
+        warm_starts: usize,
+        /// Requests deduplicated onto another request's result.
+        coalesced: usize,
+        /// Total real time requests spent queued, seconds.
+        queue_wait_s: f64,
+    },
     /// The run finished. Replay recomputes every field of this record
     /// (except the pass-through `wall_s`) from the preceding events.
     RunSummary {
@@ -213,6 +257,8 @@ impl TraceEvent {
             TraceEvent::QUpdate { .. } => "q_update",
             TraceEvent::PoolStats { .. } => "pool_stats",
             TraceEvent::AnalyzerStats { .. } => "analyzer_stats",
+            TraceEvent::DbStats { .. } => "db_stats",
+            TraceEvent::SessionStats { .. } => "session_stats",
             TraceEvent::RunSummary { .. } => "run_summary",
         }
     }
@@ -225,6 +271,7 @@ impl TraceEvent {
             TraceEvent::TrialStarted { wall_s, .. }
             | TraceEvent::PoolStats { wall_s, .. }
             | TraceEvent::RunSummary { wall_s, .. } => *wall_s = 0.0,
+            TraceEvent::SessionStats { queue_wait_s, .. } => *queue_wait_s = 0.0,
             _ => {}
         }
         e
@@ -324,6 +371,38 @@ impl TraceEvent {
             TraceEvent::AnalyzerStats { trial, pruned } => {
                 let _ = write!(s, ",\"trial\":{trial},\"pruned\":{pruned}");
             }
+            TraceEvent::DbStats {
+                records,
+                hits,
+                misses,
+                warm_starts,
+                puts,
+                dropped,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"records\":{records},\"hits\":{hits},\"misses\":{misses},\"warm_starts\":{warm_starts},\"puts\":{puts},\"dropped\":{dropped}"
+                );
+            }
+            TraceEvent::SessionStats {
+                session,
+                submitted,
+                completed,
+                failed,
+                hits,
+                misses,
+                warm_starts,
+                coalesced,
+                queue_wait_s,
+            } => {
+                s.push_str(",\"session\":");
+                write_str(&mut s, session);
+                let _ = write!(
+                    s,
+                    ",\"submitted\":{submitted},\"completed\":{completed},\"failed\":{failed},\"hits\":{hits},\"misses\":{misses},\"warm_starts\":{warm_starts},\"coalesced\":{coalesced},\"queue_wait_s\":"
+                );
+                write_f64(&mut s, *queue_wait_s);
+            }
             TraceEvent::RunSummary {
                 trials,
                 measurements,
@@ -421,6 +500,25 @@ impl TraceEvent {
             "analyzer_stats" => TraceEvent::AnalyzerStats {
                 trial: field(v.get_usize("trial"))?,
                 pruned: field(v.get_usize("pruned"))?,
+            },
+            "db_stats" => TraceEvent::DbStats {
+                records: field(v.get_usize("records"))?,
+                hits: field(v.get_usize("hits"))?,
+                misses: field(v.get_usize("misses"))?,
+                warm_starts: field(v.get_usize("warm_starts"))?,
+                puts: field(v.get_usize("puts"))?,
+                dropped: field(v.get_usize("dropped"))?,
+            },
+            "session_stats" => TraceEvent::SessionStats {
+                session: field(v.get_str("session"))?.to_string(),
+                submitted: field(v.get_usize("submitted"))?,
+                completed: field(v.get_usize("completed"))?,
+                failed: field(v.get_usize("failed"))?,
+                hits: field(v.get_usize("hits"))?,
+                misses: field(v.get_usize("misses"))?,
+                warm_starts: field(v.get_usize("warm_starts"))?,
+                coalesced: field(v.get_usize("coalesced"))?,
+                queue_wait_s: field(v.get_f64("queue_wait_s"))?,
             },
             "run_summary" => TraceEvent::RunSummary {
                 trials: field(v.get_usize("trials"))?,
@@ -741,6 +839,25 @@ mod tests {
                 trial: 1,
                 pruned: 5,
             },
+            TraceEvent::DbStats {
+                records: 17,
+                hits: 4,
+                misses: 9,
+                warm_starts: 6,
+                puts: 9,
+                dropped: 2,
+            },
+            TraceEvent::SessionStats {
+                session: "tenant-a".into(),
+                submitted: 12,
+                completed: 11,
+                failed: 1,
+                hits: 3,
+                misses: 5,
+                warm_starts: 4,
+                coalesced: 3,
+                queue_wait_s: 0.125,
+            },
             TraceEvent::RunSummary {
                 trials: 4,
                 measurements: 12,
@@ -785,6 +902,7 @@ mod tests {
                 TraceEvent::TrialStarted { wall_s, .. }
                 | TraceEvent::PoolStats { wall_s, .. }
                 | TraceEvent::RunSummary { wall_s, .. } => assert_eq!(wall_s, 0.0),
+                TraceEvent::SessionStats { queue_wait_s, .. } => assert_eq!(queue_wait_s, 0.0),
                 other => assert_eq!(other, ev),
             }
         }

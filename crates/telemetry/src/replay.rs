@@ -107,6 +107,12 @@ pub struct Replay {
     /// The last recorded analyzer-gate statistics, if any (only present
     /// in traces of gate-enabled runs).
     pub analyzer: Option<TraceEvent>,
+    /// The last recorded schedule-database statistics, if any (only
+    /// present in traces emitted through the session server).
+    pub db: Option<TraceEvent>,
+    /// Per-session server statistics, in emission order (empty for
+    /// plain search traces).
+    pub sessions: Vec<TraceEvent>,
     /// The `RunSummary` as recorded by the live run.
     pub recorded: TraceEvent,
     /// The `RunSummary` recomputed from the event stream (with the
@@ -144,6 +150,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
     let mut q_updates: Vec<QPoint> = Vec::new();
     let mut pool: Option<TraceEvent> = None;
     let mut analyzer: Option<TraceEvent> = None;
+    let mut db: Option<TraceEvent> = None;
+    let mut sessions: Vec<TraceEvent> = Vec::new();
     let mut open_trial: Option<(usize, f64)> = None; // (trial, start wall_s)
     let mut max_trial = 0usize;
 
@@ -239,6 +247,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
             }),
             TraceEvent::PoolStats { .. } => pool = Some(ev.clone()),
             TraceEvent::AnalyzerStats { .. } => analyzer = Some(ev.clone()),
+            TraceEvent::DbStats { .. } => db = Some(ev.clone()),
+            TraceEvent::SessionStats { .. } => sessions.push(ev.clone()),
             TraceEvent::RunSummary { .. } => {
                 if recorded.is_some() {
                     return Err(TraceError(
@@ -293,6 +303,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
         q_updates,
         pool,
         analyzer,
+        db,
+        sessions,
         recorded,
         replayed,
     })
@@ -481,6 +493,41 @@ mod tests {
         );
         // Ungated traces carry no analyzer record at all.
         assert_eq!(replay(&mini_trace()).unwrap().analyzer, None);
+    }
+
+    #[test]
+    fn server_stats_are_captured_without_affecting_the_fold() {
+        let mut events = mini_trace();
+        let summary_at = events.len() - 1;
+        let db = TraceEvent::DbStats {
+            records: 3,
+            hits: 1,
+            misses: 2,
+            warm_starts: 1,
+            puts: 2,
+            dropped: 0,
+        };
+        let sess = TraceEvent::SessionStats {
+            session: "a".into(),
+            submitted: 2,
+            completed: 2,
+            failed: 0,
+            hits: 1,
+            misses: 1,
+            warm_starts: 1,
+            coalesced: 0,
+            queue_wait_s: 0.01,
+        };
+        events.insert(summary_at, db.clone());
+        events.insert(summary_at + 1, sess.clone());
+        let r = replay(&events).unwrap();
+        assert!(r.summary_matches(), "{:#?}", r);
+        assert_eq!(r.db, Some(db));
+        assert_eq!(r.sessions, vec![sess]);
+        // Plain search traces carry neither.
+        let plain = replay(&mini_trace()).unwrap();
+        assert_eq!(plain.db, None);
+        assert!(plain.sessions.is_empty());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! # flextensor-tunedb
+//!
+//! A persistent, sharded schedule database for the FlexTensor
+//! reproduction — the "tuning records" store that amortizes exploration
+//! cost across runs (the MetaSchedule database idea applied to the
+//! paper's SA + Q-learning explorer).
+//!
+//! * [`TuneKey`] — canonical problem identity: operator family, shape
+//!   vector, device target;
+//! * [`TuneRecord`] — a tuned config + cost + provenance (seed, trial
+//!   budget, bench commit), serialized as one checksummed, versioned
+//!   JSONL line (the `flextensor-telemetry` trace discipline);
+//! * [`TuneDb`] — the store: append-only per-shard logs, an in-memory
+//!   best-per-key index, atomic compaction, and corruption-tolerant
+//!   recovery that keeps every intact record before the first bad line
+//!   of a shard (see [`RecoveryReport`]);
+//! * [`neighbor`] — the deterministic warm-start metric: log-space L1
+//!   distance over shape vectors, infinite across operator families or
+//!   targets, ties broken by key order.
+//!
+//! See `docs/TUNEDB.md` for the on-disk format and recovery semantics.
+//!
+//! ```
+//! use flextensor_tunedb::{testutil, TuneDb, TuneKey, TuneRecord};
+//!
+//! let dir = testutil::temp_dir("doc");
+//! let (db, report) = TuneDb::open(&dir)?;
+//! assert_eq!(report.records_kept, 0);
+//! db.put(TuneRecord {
+//!     key: TuneKey::new("gemm", vec![256, 256, 256], "tesla-v100"),
+//!     config: vec![4, 4, 16, 1],
+//!     seconds: 1.5e-4,
+//!     seed: 2020,
+//!     trials: 100,
+//!     commit: "bench".into(),
+//! })?;
+//! assert!(db.get(&TuneKey::new("gemm", vec![256, 256, 256], "tesla-v100")).is_some());
+//! // A different shape misses, but warm-starts from the nearest one.
+//! let near = db.nearest_neighbor(&TuneKey::new("gemm", vec![512, 256, 256], "tesla-v100"));
+//! assert!(near.is_some());
+//! std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), flextensor_tunedb::TuneError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod neighbor;
+pub mod record;
+pub mod store;
+pub mod testutil;
+
+pub use neighbor::{key_distance, nearest, shape_distance};
+pub use record::{fnv1a64, TuneKey, TuneRecord, TUNEDB_VERSION};
+pub use store::{DbStats, RecoveryReport, TuneDb, DEFAULT_SHARDS};
+
+/// Errors from the record layer or the store (I/O, malformed records,
+/// checksum mismatches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneError(pub String);
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tunedb error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TuneError {}

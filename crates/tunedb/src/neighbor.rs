@@ -1,0 +1,128 @@
+//! The warm-start neighbor metric: a deterministic distance over shape
+//! vectors, used to pick which stored record seeds a cold search.
+//!
+//! The metric compares shapes in log space — tiling structure transfers
+//! between shapes that differ by a *ratio*, not an absolute offset, so a
+//! 256→512 GEMM is "closer" to 256 than 256→33 is. Missing dimensions
+//! (shape vectors of unequal length) are treated as extent 1, which
+//! penalizes rank mismatches by the full log magnitude of the unmatched
+//! extents.
+//!
+//! Guarantees (property-tested in `tests/property_based.rs`):
+//!
+//! * **deterministic** — a pure function of the two shape vectors;
+//! * **symmetric** — `d(a, b) == d(b, a)` bit-for-bit;
+//! * **identity** — `d(a, a) == 0` exactly;
+//! * **tie-stable** — candidates at equal distance resolve by key order
+//!   ([`TuneKey`] is `Ord`), so a nearest-neighbor scan over a sorted
+//!   index always returns the same record.
+
+use crate::record::TuneKey;
+
+/// Log-space L1 distance between two shape vectors. Shorter vectors are
+/// padded with 1s; non-positive extents (which no valid shape contains)
+/// are clamped to 1 so the metric stays finite and symmetric on
+/// arbitrary input.
+pub fn shape_distance(a: &[i64], b: &[i64]) -> f64 {
+    let n = a.len().max(b.len());
+    let mut d = 0.0;
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(1).max(1) as f64;
+        let y = b.get(i).copied().unwrap_or(1).max(1) as f64;
+        d += (x.ln() - y.ln()).abs();
+    }
+    d
+}
+
+/// Distance between two keys: infinite across operator families or
+/// targets (a GEMM schedule says nothing about a conv, and a CPU tiling
+/// nothing about a GPU one), [`shape_distance`] within one.
+pub fn key_distance(a: &TuneKey, b: &TuneKey) -> f64 {
+    if a.op != b.op || a.target != b.target {
+        f64::INFINITY
+    } else {
+        shape_distance(&a.shape, &b.shape)
+    }
+}
+
+/// Scans `candidates` (which must be sorted by key — a `BTreeMap` key
+/// iterator qualifies) for the finite-distance key nearest to `query`,
+/// excluding `query` itself. Ties keep the first (lowest-ordered) key,
+/// so the result is independent of how the candidate set was built.
+pub fn nearest<'a, I>(query: &TuneKey, candidates: I) -> Option<(&'a TuneKey, f64)>
+where
+    I: IntoIterator<Item = &'a TuneKey>,
+{
+    let mut best: Option<(&TuneKey, f64)> = None;
+    for k in candidates {
+        if k == query {
+            continue;
+        }
+        let d = key_distance(query, k);
+        if !d.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, bd)) if bd <= d => {}
+            _ => best = Some((k, d)),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_zero_and_symmetric() {
+        let a = vec![256, 256, 256];
+        let b = vec![512, 128, 256];
+        assert_eq!(shape_distance(&a, &a), 0.0);
+        assert_eq!(
+            shape_distance(&a, &b).to_bits(),
+            shape_distance(&b, &a).to_bits()
+        );
+    }
+
+    #[test]
+    fn ratios_beat_offsets() {
+        // 256 -> 512 (ratio 2) is closer than 256 -> 33 (ratio ~7.8).
+        let base = vec![256];
+        assert!(shape_distance(&base, &[512]) < shape_distance(&base, &[33]));
+    }
+
+    #[test]
+    fn length_mismatch_is_penalized() {
+        assert!(shape_distance(&[8, 8], &[8, 8, 8]) > 0.0);
+        assert_eq!(shape_distance(&[8, 8], &[8, 8, 1]), 0.0);
+    }
+
+    #[test]
+    fn cross_family_and_cross_target_are_infinite() {
+        let g = TuneKey::new("gemm", vec![8], "gpu");
+        let c = TuneKey::new("c2d", vec![8], "gpu");
+        let g_cpu = TuneKey::new("gemm", vec![8], "cpu");
+        assert!(key_distance(&g, &c).is_infinite());
+        assert!(key_distance(&g, &g_cpu).is_infinite());
+        assert_eq!(key_distance(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn nearest_excludes_self_and_breaks_ties_by_order() {
+        let q = TuneKey::new("gemm", vec![64, 64], "gpu");
+        let lo = TuneKey::new("gemm", vec![32, 64], "gpu");
+        let hi = TuneKey::new("gemm", vec![128, 64], "gpu");
+        let other = TuneKey::new("c2d", vec![64, 64], "gpu");
+        // 32 and 128 are equidistant in log space; sorted order puts
+        // [32,64] before [128,64] (numeric), but Vec<i64> Ord is
+        // elementwise: 32 < 128, so `lo` wins the tie.
+        let mut keys = [q.clone(), lo.clone(), hi.clone(), other];
+        keys.sort();
+        let (k, d) = nearest(&q, keys.iter()).unwrap();
+        assert_eq!(k, &lo);
+        assert!(d > 0.0 && d.is_finite());
+        // Only the query itself in the pool: no neighbor.
+        assert!(nearest(&q, [q.clone()].iter()).is_none());
+    }
+}

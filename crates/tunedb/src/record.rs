@@ -1,0 +1,300 @@
+//! The on-disk record vocabulary: [`TuneKey`], [`TuneRecord`], and their
+//! checksummed, versioned JSONL serialization.
+//!
+//! Records follow the same discipline as `flextensor-telemetry` traces:
+//! one JSON object per line, a fixed field order (so serialization is
+//! byte-deterministic), a schema version (`"v"`) on every record, and
+//! floats printed in shortest round-trip form. On top of that every
+//! record carries a `crc` field — an FNV-1a 64 digest of the record's
+//! canonical serialization — so recovery can detect torn or bit-flipped
+//! records without trusting the JSON layer alone.
+
+use std::fmt::Write as _;
+
+use flextensor_telemetry::json::{parse, write_f64, write_str, Json};
+
+use crate::TuneError;
+
+/// Version of the record schema this crate writes (the `"v"` field of
+/// every record). Readers accept records up to and including this
+/// version; see `docs/TUNEDB.md` for the compatibility rules.
+pub const TUNEDB_VERSION: u64 = 1;
+
+/// The canonical identity of a tuning problem: which operator, at which
+/// shape, on which device.
+///
+/// * `op` — the operator family (the shape-independent prefix of the
+///   graph name, e.g. `"gemm"`, `"c2d"`);
+/// * `shape` — the canonical shape vector: the anchor op's spatial and
+///   reduce extents, the graph attributes (stride, padding, …), and the
+///   compute-node count (so fused and unfused variants never collide);
+/// * `target` — the device model name (e.g. `"tesla-v100"`).
+///
+/// Keys order lexicographically (`Ord`), which fixes the iteration order
+/// of every index scan — nearest-neighbor ties always resolve the same
+/// way.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TuneKey {
+    /// Operator family.
+    pub op: String,
+    /// Canonical shape vector.
+    pub shape: Vec<i64>,
+    /// Device model name.
+    pub target: String,
+}
+
+impl TuneKey {
+    /// Creates a key from its parts.
+    pub fn new(op: impl Into<String>, shape: Vec<i64>, target: impl Into<String>) -> TuneKey {
+        TuneKey {
+            op: op.into(),
+            shape,
+            target: target.into(),
+        }
+    }
+
+    /// A flat text form (`op|s0,s1,…|target`) used for shard selection
+    /// and diagnostics.
+    pub fn flat(&self) -> String {
+        let mut s = String::with_capacity(self.op.len() + self.target.len() + self.shape.len() * 4);
+        s.push_str(&self.op);
+        s.push('|');
+        for (i, d) in self.shape.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{d}");
+        }
+        s.push('|');
+        s.push_str(&self.target);
+        s
+    }
+}
+
+impl std::fmt::Display for TuneKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.flat())
+    }
+}
+
+/// One tuned schedule: the best configuration found for a [`TuneKey`],
+/// its modeled cost, and the provenance of the tuning run that produced
+/// it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneRecord {
+    /// The tuning problem this record answers.
+    pub key: TuneKey,
+    /// The chosen configuration, as its canonical integer encoding.
+    pub config: Vec<i64>,
+    /// Modeled kernel time of the configuration, seconds.
+    pub seconds: f64,
+    /// RNG seed of the tuning run.
+    pub seed: u64,
+    /// Trial budget of the tuning run.
+    pub trials: usize,
+    /// Identifier of the code that produced the record (bench commit).
+    pub commit: String,
+}
+
+impl TuneRecord {
+    /// The record's canonical field body — everything between `{` and the
+    /// trailing `,"crc":…}` — in fixed field order. The checksum is
+    /// computed over exactly these bytes.
+    fn body(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "\"v\":{TUNEDB_VERSION},\"op\":");
+        write_str(&mut s, &self.key.op);
+        s.push_str(",\"shape\":");
+        write_i64_array(&mut s, &self.key.shape);
+        s.push_str(",\"target\":");
+        write_str(&mut s, &self.key.target);
+        s.push_str(",\"config\":");
+        write_i64_array(&mut s, &self.config);
+        s.push_str(",\"seconds\":");
+        write_f64(&mut s, self.seconds);
+        let _ = write!(
+            s,
+            ",\"seed\":{},\"trials\":{},\"commit\":",
+            self.seed, self.trials
+        );
+        write_str(&mut s, &self.commit);
+        s
+    }
+
+    /// Serializes the record as one checksummed JSONL line (no trailing
+    /// newline). Field order is fixed, so serialization is deterministic:
+    /// the same record always produces the same bytes.
+    pub fn to_jsonl(&self) -> String {
+        let body = self.body();
+        let mut s = String::with_capacity(body.len() + 32);
+        s.push('{');
+        s.push_str(&body);
+        let _ = write!(s, ",\"crc\":{}", fnv1a64(body.as_bytes()));
+        s.push('}');
+        s
+    }
+
+    /// Parses one JSONL line back into a record, verifying the version
+    /// and the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TuneError`] on malformed JSON, a missing field, a schema
+    /// version newer than [`TUNEDB_VERSION`], or a checksum mismatch
+    /// (the stored `crc` must equal the digest of the record's canonical
+    /// re-serialization — any corruption that changes a field value is
+    /// caught here).
+    pub fn from_jsonl(line: &str) -> Result<TuneRecord, TuneError> {
+        let v = parse(line).map_err(TuneError)?;
+        let version = v.get_u64("v").map_err(TuneError)?;
+        if version > TUNEDB_VERSION {
+            return Err(TuneError(format!(
+                "record version {version} is newer than supported {TUNEDB_VERSION}"
+            )));
+        }
+        fn field<T>(r: Result<T, String>) -> Result<T, TuneError> {
+            r.map_err(TuneError)
+        }
+        let rec = TuneRecord {
+            key: TuneKey {
+                op: field(v.get_str("op"))?.to_string(),
+                shape: i64_array(&v, "shape")?,
+                target: field(v.get_str("target"))?.to_string(),
+            },
+            config: i64_array(&v, "config")?,
+            seconds: field(v.get_f64("seconds"))?,
+            seed: field(v.get_u64("seed"))?,
+            trials: field(v.get_usize("trials"))?,
+            commit: field(v.get_str("commit"))?.to_string(),
+        };
+        let stored = field(v.get_u64("crc"))?;
+        let expect = fnv1a64(rec.body().as_bytes());
+        if stored != expect {
+            return Err(TuneError(format!(
+                "checksum mismatch: stored {stored}, computed {expect}"
+            )));
+        }
+        Ok(rec)
+    }
+}
+
+fn write_i64_array(out: &mut String, xs: &[i64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+}
+
+fn i64_array(v: &Json, key: &str) -> Result<Vec<i64>, TuneError> {
+    match v.get(key).map_err(TuneError)? {
+        Json::Array(items) => items
+            .iter()
+            .map(|it| match it {
+                Json::Number(n) => n
+                    .parse::<i64>()
+                    .map_err(|e| TuneError(format!("field `{key}`: bad integer `{n}`: {e}"))),
+                other => Err(TuneError(format!(
+                    "field `{key}`: expected integer, got {other:?}"
+                ))),
+            })
+            .collect(),
+        other => Err(TuneError(format!(
+            "field `{key}`: expected array, got {other:?}"
+        ))),
+    }
+}
+
+/// FNV-1a 64-bit digest — the workspace's standard cheap hash (also used
+/// for memo-cache sharding). Used here both as the record checksum and
+/// for shard selection.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TuneRecord {
+        TuneRecord {
+            key: TuneKey::new("gemm", vec![256, 256, 256, 3], "tesla-v100"),
+            config: vec![4, 4, 2, -1, 1, 0],
+            seconds: 1.5e-4,
+            seed: 0xF1E2_7E50,
+            trials: 100,
+            commit: "abc123".into(),
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_jsonl() {
+        let r = sample();
+        let line = r.to_jsonl();
+        assert!(
+            line.starts_with(&format!("{{\"v\":{TUNEDB_VERSION},")),
+            "{line}"
+        );
+        assert!(line.contains(",\"crc\":"), "{line}");
+        assert_eq!(TuneRecord::from_jsonl(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let r = sample();
+        assert_eq!(r.to_jsonl(), r.to_jsonl());
+    }
+
+    #[test]
+    fn value_corruption_fails_the_checksum() {
+        let line = sample().to_jsonl();
+        // Flip one digit of the seconds field (1.5e-4 prints as 0.00015).
+        let bad = line.replacen("0.00015", "0.00016", 1);
+        assert_ne!(bad, line);
+        let err = TuneRecord::from_jsonl(&bad).unwrap_err();
+        assert!(err.0.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn stored_crc_corruption_is_detected() {
+        let line = sample().to_jsonl();
+        let idx = line.rfind("\"crc\":").unwrap() + "\"crc\":".len();
+        let mut bad = line.clone();
+        let digit = bad.as_bytes()[idx];
+        let flipped = if digit == b'9' { '1' } else { '9' };
+        bad.replace_range(idx..idx + 1, &flipped.to_string());
+        assert!(TuneRecord::from_jsonl(&bad).is_err());
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected() {
+        let line = sample().to_jsonl();
+        for cut in [1, line.len() / 2, line.len() - 1] {
+            assert!(TuneRecord::from_jsonl(&line[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn newer_versions_are_rejected() {
+        let line = sample().to_jsonl().replace("{\"v\":1,", "{\"v\":999,");
+        let err = TuneRecord::from_jsonl(&line).unwrap_err();
+        assert!(err.0.contains("version 999"), "{err}");
+    }
+
+    #[test]
+    fn key_flat_form_and_ordering() {
+        let a = TuneKey::new("gemm", vec![64, 64], "cpu");
+        let b = TuneKey::new("gemm", vec![64, 128], "cpu");
+        assert_eq!(a.flat(), "gemm|64,64|cpu");
+        assert!(a < b);
+        assert_eq!(a.to_string(), a.flat());
+    }
+}

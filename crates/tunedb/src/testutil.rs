@@ -1,0 +1,23 @@
+//! Small helpers for tests that need throwaway database directories.
+//!
+//! Kept in the library (not `#[cfg(test)]`) because the workspace's
+//! integration tests, the conformance store oracle, and the bench probes
+//! all need fresh scratch directories with the same collision-free
+//! naming.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh, unique scratch directory path under the system temp dir
+/// (`flextensor-tunedb-<pid>-<tag>-<n>`). The directory is *not*
+/// created; [`crate::TuneDb::open`] does that. Callers should remove it
+/// when done.
+pub fn temp_dir(tag: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "flextensor-tunedb-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}

@@ -131,3 +131,99 @@ fn search_rejects_nothing_but_still_converges_under_heavy_infeasibility() {
     // Infeasible evaluations were recorded but never become "best".
     assert!(r.best_cost.gflops() > 0.0);
 }
+
+// ---------------------------------------------------------------------------
+// Session-server fault isolation: a tune that errors fails only the
+// requests for its key; the server keeps serving every other session and
+// never writes a partial record for the failed key.
+
+#[test]
+fn failing_tune_is_isolated_to_its_key_and_leaves_no_record() {
+    use std::sync::Arc;
+
+    use flextensor::serve::{
+        task_key, ServeOptions, ServeSource, SessionServer, TuneRunner, Tuned,
+    };
+    use flextensor::{OptimizeOptions, Task};
+    use flextensor_sim::spec::{v100, Device};
+    use flextensor_tunedb::{testutil, TuneDb, TuneKey};
+
+    /// Errors on one poisoned key, answers every other key normally.
+    struct PoisonedRunner {
+        poisoned: TuneKey,
+    }
+
+    impl TuneRunner for PoisonedRunner {
+        fn tune(&self, task: &Task, _opts: &OptimizeOptions) -> Result<Tuned, String> {
+            let key = task_key(&task.graph, &task.device);
+            if key == self.poisoned {
+                return Err("injected evaluator failure".to_string());
+            }
+            Ok(Tuned {
+                config: key.shape.clone(),
+                seconds: 1e-5,
+            })
+        }
+    }
+
+    let device = Device::Gpu(v100());
+    let bad = ops::gemm(32, 32, 32);
+    let good = [ops::gemm(64, 64, 64), ops::gemm(96, 96, 96)];
+    let db = Arc::new(TuneDb::open(testutil::temp_dir("poison")).unwrap().0);
+    let server = SessionServer::with_runner(
+        Arc::clone(&db),
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+        Arc::new(PoisonedRunner {
+            poisoned: task_key(&bad, &device),
+        }),
+    );
+
+    let victim = server.session("victim");
+    let bystander = server.session("bystander");
+    // The victim asks for the poisoned key twice (fresh + coalesced) and
+    // once for a good key; the bystander never touches the poisoned key.
+    let v_bad1 = victim.submit(bad.clone(), device.clone());
+    let v_bad2 = victim.submit(bad.clone(), device.clone());
+    let v_good = victim.submit(good[0].clone(), device.clone());
+    let b_good: Vec<_> = good
+        .iter()
+        .map(|g| bystander.submit(g.clone(), device.clone()))
+        .collect();
+
+    // Both poisoned requests fail with the injected error...
+    for t in [v_bad1, v_bad2] {
+        let err = t.wait().unwrap_err();
+        assert!(err.0.contains("injected evaluator failure"), "{err}");
+    }
+    // ...while every other request, in both sessions, still succeeds.
+    assert_eq!(
+        v_good.wait().unwrap().source,
+        ServeSource::Fresh {
+            warm_started: false
+        }
+    );
+    for t in b_good {
+        assert!(t.wait().is_ok());
+    }
+
+    let stats: std::collections::HashMap<_, _> = server.session_stats().into_iter().collect();
+    assert_eq!(stats["victim"].failed, 2);
+    assert_eq!(stats["victim"].completed, 1);
+    assert_eq!(stats["bystander"].failed, 0);
+    assert_eq!(stats["bystander"].completed, 2);
+
+    // No partial record: the failed key is absent from the store; the
+    // good keys are all present.
+    drop(server);
+    assert!(db.peek(&task_key(&bad, &device)).is_none());
+    assert_eq!(db.len(), good.len());
+    // And the failure is not sticky across servers: a healthy runner
+    // tunes the key on the next attempt.
+    let server = SessionServer::new(Arc::clone(&db), ServeOptions::default());
+    let retry = server.session("retry");
+    let r = retry.submit(bad, device).wait().unwrap();
+    assert!(matches!(r.source, ServeSource::Fresh { .. }));
+}

@@ -259,3 +259,98 @@ fn reference_matches_closed_form_on_a_three_gemm_chain() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Tuning-database properties: the neighbor metric and warm-started search.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The shape metric is a deterministic pure function and symmetric —
+    /// including across mismatched dimensionality (prefix slices).
+    #[test]
+    fn shape_distance_is_deterministic_and_symmetric(
+        a_full in proptest::collection::vec(1..1024i64, 5),
+        b_full in proptest::collection::vec(1..1024i64, 5),
+        len_a in 0..5usize,
+        len_b in 0..5usize,
+    ) {
+        use flextensor_tunedb::shape_distance;
+        let a = &a_full[..len_a];
+        let b = &b_full[..len_b];
+        let d1 = shape_distance(a, b);
+        let d2 = shape_distance(a, b);
+        prop_assert_eq!(d1.to_bits(), d2.to_bits(), "not deterministic");
+        prop_assert_eq!(
+            d1.to_bits(),
+            shape_distance(b, a).to_bits(),
+            "not symmetric"
+        );
+        prop_assert!(d1.is_finite() && d1 >= 0.0);
+    }
+
+    /// Exact shape match has distance zero, and a key is always its own
+    /// nearest candidate at distance zero (when offered).
+    #[test]
+    fn exact_key_distance_is_zero(
+        shape in proptest::collection::vec(1..1024i64, 4),
+        other in proptest::collection::vec(1..1024i64, 4),
+    ) {
+        use flextensor_tunedb::{key_distance, shape_distance, TuneKey};
+        prop_assert_eq!(shape_distance(&shape, &shape), 0.0);
+        let key = TuneKey::new("gemm", shape.clone(), "V100");
+        prop_assert_eq!(key_distance(&key, &key), 0.0);
+        // Mismatched op or target is never a neighbor, whatever the shape.
+        let foreign = TuneKey::new("c2d", other, "V100");
+        prop_assert!(key_distance(&key, &foreign).is_infinite());
+    }
+}
+
+proptest! {
+    // Each case runs two real searches; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Warm-starting with any stored config is never worse than the cold
+    /// run at the same budget and seed: the warm seeds join the trial-0
+    /// batch (leaving the RNG sequence untouched), so the cold run's
+    /// whole candidate set is still evaluated and the incumbent can only
+    /// improve.
+    #[test]
+    fn warm_started_search_is_never_worse_than_cold(
+        size_idx in 0..3usize,
+        seed in 0..1000u64,
+    ) {
+        use flextensor_explore::methods::{search, Method, SearchOptions};
+        use flextensor_sim::model::Evaluator;
+        use flextensor_sim::spec::{v100, Device};
+
+        let n = [32, 48, 64][size_idx];
+        let g = ops::gemm(n, n, n);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let opts = SearchOptions {
+            trials: 4,
+            starts: 2,
+            initial_samples: 4,
+            seed,
+            ..SearchOptions::default()
+        };
+        let cold = search(&g, &ev, Method::PMethod, &opts).expect("cold search");
+        // Warm-start from the larger sibling's best config (a realistic
+        // neighbor transfer), plus the cold best itself (the worst case
+        // for the property: it must at least tie).
+        let sibling = ops::gemm(2 * n, 2 * n, 2 * n);
+        let sib = search(&sibling, &ev, Method::PMethod, &opts).expect("sibling search");
+        let warm_opts = SearchOptions {
+            warm_start: vec![sib.best.encode(), cold.best.encode()],
+            ..opts
+        };
+        let warm = search(&g, &ev, Method::PMethod, &warm_opts).expect("warm search");
+        prop_assert!(warm.warm_seeds >= 1);
+        prop_assert!(
+            warm.best_cost.seconds <= cold.best_cost.seconds,
+            "warm {} worse than cold {}",
+            warm.best_cost.seconds,
+            cold.best_cost.seconds
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! The tunedb test tier: concurrency determinism and crash recovery for
+//! the persistent schedule database + session server.
+//!
+//! Proves the PR's two headline guarantees end to end:
+//!
+//! * **Concurrency determinism** — under many sessions and workers, each
+//!   unique key is tuned exactly once, every duplicate coalesces onto
+//!   that one result, and per-key results and all statistics are
+//!   bit-identical to a serial (1-worker) run. Telemetry stats events
+//!   replay byte-identically across runs once wall clock is stripped.
+//! * **Crash recovery** — a corrupted shard (flipped byte, torn tail)
+//!   recovers every record before the first bad line, reports the drop
+//!   count, physically truncates the file, and a server over the
+//!   recovered store serves the surviving records as hits.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use flextensor::serve::{task_key, ServeOptions, ServeSource, SessionServer, TuneRunner, Tuned};
+use flextensor::{OptimizeOptions, Task};
+use flextensor_ir::graph::Graph;
+use flextensor_ir::ops;
+use flextensor_sim::spec::{v100, Device};
+use flextensor_telemetry::{MemorySink, Telemetry};
+use flextensor_tunedb::{testutil, TuneDb, TuneKey};
+
+/// A deterministic fake tuner that counts how often each key is tuned.
+struct KeyCounter {
+    counts: Mutex<HashMap<TuneKey, usize>>,
+}
+
+impl KeyCounter {
+    fn new() -> Arc<KeyCounter> {
+        Arc::new(KeyCounter {
+            counts: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+impl TuneRunner for KeyCounter {
+    fn tune(&self, task: &Task, _opts: &OptimizeOptions) -> Result<Tuned, String> {
+        let key = task_key(&task.graph, &task.device);
+        *self.counts.lock().unwrap().entry(key.clone()).or_insert(0) += 1;
+        // Deterministic pure function of the key.
+        Ok(Tuned {
+            config: key.shape.clone(),
+            seconds: key.shape.iter().sum::<i64>() as f64 * 1e-6,
+        })
+    }
+}
+
+/// One served request: key, config, cost bits, and how it was classified.
+type Served = (TuneKey, Vec<i64>, u64, ServeSource);
+
+fn gemm_pool(n: usize) -> Vec<Graph> {
+    (1..=n as i64)
+        .map(|i| ops::gemm(16 * i, 16 * i, 16 * i))
+        .collect()
+}
+
+fn serve_all(server: &SessionServer, sessions: usize, graphs: &[Graph]) -> Vec<Served> {
+    let handles: Vec<_> = (0..sessions)
+        .map(|i| server.session(&format!("s{i}")))
+        .collect();
+    let mut tickets = Vec::new();
+    for (i, s) in handles.iter().enumerate() {
+        // Rotate per session so queues interleave different keys.
+        for j in 0..graphs.len() {
+            tickets.push(s.submit(graphs[(i + j) % graphs.len()].clone(), Device::Gpu(v100())));
+        }
+    }
+    tickets
+        .into_iter()
+        .map(|t| {
+            let r = t.wait().expect("request failed");
+            (r.key, r.config, r.seconds.to_bits(), r.source)
+        })
+        .collect()
+}
+
+#[test]
+fn each_unique_key_is_tuned_exactly_once_under_concurrency() {
+    let runner = KeyCounter::new();
+    let db = Arc::new(TuneDb::open(testutil::temp_dir("stress")).unwrap().0);
+    let graphs = gemm_pool(12);
+    let server = SessionServer::with_runner(
+        Arc::clone(&db),
+        ServeOptions {
+            workers: 4,
+            ..ServeOptions::default()
+        },
+        Arc::clone(&runner) as Arc<dyn TuneRunner>,
+    );
+    let results = serve_all(&server, 8, &graphs);
+    assert_eq!(results.len(), 8 * graphs.len());
+
+    let counts = runner.counts.lock().unwrap();
+    assert_eq!(counts.len(), graphs.len(), "one tune per unique key");
+    for (key, n) in counts.iter() {
+        assert_eq!(*n, 1, "{} tuned {n} times", key.flat());
+    }
+    let agg = server.stats();
+    assert_eq!(agg.requests, 96);
+    assert_eq!(agg.completed, 96);
+    assert_eq!(agg.misses, graphs.len());
+    assert_eq!(agg.coalesced, 96 - graphs.len());
+    assert_eq!(agg.hits, 0);
+    drop(server);
+    assert_eq!(db.len(), graphs.len());
+}
+
+#[test]
+fn concurrent_results_are_bit_identical_to_serial() {
+    let mut base = OptimizeOptions::quick();
+    base.search.trials = 6;
+    base.search.starts = 2;
+    base.search.initial_samples = 4;
+    let graphs = vec![ops::gemm(64, 64, 64), ops::gemv(128, 128)];
+
+    let run = |workers: usize| -> (Vec<Served>, Vec<String>) {
+        let db = Arc::new(
+            TuneDb::open(testutil::temp_dir(&format!("serial-vs-{workers}")))
+                .unwrap()
+                .0,
+        );
+        let server = SessionServer::new(
+            Arc::clone(&db),
+            ServeOptions {
+                workers,
+                base: base.clone(),
+                commit: "tier".to_string(),
+            },
+        );
+        let mut results = serve_all(&server, 3, &graphs);
+        results.sort_by(|a, b| (&a.0, rank(&a.3)).cmp(&(&b.0, rank(&b.3))));
+        drop(server);
+        let records: Vec<String> = db
+            .keys()
+            .into_iter()
+            .map(|k| db.peek(&k).unwrap().to_jsonl())
+            .collect();
+        (results, records)
+    };
+
+    let (serial, serial_records) = run(1);
+    let (concurrent, concurrent_records) = run(4);
+    assert_eq!(serial, concurrent, "per-request results diverged");
+    assert_eq!(
+        serial_records, concurrent_records,
+        "persisted records diverged"
+    );
+}
+
+/// Sort helper: orders a request's source so result vectors compare
+/// positionally even though completion order varies.
+fn rank(s: &ServeSource) -> u8 {
+    match s {
+        ServeSource::Hit => 0,
+        ServeSource::Fresh { .. } => 1,
+        ServeSource::Coalesced => 2,
+    }
+}
+
+#[test]
+fn stats_events_replay_byte_identically_across_runs() {
+    let scenario = || -> String {
+        let runner = KeyCounter::new();
+        let db = Arc::new(TuneDb::open(testutil::temp_dir("stats")).unwrap().0);
+        let graphs = gemm_pool(4);
+        // Seed two keys so the second server sees snapshot hits.
+        {
+            let seeder = SessionServer::with_runner(
+                Arc::clone(&db),
+                ServeOptions {
+                    workers: 1,
+                    ..ServeOptions::default()
+                },
+                Arc::clone(&runner) as Arc<dyn TuneRunner>,
+            );
+            let s = seeder.session("seed");
+            let a = s.submit(graphs[0].clone(), Device::Gpu(v100()));
+            let b = s.submit(graphs[1].clone(), Device::Gpu(v100()));
+            a.wait().unwrap();
+            b.wait().unwrap();
+        }
+        let server = SessionServer::with_runner(
+            Arc::clone(&db),
+            ServeOptions {
+                workers: 4,
+                ..ServeOptions::default()
+            },
+            Arc::clone(&runner) as Arc<dyn TuneRunner>,
+        );
+        let _ = serve_all(&server, 6, &graphs);
+        let sink = Arc::new(MemorySink::default());
+        server.emit_stats(&Telemetry::new(sink.clone()));
+        sink.events()
+            .into_iter()
+            .map(|e| e.strip_wall_clock().to_jsonl() + "\n")
+            .collect()
+    };
+    let first = scenario();
+    let second = scenario();
+    assert!(first.contains("\"type\":\"db_stats\""));
+    assert!(first.contains("\"type\":\"session_stats\""));
+    assert_eq!(first, second, "stats events are not byte-deterministic");
+}
+
+/// Builds a single-shard store through a 1-worker server (so the shard's
+/// line order is the deterministic round-robin completion order) and
+/// returns the store directory plus the graphs whose keys it holds.
+fn seeded_single_shard(tag: &str, n: usize) -> (std::path::PathBuf, Vec<Graph>) {
+    let dir = testutil::temp_dir(tag);
+    let db = Arc::new(TuneDb::open_with_shards(&dir, 1).unwrap().0);
+    let graphs = gemm_pool(n);
+    let server = SessionServer::with_runner(
+        Arc::clone(&db),
+        ServeOptions {
+            workers: 1,
+            ..ServeOptions::default()
+        },
+        KeyCounter::new() as Arc<dyn TuneRunner>,
+    );
+    let s = server.session("seed");
+    let tickets: Vec<_> = graphs
+        .iter()
+        .map(|g| s.submit(g.clone(), Device::Gpu(v100())))
+        .collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    drop(server);
+    (dir, graphs)
+}
+
+#[test]
+fn corrupted_shard_recovers_the_prefix_and_serves_it_as_hits() {
+    let (dir, graphs) = seeded_single_shard("corrupt", 4);
+    let shard = dir.join("shard-00.jsonl");
+    let text = std::fs::read_to_string(&shard).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+
+    // Flip one digit inside line 3's checksummed body.
+    let mut bad = lines[2].to_string();
+    let pos = bad.find("\"seconds\":").unwrap() + "\"seconds\":0.0000".len();
+    let original = bad.as_bytes()[pos];
+    let flipped = if original == b'9' { b'8' } else { original + 1 };
+    bad.replace_range(pos..pos + 1, std::str::from_utf8(&[flipped]).unwrap());
+    let rewritten = format!("{}\n{}\n{}\n{}\n", lines[0], lines[1], bad, lines[3]);
+    std::fs::write(&shard, rewritten).unwrap();
+
+    // Recovery: replay stops at the first bad record; the intact prefix
+    // survives, the rest is dropped and reported, and the file shrinks.
+    let (db, report) = TuneDb::open_with_shards(&dir, 1).unwrap();
+    assert_eq!(report.lines_dropped, 2);
+    assert_eq!(db.len(), 2);
+    assert_eq!(
+        std::fs::read_to_string(&shard).unwrap().lines().count(),
+        2,
+        "corrupted shard was not physically truncated"
+    );
+
+    // The recovered records are served as snapshot hits; the dropped
+    // keys are re-tuned as fresh misses.
+    let server = SessionServer::with_runner(
+        Arc::new(db),
+        ServeOptions {
+            workers: 2,
+            ..ServeOptions::default()
+        },
+        KeyCounter::new() as Arc<dyn TuneRunner>,
+    );
+    let s = server.session("after-crash");
+    let sources: Vec<ServeSource> = graphs
+        .iter()
+        .map(|g| {
+            s.submit(g.clone(), Device::Gpu(v100()))
+                .wait()
+                .unwrap()
+                .source
+        })
+        .collect();
+    let hits = sources.iter().filter(|s| **s == ServeSource::Hit).count();
+    let fresh = sources
+        .iter()
+        .filter(|s| matches!(s, ServeSource::Fresh { .. }))
+        .count();
+    assert_eq!((hits, fresh), (2, 2));
+}
+
+#[test]
+fn torn_tail_is_dropped_once_and_the_reopen_is_clean() {
+    let (dir, _) = seeded_single_shard("torn", 3);
+    let shard = dir.join("shard-00.jsonl");
+    let bytes = std::fs::read(&shard).unwrap();
+    // Tear the last line: cut 10 bytes (losing the trailing newline).
+    std::fs::write(&shard, &bytes[..bytes.len() - 10]).unwrap();
+
+    let (db, report) = TuneDb::open_with_shards(&dir, 1).unwrap();
+    assert_eq!(report.lines_dropped, 1);
+    assert_eq!(db.len(), 2);
+    drop(db);
+
+    // The recovery truncated the torn tail, so a second open is clean.
+    let (db2, report) = TuneDb::open_with_shards(&dir, 1).unwrap();
+    assert_eq!(report.lines_dropped, 0);
+    assert_eq!(db2.len(), 2);
+}
