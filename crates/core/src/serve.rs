@@ -120,6 +120,32 @@ impl Default for ServeOptions {
     }
 }
 
+/// Per-request overrides layered on [`ServeOptions::base`] by
+/// [`Session::submit_with`]. The default (`SubmitOptions::default()`)
+/// reproduces [`Session::submit`] exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Override the fresh-tune trial budget for this request (`None`
+    /// keeps `base.search.trials`). The stored database record carries
+    /// the effective value.
+    pub trials: Option<usize>,
+    /// Re-tune a snapshot-present key instead of serving it as a
+    /// [`ServeSource::Hit`], warm-starting the search from the key's
+    /// *own* stored best configuration. Because the stored best joins
+    /// the search history as a seed, the refined result is never worse
+    /// than the stored one; the database keeps the better of the two.
+    /// Statistics count a refine as a miss plus a warm start. Keys
+    /// absent from the snapshot are unaffected. Duplicate in-flight
+    /// keys still coalesce.
+    pub refine: bool,
+    /// Embeds this request's search in a larger trial budget
+    /// (forwarded to `SearchOptions::anneal_window`): the Q-method's
+    /// ε-anneal tracks `(prior + trial) / total` instead of restarting
+    /// per search. Used by round-based dispatchers that split one
+    /// budget across warm-started re-tunes.
+    pub anneal_window: Option<(usize, usize)>,
+}
+
 /// How a request's result was produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeSource {
@@ -223,8 +249,11 @@ struct Job {
     graph: Graph,
     device: Device,
     class: Class,
-    /// Neighbor config chosen at submit time (Fresh only).
+    /// Neighbor (or, for refines, own-best) config chosen at submit
+    /// time (Fresh only).
     warm: Option<Vec<i64>>,
+    /// Per-request overrides recorded at submit time.
+    sub: SubmitOptions,
     tx: mpsc::Sender<Result<ServeResult, ServeError>>,
     enqueued: Instant,
 }
@@ -448,13 +477,21 @@ impl Drop for SessionServer {
 impl Session<'_> {
     /// Submits a tuning request; returns immediately with a [`Ticket`].
     pub fn submit(&self, graph: Graph, device: Device) -> Ticket {
+        self.submit_with(graph, device, SubmitOptions::default())
+    }
+
+    /// Submits a tuning request with per-request overrides (trial
+    /// budget, refine mode, anneal window); returns immediately with a
+    /// [`Ticket`]. See [`SubmitOptions`].
+    pub fn submit_with(&self, graph: Graph, device: Device, sub: SubmitOptions) -> Ticket {
         let inner = &self.server.inner;
         let key = task_key(&graph, &device);
         let (tx, rx) = mpsc::channel();
         {
             let mut st = self.server.lock();
             st.sessions[self.id].stats.submitted += 1;
-            let (class, warm) = if inner.snapshot.contains_key(&key) {
+            let in_snapshot = inner.snapshot.contains_key(&key);
+            let (class, warm) = if in_snapshot && !sub.refine {
                 st.sessions[self.id].stats.hits += 1;
                 (Class::Hit, None)
             } else if st.claimed.contains(&key) {
@@ -465,8 +502,14 @@ impl Session<'_> {
                 st.sessions[self.id].stats.misses += 1;
                 // Warm-start from the snapshot, never the live index:
                 // concurrent puts must not change what any request sees.
-                let warm = nearest(&key, &inner.snapshot_keys)
-                    .map(|(k, _)| inner.snapshot[k].config.clone());
+                // A refine of a snapshot key seeds from its own stored
+                // best; anything else from the nearest-shape neighbor.
+                let warm = if in_snapshot {
+                    Some(inner.snapshot[&key].config.clone())
+                } else {
+                    nearest(&key, &inner.snapshot_keys)
+                        .map(|(k, _)| inner.snapshot[k].config.clone())
+                };
                 if warm.is_some() {
                     st.sessions[self.id].stats.warm_starts += 1;
                 }
@@ -479,6 +522,7 @@ impl Session<'_> {
                 device,
                 class,
                 warm,
+                sub,
                 tx,
                 enqueued: Instant::now(),
             });
@@ -572,6 +616,12 @@ fn process(inner: &Inner, job: Job) {
             let mut opts = inner.opts.base.clone();
             if let Some(config) = &job.warm {
                 opts = opts.with_warm_start(vec![config.clone()]);
+            }
+            if let Some(trials) = job.sub.trials {
+                opts.search.trials = trials;
+            }
+            if job.sub.anneal_window.is_some() {
+                opts.search.anneal_window = job.sub.anneal_window;
             }
             let task = Task::new(job.graph.clone(), job.device.clone());
             let tuned = inner.runner.tune(&task, &opts);
@@ -830,6 +880,112 @@ mod tests {
                 warm_started: false
             }
         );
+    }
+
+    #[test]
+    fn refine_retunes_snapshot_keys_from_their_own_best() {
+        /// One captured tune call: trials, warm-start seeds, anneal window.
+        type SpiedCall = (usize, Vec<Vec<i64>>, Option<(usize, usize)>);
+        /// Captures the effective options of every tune call.
+        struct SpyRunner {
+            calls: Mutex<Vec<SpiedCall>>,
+        }
+        impl TuneRunner for SpyRunner {
+            fn tune(&self, _task: &Task, opts: &OptimizeOptions) -> Result<Tuned, String> {
+                self.calls.lock().unwrap().push((
+                    opts.search.trials,
+                    opts.search.warm_start.clone(),
+                    opts.search.anneal_window,
+                ));
+                Ok(Tuned {
+                    config: vec![9],
+                    seconds: 0.25,
+                })
+            }
+        }
+        let db = open_db("serve-refine");
+        let g = ops::gemm(64, 64, 64);
+        let key = task_key(&g, &Device::Gpu(v100()));
+        db.put(TuneRecord {
+            key: key.clone(),
+            config: vec![7, 7, 7],
+            seconds: 0.5,
+            seed: 1,
+            trials: 0,
+            commit: "seeded".to_string(),
+        })
+        .unwrap();
+        let runner = Arc::new(SpyRunner {
+            calls: Mutex::new(Vec::new()),
+        });
+        let server = SessionServer::with_runner(
+            Arc::clone(&db),
+            ServeOptions::default(),
+            Arc::clone(&runner) as Arc<dyn TuneRunner>,
+        );
+        let s = server.session("refiner");
+        let sub = SubmitOptions {
+            trials: Some(5),
+            refine: true,
+            anneal_window: Some((10, 40)),
+        };
+        let r = s
+            .submit_with(g.clone(), Device::Gpu(v100()), sub)
+            .wait()
+            .unwrap();
+        // A refine is a warm-started fresh tune, not a hit.
+        assert_eq!(r.source, ServeSource::Fresh { warm_started: true });
+        assert_eq!(r.seconds, 0.25);
+        let stats = server.stats();
+        assert_eq!((stats.hits, stats.misses, stats.warm_starts), (0, 1, 1));
+        // Duplicate refines coalesce like any in-flight key.
+        let r2 = s
+            .submit_with(g.clone(), Device::Gpu(v100()), sub)
+            .wait()
+            .unwrap();
+        assert_eq!(r2.source, ServeSource::Coalesced);
+        let calls = runner.calls.lock().unwrap();
+        assert_eq!(calls.len(), 1, "refine must tune exactly once");
+        let (trials, warm, window) = &calls[0];
+        assert_eq!(*trials, 5, "per-request trial override applies");
+        assert_eq!(warm.as_slice(), [vec![7, 7, 7]], "seeded from own best");
+        assert_eq!(*window, Some((10, 40)));
+        // Without refine, the same key is still a snapshot hit.
+        let r3 = s.submit(g, Device::Gpu(v100())).wait().unwrap();
+        assert_eq!(r3.source, ServeSource::Hit);
+        assert_eq!(r3.config, vec![7, 7, 7]);
+        drop(server);
+        // The index keeps the better record (the refined 0.25 s one).
+        assert_eq!(db.peek(&key).unwrap().seconds, 0.25);
+    }
+
+    #[test]
+    fn default_submit_options_reproduce_submit() {
+        let runner = Arc::new(RecordingRunner {
+            calls: Mutex::new(Vec::new()),
+        });
+        let db = open_db("serve-subopts");
+        let server = SessionServer::with_runner(
+            Arc::clone(&db),
+            ServeOptions::default(),
+            Arc::clone(&runner) as Arc<dyn TuneRunner>,
+        );
+        let s = server.session("defaults");
+        let a = s
+            .submit(ops::gemm(32, 32, 32), Device::Gpu(v100()))
+            .wait()
+            .unwrap();
+        let b = s
+            .submit_with(
+                ops::gemv(64, 64),
+                Device::Gpu(v100()),
+                SubmitOptions::default(),
+            )
+            .wait()
+            .unwrap();
+        assert!(matches!(a.source, ServeSource::Fresh { .. }));
+        assert!(matches!(b.source, ServeSource::Fresh { .. }));
+        assert_eq!(server.stats().misses, 2);
     }
 
     #[test]

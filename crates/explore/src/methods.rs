@@ -119,6 +119,17 @@ pub struct SearchOptions {
     /// warm-started run draws the identical RNG sequence as a cold one.
     /// Unadaptable encodings are skipped.
     pub warm_start: Vec<Vec<i64>>,
+    /// Embeds this search as a slice of a larger trial budget:
+    /// `(prior_trials, total_trials)`. The Q-method's ε-greedy anneal
+    /// normally tracks `trial / trials`; with a window set it tracks
+    /// `(prior_trials + trial) / total_trials` instead, so a caller that
+    /// splits one budget into warm-started rounds (the
+    /// `flextensor-graph` dispatcher) anneals across the *whole* budget
+    /// rather than restarting ε every round. `None` (the default) leaves
+    /// every existing search bit-identical. P-method and random-walk
+    /// draws never depend on the budget, so the window only affects the
+    /// Q-method.
+    pub anneal_window: Option<(usize, usize)>,
 }
 
 impl Default for SearchOptions {
@@ -137,6 +148,7 @@ impl Default for SearchOptions {
             analyzer_gate: false,
             telemetry: Telemetry::null(),
             warm_start: Vec::new(),
+            anneal_window: None,
         }
     }
 }
@@ -356,7 +368,11 @@ pub fn search(
 
     'outer: for trial in 1..=opts.trials {
         if let Some(agent) = agent.as_mut() {
-            agent.set_progress(trial as f64 / opts.trials.max(1) as f64);
+            let progress = match opts.anneal_window {
+                Some((prior, total)) => ((prior + trial) as f64 / total.max(1) as f64).min(1.0),
+                None => trial as f64 / opts.trials.max(1) as f64,
+            };
+            agent.set_progress(progress);
         }
         let starts = d
             .history
@@ -573,6 +589,45 @@ mod tests {
         let ev = Evaluator::new(Device::Gpu(v100()));
         let a = search(&g, &ev, Method::QMethod, &quick_opts(8)).unwrap();
         let b = search(&g, &ev, Method::QMethod, &quick_opts(8)).unwrap();
+        assert_eq!(a.best.encode(), b.best.encode());
+        assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn full_anneal_window_matches_no_window_bit_for_bit() {
+        // `(0, trials)` makes the windowed progress arithmetic identical
+        // to the default, so the entire search must be too.
+        let g = ops::gemm(128, 128, 128);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let plain = search(&g, &ev, Method::QMethod, &quick_opts(8)).unwrap();
+        let windowed = search(
+            &g,
+            &ev,
+            Method::QMethod,
+            &SearchOptions {
+                anneal_window: Some((0, 8)),
+                ..quick_opts(8)
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.best.encode(), windowed.best.encode());
+        assert_eq!(
+            plain.best_cost.seconds.to_bits(),
+            windowed.best_cost.seconds.to_bits()
+        );
+        assert_eq!(plain.measurements, windowed.measurements);
+    }
+
+    #[test]
+    fn anneal_window_is_deterministic() {
+        let g = ops::gemm(128, 128, 128);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let opts = SearchOptions {
+            anneal_window: Some((16, 48)),
+            ..quick_opts(8)
+        };
+        let a = search(&g, &ev, Method::QMethod, &opts).unwrap();
+        let b = search(&g, &ev, Method::QMethod, &opts).unwrap();
         assert_eq!(a.best.encode(), b.best.encode());
         assert_eq!(a.measurements, b.measurements);
     }

@@ -1,0 +1,335 @@
+//! Subgraph extraction with structural hashing.
+//!
+//! A network exports one mini-graph per layer occurrence; this module
+//! collapses structurally identical occurrences into a single
+//! [`SubgraphTask`] carrying a use-count weight. Identity is decided by
+//! a *structural fingerprint*: a canonical rendering of the graph in
+//! which tensor names are replaced by declaration indices and loop
+//! variable names by their axis positions, hashed with FNV-1a. Two
+//! layers built at different network positions — with different labels
+//! and different tensor naming — therefore fingerprint equal whenever
+//! their computations are the same, and one tuning run serves all of
+//! them.
+
+use std::collections::HashMap;
+
+use flextensor::serve::task_key;
+use flextensor_ir::expr::{Cond, Expr};
+use flextensor_ir::graph::{Graph, Op, TensorKind};
+use flextensor_sim::spec::Device;
+use flextensor_tunedb::TuneKey;
+
+/// One deduplicated tuning task: a representative subgraph plus every
+/// network occurrence it stands for.
+#[derive(Debug, Clone)]
+pub struct SubgraphTask {
+    /// Position in discovery (network) order.
+    pub index: usize,
+    /// Label of the first occurrence (e.g. `"s1.u0.dw"`).
+    pub label: String,
+    /// The representative subgraph (all occurrences are structurally
+    /// identical to it).
+    pub graph: Graph,
+    /// The task's schedule-database key.
+    pub key: TuneKey,
+    /// The structural fingerprint all occurrences share.
+    pub fingerprint: u64,
+    /// Labels of every occurrence, in network order.
+    pub occurrences: Vec<String>,
+}
+
+impl SubgraphTask {
+    /// How many times this subgraph appears in the network — the task's
+    /// weight in the budget planner (one trial improves `uses()` layer
+    /// instances at once).
+    pub fn uses(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+/// Deduplicates exported layer occurrences into weighted tuning tasks.
+///
+/// Occurrences are grouped by `(fingerprint, task_key)` — the
+/// fingerprint captures full structure, and including the
+/// [`task_key`] guarantees a group never spans two database keys.
+/// Task order is first-occurrence (network) order, so the result is
+/// deterministic for a fixed export.
+pub fn extract_tasks(occurrences: &[(String, Graph)], device: &Device) -> Vec<SubgraphTask> {
+    let mut tasks: Vec<SubgraphTask> = Vec::new();
+    let mut by_sig: HashMap<(u64, TuneKey), usize> = HashMap::new();
+    for (label, graph) in occurrences {
+        let fp = fingerprint(graph, device);
+        let key = task_key(graph, device);
+        match by_sig.entry((fp, key.clone())) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                tasks[*e.get()].occurrences.push(label.clone());
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let index = tasks.len();
+                v.insert(index);
+                tasks.push(SubgraphTask {
+                    index,
+                    label: label.clone(),
+                    graph: graph.clone(),
+                    key,
+                    fingerprint: fp,
+                    occurrences: vec![label.clone()],
+                });
+            }
+        }
+    }
+    tasks
+}
+
+/// Structural fingerprint of a graph on a device: FNV-1a over
+/// [`canonical`].
+pub fn fingerprint(graph: &Graph, device: &Device) -> u64 {
+    fnv1a64(canonical(graph, device).as_bytes())
+}
+
+/// Canonical structural rendering of a graph.
+///
+/// The rendering covers everything that affects scheduling — tensor
+/// shapes and roles, op order, loop extents, body expressions, the
+/// combiner, recorded attributes, and the target device — while
+/// normalizing away the two spellings that vary between occurrences of
+/// the same layer: tensor names become `t<declaration index>` and loop
+/// variables become `s<i>`/`r<i>` by axis position. The graph *name* is
+/// deliberately excluded (it encodes shape parameters already covered
+/// here, and per-occurrence prefixes must not split a group).
+pub fn canonical(graph: &Graph, device: &Device) -> String {
+    let mut out = String::new();
+    out.push_str("target=");
+    out.push_str(device.name());
+    out.push('\n');
+    let tensor_names: HashMap<&str, String> = graph
+        .tensors
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name.as_str(), format!("t{i}")))
+        .collect();
+    for (i, t) in graph.tensors.iter().enumerate() {
+        let kind = match t.kind {
+            TensorKind::Input => 'i',
+            TensorKind::Intermediate => 'm',
+            TensorKind::Output => 'o',
+        };
+        out.push_str(&format!("t{i}:{kind}{:?}\n", t.shape));
+    }
+    for op in &graph.ops {
+        match op {
+            Op::Placeholder { tensor } => {
+                out.push_str("P ");
+                out.push_str(rename(&tensor_names, tensor));
+                out.push('\n');
+            }
+            Op::Compute(c) => {
+                let mut axis_names: HashMap<&str, String> = HashMap::new();
+                for (i, a) in c.spatial.iter().enumerate() {
+                    axis_names.insert(a.name.as_str(), format!("s{i}"));
+                }
+                for (i, a) in c.reduce.iter().enumerate() {
+                    axis_names.insert(a.name.as_str(), format!("r{i}"));
+                }
+                out.push_str("C ");
+                out.push_str(rename(&tensor_names, &c.output));
+                out.push_str(" s");
+                let s: Vec<i64> = c.spatial.iter().map(|a| a.extent).collect();
+                out.push_str(&format!("{s:?}"));
+                out.push_str(" r");
+                let r: Vec<i64> = c.reduce.iter().map(|a| a.extent).collect();
+                out.push_str(&format!("{r:?}"));
+                out.push(' ');
+                out.push_str(match c.combiner {
+                    flextensor_ir::graph::Combiner::Sum => "sum",
+                    flextensor_ir::graph::Combiner::Max => "max",
+                });
+                out.push(' ');
+                render_expr(&mut out, &c.body, &tensor_names, &axis_names);
+                out.push('\n');
+            }
+        }
+    }
+    for (name, value) in &graph.attrs {
+        out.push_str(&format!("a:{name}={value}\n"));
+    }
+    out
+}
+
+fn rename<'a>(map: &'a HashMap<&str, String>, name: &'a str) -> &'a str {
+    map.get(name).map(String::as_str).unwrap_or(name)
+}
+
+fn render_expr(
+    out: &mut String,
+    e: &Expr,
+    tensors: &HashMap<&str, String>,
+    axes: &HashMap<&str, String>,
+) {
+    match e {
+        Expr::FConst(v) => out.push_str(&format!("{v}")),
+        Expr::IConst(v) => out.push_str(&format!("{v}")),
+        Expr::Var(n) => out.push_str(rename(axes, n)),
+        Expr::Bin(op, a, b) => {
+            out.push('(');
+            render_expr(out, a, tensors, axes);
+            out.push_str(&format!(" {op} "));
+            render_expr(out, b, tensors, axes);
+            out.push(')');
+        }
+        Expr::Select(c, a, b) => {
+            out.push_str("select(");
+            render_cond(out, c, tensors, axes);
+            out.push_str(", ");
+            render_expr(out, a, tensors, axes);
+            out.push_str(", ");
+            render_expr(out, b, tensors, axes);
+            out.push(')');
+        }
+        Expr::Load { tensor, indices } => {
+            out.push_str(rename(tensors, tensor));
+            out.push('[');
+            for (i, ix) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_expr(out, ix, tensors, axes);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn render_cond(
+    out: &mut String,
+    c: &Cond,
+    tensors: &HashMap<&str, String>,
+    axes: &HashMap<&str, String>,
+) {
+    match c {
+        Cond::Cmp(op, a, b) => {
+            out.push('(');
+            render_expr(out, a, tensors, axes);
+            out.push_str(&format!(" {op} "));
+            render_expr(out, b, tensors, axes);
+            out.push(')');
+        }
+        Cond::And(a, b) => {
+            out.push('(');
+            render_cond(out, a, tensors, axes);
+            out.push_str(" && ");
+            render_cond(out, b, tensors, axes);
+            out.push(')');
+        }
+        Cond::Or(a, b) => {
+            out.push('(');
+            render_cond(out, a, tensors, axes);
+            out.push_str(" || ");
+            render_cond(out, b, tensors, axes);
+            out.push(')');
+        }
+        Cond::Not(a) => {
+            out.push('!');
+            render_cond(out, a, tensors, axes);
+        }
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::ops;
+    use flextensor_nn::network::shufflenet_like;
+    use flextensor_sim::spec::{v100, Device};
+
+    fn gpu() -> Device {
+        Device::Gpu(v100())
+    }
+
+    #[test]
+    fn fingerprint_ignores_tensor_names() {
+        let a = ops::gemm(64, 64, 64);
+        let mut b = a.clone();
+        // Rename the output tensor everywhere it appears by name: the
+        // declaration and the producing op (gemm's body loads only the
+        // two inputs, never the output).
+        let old = b.tensors.last().unwrap().name.clone();
+        for t in &mut b.tensors {
+            if t.name == old {
+                t.name = "renamed_out".to_string();
+            }
+        }
+        for op in &mut b.ops {
+            if let Op::Compute(c) = op {
+                if c.output == old {
+                    c.output = "renamed_out".to_string();
+                }
+            }
+        }
+        assert_ne!(a, b, "rename must actually change the graph");
+        assert_eq!(fingerprint(&a, &gpu()), fingerprint(&b, &gpu()));
+    }
+
+    #[test]
+    fn fingerprint_separates_shapes_and_targets() {
+        let a = ops::gemm(64, 64, 64);
+        let b = ops::gemm(64, 64, 32);
+        assert_ne!(fingerprint(&a, &gpu()), fingerprint(&b, &gpu()));
+        let cpu = Device::Cpu(flextensor_sim::spec::xeon_e5_2699_v4());
+        assert_ne!(fingerprint(&a, &gpu()), fingerprint(&a, &cpu));
+    }
+
+    #[test]
+    fn shufflenet_stage_units_collapse_into_weighted_tasks() {
+        let net = shufflenet_like(1);
+        let occ = net.export();
+        let tasks = extract_tasks(&occ, &gpu());
+        // 19 occurrences fold into 8 distinct tasks: stem, stage-1
+        // group conv (×6: two per unit × three units), stage-1
+        // depthwise (×3), downsample depthwise + group conv, stage-2
+        // group conv (×4), stage-2 depthwise (×2), classifier gemm.
+        assert_eq!(occ.len(), 19);
+        assert_eq!(tasks.len(), 8);
+        assert_eq!(tasks.iter().map(SubgraphTask::uses).sum::<usize>(), 19);
+        let s1_gc = tasks
+            .iter()
+            .find(|t| t.occurrences.iter().any(|l| l == "s1.u0.gc1"))
+            .expect("stage-1 group conv task");
+        assert_eq!(s1_gc.uses(), 6);
+        assert!(s1_gc.occurrences.iter().any(|l| l == "s1.u2.gc2"));
+        let s1_dw = tasks
+            .iter()
+            .find(|t| t.occurrences.iter().any(|l| l == "s1.u1.dw"))
+            .expect("stage-1 depthwise task");
+        assert_eq!(s1_dw.uses(), 3);
+        // Discovery order is network order and keys never collide
+        // across tasks.
+        assert_eq!(tasks[0].label, occ[0].0);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let net = shufflenet_like(2);
+        let occ = net.export();
+        let a = extract_tasks(&occ, &gpu());
+        let b = extract_tasks(&occ, &gpu());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.fingerprint, y.fingerprint);
+            assert_eq!(x.occurrences, y.occurrences);
+            assert_eq!(x.key, y.key);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Graph-level scheduling: tune whole networks under one global trial
+//! budget.
+//!
+//! FlexTensor's §6 evaluation tunes real networks (ShuffleNet, YOLO) by
+//! optimizing each distinct layer once and reusing the schedule for every
+//! repetition. This crate reproduces that workflow on top of the
+//! session server ([`flextensor::serve`]) and the persistent schedule
+//! database ([`flextensor_tunedb`]):
+//!
+//! 1. **Extraction** ([`extract`]) — a network definition
+//!    ([`flextensor_nn::network`]) is exported as an ordered list of
+//!    per-layer subgraphs, then deduplicated by a *structural
+//!    fingerprint* (tensor and axis names normalized away), so the three
+//!    identical units of a ShuffleNet stage collapse into one tuning
+//!    task with a use-count weight of three.
+//! 2. **Budget planning** ([`plan`]) — a global trial budget is split
+//!    into rounds; each round is allocated across tasks by a
+//!    marginal-utility greedy rule (expected end-to-end latency
+//!    reduction per trial, estimated from each task's observed
+//!    cost-improvement trajectory, weighted by use count), with a
+//!    uniform-split mode kept as the ablation baseline.
+//! 3. **Driving** ([`tune`]) — [`tune::tune_graph`] submits every layer
+//!    occurrence through a [`SessionServer`](flextensor::serve::SessionServer):
+//!    database hits spend no budget, duplicate layers coalesce onto one
+//!    search, fresh tasks warm-start from their nearest stored neighbor,
+//!    and later rounds re-tune via
+//!    [`SubmitOptions::refine`](flextensor::serve::SubmitOptions) so the
+//!    per-task cost is monotone non-increasing across rounds.
+//!
+//! Everything is deterministic for a fixed seed: extraction order,
+//! allocation (integer arithmetic, explicit tie-breaks), and the
+//! searches themselves (bit-deterministic, worker-count independent).
+//! `tests/graph_tuning.rs` proves budget conservation, plan determinism,
+//! and that duplicated subgraphs are tuned exactly once.
+//!
+//! See `docs/GRAPH_TUNING.md` for the full architecture.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod extract;
+pub mod plan;
+pub mod tune;

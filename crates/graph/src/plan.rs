@@ -1,0 +1,319 @@
+//! Round-based global trial-budget planning.
+//!
+//! The dispatcher splits one global budget into rounds
+//! ([`round_budgets`]) and, each round, allocates the round's trials
+//! across tuning tasks ([`plan_round`]). The greedy policy combines
+//! two signals: a capped *marginal-utility* tilt — the expected
+//! end-to-end latency reduction per trial, estimated from each task's
+//! observed cost-improvement trajectory and weighted by its use count
+//! (a trial spent on a subgraph that appears six times is worth six
+//! times the per-instance gain) — over a *cost-weighted fair queuing*
+//! backbone that tracks where weighted network latency actually lives
+//! (`uses × best seconds`). A uniform split is kept as the ablation
+//! baseline. See `docs/GRAPH_TUNING.md` for why the exploit share is
+//! capped rather than the whole round.
+//!
+//! Everything here is deterministic: allocations use integer
+//! arithmetic with explicit remainders (so a budget is conserved
+//! *exactly*, never approximately) and ties break toward the lowest
+//! task index.
+
+/// The budget-allocation policy for one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocation {
+    /// Marginal-utility greedy (the paper-faithful dispatcher).
+    Greedy,
+    /// Even split across tasks (ablation baseline).
+    Uniform,
+}
+
+/// Within-round diminishing-returns decay: each chunk assigned to a
+/// task halves its estimated utility for the rest of the round, so a
+/// single dominant task cannot absorb an entire round before the
+/// planner re-observes its actual improvement.
+const CHUNK_DECAY: f64 = 0.5;
+
+/// Recency weight halving for trajectory-slope averaging in
+/// [`TaskState::rate`].
+const RECENCY_DECAY: f64 = 0.5;
+
+/// The planner's view of one tuning task: its weight and what tuning
+/// has observed about it so far.
+#[derive(Debug, Clone, Default)]
+pub struct TaskState {
+    /// Use count of the task's subgraph in the network.
+    pub weight: usize,
+    /// Trials spent on this task so far (across all rounds).
+    pub spent: usize,
+    /// Observed `(cumulative trials, best seconds)` after each round
+    /// that touched the task, in round order. Best seconds are
+    /// monotone non-increasing because rounds refine from the stored
+    /// best.
+    pub trajectory: Vec<(usize, f64)>,
+}
+
+impl TaskState {
+    /// The task's best per-instance cost so far (infinite before any
+    /// observation).
+    pub fn best_seconds(&self) -> f64 {
+        self.trajectory
+            .last()
+            .map(|&(_, s)| s)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Estimated per-trial improvement in seconds.
+    ///
+    /// - Zero or one observation (the pilot): 0 — a task's *current*
+    ///   latency says nothing about how improvable it is, so the first
+    ///   refinement round deliberately falls back to the cost-weighted
+    ///   fair queue (explore) and the planner only tilts toward a task
+    ///   once it has observed real slopes (exploit).
+    /// - Two or more: a recency-weighted average of the observed
+    ///   per-trial improvement between consecutive observations, so a
+    ///   task that stopped improving decays toward zero and frees its
+    ///   share for others.
+    pub fn rate(&self) -> f64 {
+        match self.trajectory.len() {
+            0 | 1 => 0.0,
+            _ => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                let mut w = 1.0;
+                for pair in self.trajectory.windows(2).rev() {
+                    let (t0, b0) = pair[0];
+                    let (t1, b1) = pair[1];
+                    let dt = (t1.saturating_sub(t0)).max(1) as f64;
+                    num += w * ((b0 - b1).max(0.0) / dt);
+                    den += w;
+                    w *= RECENCY_DECAY;
+                }
+                num / den
+            }
+        }
+    }
+}
+
+/// Splits a total budget into per-round budgets, exactly: the result
+/// always sums to `total`, with the remainder going to the earliest
+/// rounds.
+pub fn round_budgets(total: usize, rounds: usize) -> Vec<usize> {
+    if rounds == 0 {
+        return Vec::new();
+    }
+    let q = total / rounds;
+    let r = total % rounds;
+    (0..rounds).map(|i| q + usize::from(i < r)).collect()
+}
+
+/// Fraction of a greedy round that may chase observed slopes: at most
+/// `budget / EXPLOIT_DIV` trials go to the highest `weight × rate()`
+/// tasks; everything else is allocated by weighted fair queuing.
+/// Improvement events in short warm-started refines are too noisy for
+/// slopes alone to steer a whole round — diversification is what keeps
+/// greedy ahead of the uniform baseline — so exploitation is a capped
+/// tilt, not the backbone.
+const EXPLOIT_DIV: usize = 4;
+
+/// Allocates one round's budget across tasks.
+///
+/// Returns a vector parallel to `states` whose sum is exactly
+/// `budget`. The greedy policy spends up to a quarter of the round
+/// (`EXPLOIT_DIV`) in `chunk`-sized steps on the task with the
+/// highest `weight × rate()` marginal utility (ties to the lowest
+/// index), halving that task's utility per step (`CHUNK_DECAY`); the
+/// rest — and the whole round when no task shows improvement — is
+/// allocated by *cost-weighted fair queuing*: fewest trials per unit
+/// of weighted network cost (`uses × best seconds`) first, so the
+/// budget concentrates where end-to-end latency actually lives — a
+/// subgraph appearing six times, or one expensive singleton layer,
+/// both attract their proportional share. The uniform policy splits
+/// evenly with the remainder to the earliest tasks.
+pub fn plan_round(
+    states: &[TaskState],
+    budget: usize,
+    chunk: usize,
+    allocation: Allocation,
+) -> Vec<usize> {
+    let n = states.len();
+    let mut alloc = vec![0usize; n];
+    if n == 0 || budget == 0 {
+        return alloc;
+    }
+    match allocation {
+        Allocation::Uniform => {
+            let q = budget / n;
+            let r = budget % n;
+            for (i, a) in alloc.iter_mut().enumerate() {
+                *a = q + usize::from(i < r);
+            }
+        }
+        Allocation::Greedy => {
+            let mut util: Vec<f64> = states
+                .iter()
+                .map(|s| s.weight.max(1) as f64 * s.rate())
+                .collect();
+            let chunk = chunk.max(1);
+            let mut remaining = budget;
+            let mut exploit = budget / EXPLOIT_DIV;
+            while remaining > 0 {
+                let step = chunk.min(remaining);
+                let mut pick: Option<usize> = None;
+                if exploit > 0 {
+                    for (i, &u) in util.iter().enumerate() {
+                        if u > 0.0 && pick.is_none_or(|p| u > util[p]) {
+                            pick = Some(i);
+                        }
+                    }
+                }
+                let i = match pick {
+                    Some(i) => {
+                        exploit = exploit.saturating_sub(step);
+                        util[i] *= CHUNK_DECAY;
+                        i
+                    }
+                    None => {
+                        // Cost-weighted fair queuing: fewest trials
+                        // per unit of weighted network cost
+                        // (`uses × best seconds`) first, so the budget
+                        // tracks where latency actually lives.
+                        let share = |i: usize| {
+                            let cost = states[i].weight.max(1) as f64 * states[i].best_seconds();
+                            (states[i].spent + alloc[i]) as f64 / cost.max(f64::MIN_POSITIVE)
+                        };
+                        let mut best = 0;
+                        for i in 1..n {
+                            if share(i) < share(best) {
+                                best = i;
+                            }
+                        }
+                        best
+                    }
+                };
+                alloc[i] += step;
+                remaining -= step;
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn state(weight: usize, trajectory: Vec<(usize, f64)>) -> TaskState {
+        let spent = trajectory.last().map(|&(t, _)| t).unwrap_or(0);
+        TaskState {
+            weight,
+            spent,
+            trajectory,
+        }
+    }
+
+    #[test]
+    fn round_budgets_sum_exactly_with_remainder_first() {
+        assert_eq!(round_budgets(10, 3), vec![4, 3, 3]);
+        assert_eq!(round_budgets(9, 3), vec![3, 3, 3]);
+        assert_eq!(round_budgets(2, 4), vec![1, 1, 0, 0]);
+        assert_eq!(round_budgets(5, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn uniform_splits_evenly_with_remainder_to_earliest() {
+        let states = vec![state(1, vec![(4, 1.0)]); 3];
+        assert_eq!(
+            plan_round(&states, 10, 4, Allocation::Uniform),
+            vec![4, 3, 3]
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_the_improving_heavy_task() {
+        // Task 0: weight 6, still improving fast. Task 1: weight 1,
+        // improving at the same per-instance rate. Task 2: stalled.
+        let states = vec![
+            state(6, vec![(4, 1.0e-3), (8, 0.8e-3)]),
+            state(1, vec![(4, 1.0e-3), (8, 0.8e-3)]),
+            state(1, vec![(4, 1.0e-3), (8, 1.0e-3)]),
+        ];
+        let alloc = plan_round(&states, 16, 4, Allocation::Greedy);
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+        assert!(alloc[0] > alloc[1], "weighted task should lead: {alloc:?}");
+        assert_eq!(
+            alloc[2], 0,
+            "stalled task gets nothing while others improve"
+        );
+    }
+
+    #[test]
+    fn greedy_spreads_by_weighted_cost_when_nothing_improves() {
+        // Equal trials-per-cost at the start (12/3e-3 == 8/2e-3), so
+        // the queue alternates beginning with the lower index.
+        let states = vec![
+            state(3, vec![(8, 1.0e-3), (12, 1.0e-3)]),
+            state(1, vec![(4, 2.0e-3), (8, 2.0e-3)]),
+        ];
+        let alloc = plan_round(&states, 6, 2, Allocation::Greedy);
+        assert_eq!(alloc, vec![4, 2]);
+    }
+
+    #[test]
+    fn greedy_ties_break_toward_the_lowest_index() {
+        let states = vec![state(2, vec![(4, 1.0e-3)]), state(2, vec![(4, 1.0e-3)])];
+        let alloc = plan_round(&states, 4, 4, Allocation::Greedy);
+        assert_eq!(alloc, vec![4, 0]);
+    }
+
+    #[test]
+    fn pilot_only_rate_is_zero_so_the_first_round_explores_by_cost() {
+        assert_eq!(state(1, vec![(4, 2.0e-3)]).rate(), 0.0);
+        assert_eq!(state(1, vec![]).rate(), 0.0);
+        // Task 0 carries 30× the weighted network cost of task 1, so
+        // the cost-weighted fair queue sends it the whole first round.
+        let states = vec![state(6, vec![(2, 5.0e-3)]), state(1, vec![(2, 1.0e-3)])];
+        assert_eq!(plan_round(&states, 8, 2, Allocation::Greedy), vec![8, 0]);
+        // Equal weighted costs split the round evenly.
+        let even = vec![state(2, vec![(2, 1.0e-3)]), state(1, vec![(2, 2.0e-3)])];
+        assert_eq!(plan_round(&even, 8, 2, Allocation::Greedy), vec![4, 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn any_allocation_conserves_the_budget_exactly(
+            budget in 0usize..200,
+            chunk in 0usize..9,
+            n_tasks in 1usize..7,
+            weights in proptest::collection::vec(1usize..8, 6),
+            greedy in 0usize..2,
+        ) {
+            let states: Vec<TaskState> = weights
+                .iter()
+                .take(n_tasks)
+                .enumerate()
+                .map(|(i, &w)| state(w, vec![(4, 1.0e-3 * (i + 1) as f64), (8, 0.9e-3 * (i + 1) as f64)]))
+                .collect();
+            let policy = if greedy == 1 { Allocation::Greedy } else { Allocation::Uniform };
+            let alloc = plan_round(&states, budget, chunk, policy);
+            prop_assert_eq!(alloc.len(), states.len());
+            prop_assert_eq!(alloc.iter().sum::<usize>(), budget);
+        }
+
+        #[test]
+        fn planning_is_deterministic(
+            budget in 0usize..120,
+            n_tasks in 1usize..6,
+            weights in proptest::collection::vec(1usize..8, 5),
+        ) {
+            let states: Vec<TaskState> = weights
+                .iter()
+                .take(n_tasks)
+                .map(|&w| state(w, vec![(4, 1.0e-3), (8, 0.75e-3)]))
+                .collect();
+            let a = plan_round(&states, budget, 4, Allocation::Greedy);
+            let b = plan_round(&states, budget, 4, Allocation::Greedy);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The end-to-end graph tuning driver.
+//!
+//! [`tune_graph`] tunes a whole network under one global trial budget:
+//!
+//! - **Round 0 (pilot)** — every layer occurrence is submitted through
+//!   a fresh [`SessionServer`] session. Keys already in the database
+//!   answer as hits and spend nothing; duplicate occurrences coalesce
+//!   onto one search; fresh tasks run a short pilot (warm-started from
+//!   their nearest stored neighbor) that seeds each task's
+//!   cost-improvement trajectory.
+//! - **Rounds 1..R** — the remaining budget is split across rounds
+//!   ([`round_budgets`]) and allocated by [`plan_round`]. Each round
+//!   constructs a *new* server (its snapshot sees every earlier
+//!   round's results) and re-tunes funded tasks via
+//!   [`SubmitOptions::refine`], warm-started from their own stored
+//!   best — so per-task cost is monotone non-increasing — with
+//!   [`SubmitOptions::anneal_window`] embedding each search in the
+//!   task's cumulative budget so the Q-method's ε-anneal continues
+//!   across rounds instead of restarting. Round seeds are derived
+//!   deterministically from the base seed so a re-tune explores new
+//!   ground rather than re-walking the previous round's path.
+//!
+//! The driver emits [`TraceEvent::GraphPlan`] once and one
+//! [`TraceEvent::GraphRound`] per round to the configured telemetry
+//! sink, and returns a [`GraphTuneReport`] with per-task and
+//! whole-network modeled latency. Results are deterministic for a
+//! fixed seed and database state, at any worker count.
+
+use std::sync::Arc;
+
+use flextensor::optimize::OptimizeOptions;
+use flextensor::serve::{ServeOptions, ServeSource, SessionServer, SubmitOptions};
+use flextensor_nn::network::Network;
+use flextensor_sim::spec::Device;
+use flextensor_telemetry::{Telemetry, TraceEvent};
+use flextensor_tunedb::{TuneDb, TuneKey};
+
+use crate::extract::{extract_tasks, SubgraphTask};
+use crate::plan::{plan_round, round_budgets, Allocation, TaskState};
+
+/// Options controlling [`tune_graph`].
+#[derive(Debug, Clone)]
+pub struct GraphTuneOptions {
+    /// Base optimization options for every search (seed, method,
+    /// starts; `search.trials` is overridden per round by the
+    /// planner).
+    pub base: OptimizeOptions,
+    /// Session-server worker threads. Results are identical for every
+    /// value.
+    pub workers: usize,
+    /// Global trial budget across all fresh tasks, pilot included.
+    pub budget: usize,
+    /// Refinement rounds after the pilot (min 1 whenever budget
+    /// remains).
+    pub rounds: usize,
+    /// Pilot trials per fresh task (clamped so the pilot never
+    /// overspends the budget).
+    pub pilot: usize,
+    /// Greedy allocation granularity, in trials.
+    pub chunk: usize,
+    /// Budget allocation policy.
+    pub allocation: Allocation,
+    /// Provenance string stored with database records.
+    pub commit: String,
+    /// Sink for `graph_plan` / `graph_round` events (disabled by
+    /// default).
+    pub telemetry: Telemetry,
+}
+
+impl Default for GraphTuneOptions {
+    fn default() -> GraphTuneOptions {
+        GraphTuneOptions {
+            base: OptimizeOptions::quick(),
+            workers: 2,
+            budget: 64,
+            rounds: 3,
+            pilot: 4,
+            chunk: 4,
+            allocation: Allocation::Greedy,
+            commit: "dev".to_string(),
+            telemetry: Telemetry::null(),
+        }
+    }
+}
+
+/// Graph tuning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphTuneError {
+    /// The budget cannot give every fresh task even one pilot trial.
+    InsufficientBudget {
+        /// The requested global budget.
+        budget: usize,
+        /// Fresh (not-in-database) tasks that need tuning.
+        fresh: usize,
+    },
+    /// A tuning request failed inside the server.
+    Serve(String),
+}
+
+impl std::fmt::Display for GraphTuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphTuneError::InsufficientBudget { budget, fresh } => write!(
+                f,
+                "budget {budget} cannot fund one pilot trial for each of {fresh} fresh tasks"
+            ),
+            GraphTuneError::Serve(e) => write!(f, "graph tuning request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphTuneError {}
+
+/// Per-task outcome in a [`GraphTuneReport`].
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Label of the task's first occurrence.
+    pub label: String,
+    /// The task's database key.
+    pub key: TuneKey,
+    /// Use count in the network.
+    pub uses: usize,
+    /// Trials this run spent on the task (0 for database hits).
+    pub trials: usize,
+    /// Best modeled per-instance seconds.
+    pub seconds: f64,
+    /// Whether the task was answered from the database snapshot
+    /// without searching.
+    pub hit: bool,
+    /// Whether the pilot search was warm-started from a stored
+    /// neighbor.
+    pub warm_started: bool,
+}
+
+/// Per-round outcome in a [`GraphTuneReport`].
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round number (0 = pilot).
+    pub round: usize,
+    /// Trials allocated to each task this round (parallel to
+    /// [`GraphTuneReport::tasks`]).
+    pub allocations: Vec<usize>,
+    /// Total trials allocated this round.
+    pub allocated: usize,
+    /// Modeled whole-network seconds after the round
+    /// (Σ uses × best seconds).
+    pub network_seconds: f64,
+}
+
+/// The result of tuning one network.
+#[derive(Debug, Clone)]
+pub struct GraphTuneReport {
+    /// Network name.
+    pub network: String,
+    /// Device model name.
+    pub device: String,
+    /// Exported layer occurrences.
+    pub occurrences: usize,
+    /// Deduplicated tuning tasks answered from the database snapshot.
+    pub hits: usize,
+    /// Pilot-round requests deduplicated onto another occurrence's
+    /// search.
+    pub coalesced: usize,
+    /// Fresh pilots warm-started from a stored neighbor.
+    pub warm_starts: usize,
+    /// The requested global budget.
+    pub budget: usize,
+    /// Trials actually spent (equals `budget` whenever any task was
+    /// fresh).
+    pub spent: usize,
+    /// Effective pilot trials per fresh task.
+    pub pilot: usize,
+    /// Per-task outcomes, in network discovery order.
+    pub tasks: Vec<TaskReport>,
+    /// Per-round outcomes (round 0 is the pilot).
+    pub rounds: Vec<RoundReport>,
+    /// Final modeled whole-network seconds (Σ uses × best seconds).
+    pub network_seconds: f64,
+}
+
+fn network_seconds(tasks: &[SubgraphTask], best: &[f64]) -> f64 {
+    tasks
+        .iter()
+        .zip(best)
+        .map(|(t, &s)| t.uses() as f64 * s)
+        .sum()
+}
+
+/// Mixes a round number into the base seed so each refinement round
+/// explores a distinct deterministic trajectory.
+fn round_seed(base: u64, round: usize) -> u64 {
+    base ^ (round as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Tunes a whole network under a global trial budget. See the module
+/// docs for the algorithm.
+///
+/// # Errors
+///
+/// [`GraphTuneError::InsufficientBudget`] when the budget cannot give
+/// every fresh task one trial; [`GraphTuneError::Serve`] when a
+/// request fails inside the server.
+pub fn tune_graph(
+    db: &Arc<TuneDb>,
+    network: &Network,
+    device: &Device,
+    opts: &GraphTuneOptions,
+) -> Result<GraphTuneReport, GraphTuneError> {
+    let occurrences = network.export();
+    let tasks = extract_tasks(&occurrences, device);
+    let n = tasks.len();
+
+    // Classify against the current database before spending anything:
+    // fresh tasks need budget, stored tasks answer for free.
+    let fresh: Vec<usize> = (0..n)
+        .filter(|&i| db.peek(&tasks[i].key).is_none())
+        .collect();
+    let pilot = if fresh.is_empty() {
+        0
+    } else {
+        if opts.budget < fresh.len() {
+            return Err(GraphTuneError::InsufficientBudget {
+                budget: opts.budget,
+                fresh: fresh.len(),
+            });
+        }
+        (opts.budget / fresh.len()).min(opts.pilot.max(1)).max(1)
+    };
+    let pilot_total = pilot * fresh.len();
+
+    // --- Round 0: pilot every occurrence through one server session.
+    let server = SessionServer::new(
+        Arc::clone(db),
+        ServeOptions {
+            workers: opts.workers.max(1),
+            base: opts.base.clone(),
+            commit: opts.commit.clone(),
+        },
+    );
+    let session = server.session(&format!("graph:{}", network.name));
+    let tickets: Vec<_> = occurrences
+        .iter()
+        .map(|(_, g)| {
+            session.submit_with(
+                g.clone(),
+                device.clone(),
+                SubmitOptions {
+                    trials: Some(pilot.max(1)),
+                    refine: false,
+                    anneal_window: Some((0, opts.budget.max(1))),
+                },
+            )
+        })
+        .collect();
+    let results: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().map_err(|e| GraphTuneError::Serve(e.0)))
+        .collect::<Result<_, _>>()?;
+    let stats = server.stats();
+    drop(server); // drain: every pilot record is now in the database
+
+    // First-occurrence position of each task in the export order.
+    let first_pos: Vec<usize> = tasks
+        .iter()
+        .map(|t| {
+            occurrences
+                .iter()
+                .position(|(l, _)| *l == t.label)
+                .expect("task label")
+        })
+        .collect();
+    let mut best: Vec<f64> = (0..n).map(|i| results[first_pos[i]].seconds).collect();
+    let hit: Vec<bool> = (0..n)
+        .map(|i| results[first_pos[i]].source == ServeSource::Hit)
+        .collect();
+    let warm: Vec<bool> = (0..n)
+        .map(|i| {
+            matches!(
+                results[first_pos[i]].source,
+                ServeSource::Fresh { warm_started: true }
+            )
+        })
+        .collect();
+    let mut states: Vec<TaskState> = fresh
+        .iter()
+        .map(|&i| TaskState {
+            weight: tasks[i].uses(),
+            spent: pilot,
+            trajectory: vec![(pilot, best[i])],
+        })
+        .collect();
+
+    opts.telemetry.emit(TraceEvent::GraphPlan {
+        network: network.name.clone(),
+        occurrences: occurrences.len(),
+        tasks: n,
+        hits: hit.iter().filter(|&&h| h).count(),
+        budget: opts.budget,
+        rounds: opts.rounds,
+        pilot,
+    });
+
+    let mut rounds = Vec::new();
+    let mut spent = pilot_total;
+    let mut pilot_alloc = vec![0usize; n];
+    for &i in &fresh {
+        pilot_alloc[i] = pilot;
+    }
+    let net_s = network_seconds(&tasks, &best);
+    opts.telemetry.emit(TraceEvent::GraphRound {
+        round: 0,
+        allocated: pilot_total,
+        spent,
+        network_seconds: net_s,
+    });
+    rounds.push(RoundReport {
+        round: 0,
+        allocations: pilot_alloc,
+        allocated: pilot_total,
+        network_seconds: net_s,
+    });
+
+    // --- Rounds 1..R: re-plan and refine with the remaining budget.
+    let remaining = opts.budget - pilot_total;
+    let budgets = if fresh.is_empty() || remaining == 0 {
+        Vec::new()
+    } else {
+        round_budgets(remaining, opts.rounds.max(1))
+    };
+    for (r, &round_budget) in budgets.iter().enumerate() {
+        let round = r + 1;
+        let alloc = plan_round(&states, round_budget, opts.chunk, opts.allocation);
+        let mut full_alloc = vec![0usize; n];
+        if round_budget > 0 {
+            let mut base = opts.base.clone();
+            base.search.seed = round_seed(opts.base.search.seed, round);
+            let server = SessionServer::new(
+                Arc::clone(db),
+                ServeOptions {
+                    workers: opts.workers.max(1),
+                    base,
+                    commit: opts.commit.clone(),
+                },
+            );
+            let session = server.session(&format!("graph:{}:round{round}", network.name));
+            let mut tickets = Vec::new();
+            for (s, &i) in fresh.iter().enumerate() {
+                if alloc[s] == 0 {
+                    continue;
+                }
+                full_alloc[i] = alloc[s];
+                tickets.push((
+                    s,
+                    i,
+                    session.submit_with(
+                        tasks[i].graph.clone(),
+                        device.clone(),
+                        SubmitOptions {
+                            trials: Some(alloc[s]),
+                            refine: true,
+                            anneal_window: Some((states[s].spent, opts.budget.max(1))),
+                        },
+                    ),
+                ));
+            }
+            for (s, i, ticket) in tickets {
+                let res = ticket.wait().map_err(|e| GraphTuneError::Serve(e.0))?;
+                states[s].spent += alloc[s];
+                let total = states[s].spent;
+                states[s].trajectory.push((total, res.seconds));
+                best[i] = res.seconds;
+            }
+            drop(server);
+        }
+        spent += round_budget;
+        let net_s = network_seconds(&tasks, &best);
+        opts.telemetry.emit(TraceEvent::GraphRound {
+            round,
+            allocated: round_budget,
+            spent,
+            network_seconds: net_s,
+        });
+        rounds.push(RoundReport {
+            round,
+            allocations: full_alloc,
+            allocated: round_budget,
+            network_seconds: net_s,
+        });
+    }
+
+    let mut trials = vec![0usize; n];
+    for (s, &i) in fresh.iter().enumerate() {
+        trials[i] = states[s].spent;
+    }
+    let task_reports: Vec<TaskReport> = (0..n)
+        .map(|i| TaskReport {
+            label: tasks[i].label.clone(),
+            key: tasks[i].key.clone(),
+            uses: tasks[i].uses(),
+            trials: trials[i],
+            seconds: best[i],
+            hit: hit[i],
+            warm_started: warm[i],
+        })
+        .collect();
+    Ok(GraphTuneReport {
+        network: network.name.clone(),
+        device: device.name().to_string(),
+        occurrences: occurrences.len(),
+        hits: stats.hits,
+        coalesced: stats.coalesced,
+        warm_starts: stats.warm_starts,
+        budget: opts.budget,
+        spent,
+        pilot,
+        tasks: task_reports,
+        rounds,
+        network_seconds: network_seconds(&tasks, &best),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_nn::network::{shufflenet_like, yolo_tiny};
+    use flextensor_sim::spec::{v100, Device};
+    use flextensor_tunedb::testutil;
+
+    fn quick_opts(budget: usize) -> GraphTuneOptions {
+        let mut base = OptimizeOptions::quick();
+        base.search.trials = 4;
+        base.search.starts = 2;
+        base.search.initial_samples = 4;
+        GraphTuneOptions {
+            base,
+            workers: 2,
+            budget,
+            rounds: 2,
+            pilot: 2,
+            chunk: 2,
+            ..GraphTuneOptions::default()
+        }
+    }
+
+    #[test]
+    fn tune_graph_spends_exactly_the_budget_on_fresh_networks() {
+        let db = Arc::new(TuneDb::open(testutil::temp_dir("graph-budget")).unwrap().0);
+        let net = yolo_tiny(1);
+        let report = tune_graph(&db, &net, &Device::Gpu(v100()), &quick_opts(24)).unwrap();
+        assert_eq!(report.spent, 24);
+        assert_eq!(report.tasks.iter().map(|t| t.trials).sum::<usize>(), 24);
+        assert_eq!(report.hits, 0);
+        // Duplicate conv blocks coalesce in the pilot round.
+        assert!(report.coalesced >= 2, "coalesced={}", report.coalesced);
+        assert!(report.network_seconds > 0.0);
+        // Per-round allocations also account for every trial.
+        let by_rounds: usize = report.rounds.iter().map(|r| r.allocated).sum();
+        assert_eq!(by_rounds, 24);
+    }
+
+    #[test]
+    fn second_run_is_all_hits_and_spends_nothing() {
+        let db = Arc::new(TuneDb::open(testutil::temp_dir("graph-hits")).unwrap().0);
+        let net = yolo_tiny(1);
+        let dev = Device::Gpu(v100());
+        let first = tune_graph(&db, &net, &dev, &quick_opts(24)).unwrap();
+        let second = tune_graph(&db, &net, &dev, &quick_opts(24)).unwrap();
+        assert_eq!(second.spent, 0);
+        assert_eq!(second.hits, second.occurrences);
+        assert!(second.tasks.iter().all(|t| t.hit && t.trials == 0));
+        assert!(second.network_seconds <= first.network_seconds + 1e-12);
+    }
+
+    #[test]
+    fn refinement_rounds_never_regress_the_network() {
+        let db = Arc::new(TuneDb::open(testutil::temp_dir("graph-mono")).unwrap().0);
+        let net = shufflenet_like(1);
+        let report = tune_graph(&db, &net, &Device::Gpu(v100()), &quick_opts(48)).unwrap();
+        for w in report.rounds.windows(2) {
+            assert!(
+                w[1].network_seconds <= w[0].network_seconds + 1e-12,
+                "round {} regressed: {} -> {}",
+                w[1].round,
+                w[0].network_seconds,
+                w[1].network_seconds
+            );
+        }
+        assert_eq!(
+            report.network_seconds,
+            report.rounds.last().unwrap().network_seconds
+        );
+    }
+
+    #[test]
+    fn insufficient_budget_is_a_clean_error() {
+        let db = Arc::new(TuneDb::open(testutil::temp_dir("graph-poor")).unwrap().0);
+        let net = yolo_tiny(1);
+        let err = tune_graph(&db, &net, &Device::Gpu(v100()), &quick_opts(3)).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphTuneError::InsufficientBudget { budget: 3, fresh } if fresh > 3
+        ));
+    }
+}

@@ -32,6 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod network;
+
 use rand::Rng;
 
 /// One fully-connected layer: `y = W·x + b`.

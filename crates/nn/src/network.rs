@@ -1,0 +1,374 @@
+//! Multi-op network definitions and their export to `flextensor-ir`
+//! mini-graphs.
+//!
+//! A [`Network`] is an ordered list of layer *occurrences* — deliberately
+//! not pre-deduplicated. Real networks repeat layers (ShuffleNet stages,
+//! YOLO's stacked 3×3 convolutions), and discovering that repetition is
+//! the job of the graph-level scheduler (`flextensor-graph`), which
+//! collapses occurrences by structural hash into weighted tuning tasks.
+//! [`Network::export`] therefore emits one labelled mini-graph per
+//! occurrence, in network order, and nothing else.
+//!
+//! Two reference topologies are provided: [`shufflenet_like`] (grouped
+//! 1×1 + depthwise 3×3 units, heavy repetition within stages) and
+//! [`yolo_tiny`] (a stride-2 convolution backbone with repeated 3×3
+//! blocks). Both are scaled down from their namesakes so modeled tuning
+//! over every distinct layer stays fast enough for tests and CI.
+
+use flextensor_ir::graph::Graph;
+use flextensor_ir::ops::{self, fuse_epilogue, ConvParams, Epilogue};
+
+/// One network layer's operator, fully parameterized (batch included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerOp {
+    /// Dense 2-D convolution over an `height × width` input.
+    Conv2d {
+        /// Convolution parameters (batch, channels, kernel, stride, …).
+        params: ConvParams,
+        /// Input spatial height.
+        height: i64,
+        /// Input spatial width.
+        width: i64,
+    },
+    /// Grouped 2-D convolution (`params.groups > 1`).
+    GroupConv2d {
+        /// Convolution parameters; `groups` must divide both channel
+        /// counts.
+        params: ConvParams,
+        /// Input spatial height.
+        height: i64,
+        /// Input spatial width.
+        width: i64,
+    },
+    /// Depthwise 2-D convolution: one filter bank per input channel.
+    DepthwiseConv2d {
+        /// Batch size.
+        batch: i64,
+        /// Input channels (= groups).
+        channels: i64,
+        /// Output channels per input channel.
+        multiplier: i64,
+        /// Input spatial height.
+        height: i64,
+        /// Input spatial width.
+        width: i64,
+        /// Kernel size.
+        kernel: i64,
+        /// Stride.
+        stride: i64,
+        /// Zero padding.
+        padding: i64,
+    },
+    /// Fully-connected layer as a matrix multiply: `[n, k] × [k, m]`.
+    Gemm {
+        /// Rows of the left operand (typically the batch size).
+        n: i64,
+        /// Columns of the result (output features).
+        m: i64,
+        /// Contraction extent (input features).
+        k: i64,
+    },
+}
+
+impl LayerOp {
+    /// Builds the operator's mini-graph (without any epilogue).
+    pub fn graph(&self) -> Graph {
+        match *self {
+            LayerOp::Conv2d {
+                params,
+                height,
+                width,
+            } => ops::conv2d(params, height, width),
+            LayerOp::GroupConv2d {
+                params,
+                height,
+                width,
+            } => ops::group_conv2d(params, height, width),
+            LayerOp::DepthwiseConv2d {
+                batch,
+                channels,
+                multiplier,
+                height,
+                width,
+                kernel,
+                stride,
+                padding,
+            } => ops::depthwise_conv2d(
+                batch, channels, multiplier, height, width, kernel, stride, padding,
+            ),
+            LayerOp::Gemm { n, m, k } => ops::gemm(n, m, k),
+        }
+    }
+}
+
+/// One layer occurrence: an operator plus the element-wise epilogue fused
+/// into it at writeback (§6.6's sub-graph fusion).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Position label, unique within the network (e.g. `"stage1.u0.dw"`).
+    pub label: String,
+    /// The operator.
+    pub op: LayerOp,
+    /// Fused epilogue, if any.
+    pub epilogue: Option<Epilogue>,
+}
+
+impl Layer {
+    /// Builds the (possibly fused) mini-graph of this occurrence.
+    pub fn graph(&self) -> Graph {
+        let g = self.op.graph();
+        match self.epilogue {
+            Some(e) => fuse_epilogue(g, e),
+            None => g,
+        }
+    }
+}
+
+/// An ordered multi-op network: the input to graph-level scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Network name (used in telemetry and reports).
+    pub name: String,
+    /// Layer occurrences in execution order, repetitions included.
+    pub layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Number of layer occurrences (before any dedup).
+    pub fn occurrences(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Exports one labelled mini-graph per occurrence, in network order.
+    pub fn export(&self) -> Vec<(String, Graph)> {
+        self.layers
+            .iter()
+            .map(|l| (l.label.clone(), l.graph()))
+            .collect()
+    }
+
+    /// Total floating-point operations of one forward pass.
+    pub fn flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.graph().flops()).sum()
+    }
+}
+
+fn conv(label: &str, params: ConvParams, height: i64, width: i64) -> Layer {
+    Layer {
+        label: label.to_string(),
+        op: LayerOp::Conv2d {
+            params,
+            height,
+            width,
+        },
+        epilogue: Some(Epilogue::Relu),
+    }
+}
+
+/// A scaled-down ShuffleNet-style network: a stride-2 stem convolution,
+/// a first stage of three identical units (grouped 1×1 → depthwise 3×3 →
+/// grouped 1×1), a stride-2 downsample into doubled channels, a second
+/// stage of two identical units, and a classifier matmul.
+///
+/// 19 operator occurrences collapse into 8 distinct tuning tasks — the
+/// repetition profile graph-level scheduling exists to exploit.
+pub fn shufflenet_like(batch: i64) -> Network {
+    let groups = 4;
+    let mut layers = Vec::new();
+    // Stem: 8 → 16 channels, 32×32 → 16×16.
+    layers.push(conv(
+        "stem",
+        ConvParams::same(batch, 8, 16, 3).with_stride(2),
+        32,
+        32,
+    ));
+    let gconv = |label: &str, ch_in: i64, ch_out: i64, hw: i64| Layer {
+        label: label.to_string(),
+        op: LayerOp::GroupConv2d {
+            params: ConvParams::same(batch, ch_in, ch_out, 1).with_groups(groups),
+            height: hw,
+            width: hw,
+        },
+        epilogue: Some(Epilogue::Relu),
+    };
+    let dwconv = |label: &str, ch: i64, hw: i64, stride: i64| Layer {
+        label: label.to_string(),
+        op: LayerOp::DepthwiseConv2d {
+            batch,
+            channels: ch,
+            multiplier: 1,
+            height: hw,
+            width: hw,
+            kernel: 3,
+            stride,
+            padding: 1,
+        },
+        epilogue: None,
+    };
+    // Stage 1: three identical units at 16 channels, 16×16.
+    for u in 0..3 {
+        layers.push(gconv(&format!("s1.u{u}.gc1"), 16, 16, 16));
+        layers.push(dwconv(&format!("s1.u{u}.dw"), 16, 16, 1));
+        layers.push(gconv(&format!("s1.u{u}.gc2"), 16, 16, 16));
+    }
+    // Downsample: stride-2 depthwise, then 16 → 32 channels.
+    layers.push(dwconv("down.dw", 16, 16, 2));
+    layers.push(gconv("down.gc", 16, 32, 8));
+    // Stage 2: two identical units at 32 channels, 8×8.
+    for u in 0..2 {
+        layers.push(gconv(&format!("s2.u{u}.gc1"), 32, 32, 8));
+        layers.push(dwconv(&format!("s2.u{u}.dw"), 32, 8, 1));
+        layers.push(gconv(&format!("s2.u{u}.gc2"), 32, 32, 8));
+    }
+    // Classifier: global pool (free) + fully connected 32 → 16.
+    layers.push(Layer {
+        label: "fc".to_string(),
+        op: LayerOp::Gemm {
+            n: batch,
+            m: 16,
+            k: 32,
+        },
+        epilogue: None,
+    });
+    Network {
+        name: format!("shufflenet_like_b{batch}"),
+        layers,
+    }
+}
+
+/// A scaled-down YOLO/tiny-style backbone: stride-2 3×3 convolutions
+/// doubling channels, with repeated same-shape 3×3 blocks in the middle
+/// (the duplicates YOLO-v1's Table 4 counts), finished by a detector
+/// matmul. Every convolution fuses YOLO's leaky-ReLU (α = 0.1).
+///
+/// 8 occurrences collapse into 6 distinct tuning tasks.
+pub fn yolo_tiny(batch: i64) -> Network {
+    let leaky = |mut l: Layer| {
+        l.epilogue = Some(Epilogue::LeakyRelu(0.1));
+        l
+    };
+    let mut layers = Vec::new();
+    layers.push(leaky(conv(
+        "c0",
+        ConvParams::same(batch, 8, 16, 3).with_stride(2),
+        32,
+        32,
+    )));
+    layers.push(leaky(conv(
+        "c1",
+        ConvParams::same(batch, 16, 32, 3).with_stride(2),
+        16,
+        16,
+    )));
+    // Two identical 3×3 blocks at 32 channels, 8×8.
+    layers.push(leaky(conv("c2a", ConvParams::same(batch, 32, 32, 3), 8, 8)));
+    layers.push(leaky(conv("c2b", ConvParams::same(batch, 32, 32, 3), 8, 8)));
+    layers.push(leaky(conv(
+        "c3",
+        ConvParams::same(batch, 32, 64, 3).with_stride(2),
+        8,
+        8,
+    )));
+    // Two identical 3×3 blocks at 64 channels, 4×4.
+    layers.push(leaky(conv("c4a", ConvParams::same(batch, 64, 64, 3), 4, 4)));
+    layers.push(leaky(conv("c4b", ConvParams::same(batch, 64, 64, 3), 4, 4)));
+    // Detector head: flattened 4×4×64 → 32 outputs.
+    layers.push(Layer {
+        label: "det".to_string(),
+        op: LayerOp::Gemm {
+            n: batch,
+            m: 32,
+            k: 1024,
+        },
+        epilogue: None,
+    });
+    Network {
+        name: format!("yolo_tiny_b{batch}"),
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_emits_one_graph_per_occurrence_in_order() {
+        let net = shufflenet_like(1);
+        let graphs = net.export();
+        assert_eq!(graphs.len(), net.occurrences());
+        assert_eq!(graphs.len(), 19);
+        assert_eq!(graphs[0].0, "stem");
+        assert_eq!(graphs.last().unwrap().0, "fc");
+        // Labels are unique.
+        let mut labels: Vec<&str> = graphs.iter().map(|(l, _)| l.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), graphs.len());
+    }
+
+    #[test]
+    fn repeated_layers_export_structurally_equal_graphs() {
+        let net = shufflenet_like(1);
+        let graphs = net.export();
+        let find = |label: &str| {
+            &graphs
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("layer {label}"))
+                .1
+        };
+        // Same unit position across stage-1 repetitions: identical graphs
+        // up to the label (which export keeps outside the graph).
+        assert_eq!(find("s1.u0.dw"), find("s1.u2.dw"));
+        assert_eq!(find("s1.u0.gc1"), find("s1.u1.gc2"));
+        // Different stages differ.
+        assert_ne!(find("s1.u0.dw"), find("s2.u0.dw"));
+    }
+
+    #[test]
+    fn spatial_dims_chain_through_the_networks() {
+        // Each layer's output extent must equal the next conv layer's
+        // input extent (the constructors thread these by hand).
+        for net in [shufflenet_like(2), yolo_tiny(2)] {
+            let mut prev_out: Option<i64> = None;
+            for layer in &net.layers {
+                let (in_hw, out_hw) = match layer.op {
+                    LayerOp::Conv2d { params, height, .. }
+                    | LayerOp::GroupConv2d { params, height, .. } => {
+                        (height, params.out_size(height))
+                    }
+                    LayerOp::DepthwiseConv2d {
+                        height,
+                        kernel,
+                        stride,
+                        padding,
+                        ..
+                    } => (height, (height + 2 * padding - kernel) / stride + 1),
+                    LayerOp::Gemm { .. } => continue,
+                };
+                if let Some(p) = prev_out {
+                    assert_eq!(in_hw, p, "{}: {}", net.name, layer.label);
+                }
+                prev_out = Some(out_hw);
+            }
+        }
+    }
+
+    #[test]
+    fn yolo_tiny_has_duplicate_blocks() {
+        let graphs = yolo_tiny(1).export();
+        assert_eq!(graphs.len(), 8);
+        let g = |l: &str| &graphs.iter().find(|(x, _)| x == l).unwrap().1;
+        assert_eq!(g("c2a"), g("c2b"));
+        assert_eq!(g("c4a"), g("c4b"));
+        assert_ne!(g("c2a"), g("c4a"));
+    }
+
+    #[test]
+    fn flops_sum_over_occurrences() {
+        let net = yolo_tiny(1);
+        let manual: u64 = net.export().iter().map(|(_, g)| g.flops()).sum();
+        assert_eq!(net.flops(), manual);
+    }
+}

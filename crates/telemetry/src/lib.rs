@@ -222,6 +222,44 @@ pub enum TraceEvent {
         /// Total real time requests spent queued, seconds.
         queue_wait_s: f64,
     },
+    /// A graph-level tuning run planned its deduplicated task set
+    /// (`flextensor-graph`): how many network occurrences collapsed into
+    /// how many tuning tasks, and the global budget split into rounds.
+    /// Emitted once per graph tune, before any round runs; replay
+    /// captures the last one seen without folding it into the run
+    /// summary. Every field is deterministic.
+    GraphPlan {
+        /// Network name.
+        network: String,
+        /// Operator occurrences in the network (before dedup).
+        occurrences: usize,
+        /// Deduplicated tuning tasks (distinct structural fingerprints).
+        tasks: usize,
+        /// Tasks answered from the database snapshot (no budget spent).
+        hits: usize,
+        /// Global trial budget across all fresh tasks.
+        budget: usize,
+        /// Re-planning rounds after the pilot round.
+        rounds: usize,
+        /// Pilot trials given to every fresh task in round 0.
+        pilot: usize,
+    },
+    /// One budget-allocation round of a graph-level tuning run finished:
+    /// how many trials the planner allocated this round and the
+    /// end-to-end network latency after absorbing the round's results.
+    /// Replay collects these in emission order. Every field is
+    /// deterministic.
+    GraphRound {
+        /// Round index (0 = pilot).
+        round: usize,
+        /// Trials allocated across tasks this round.
+        allocated: usize,
+        /// Cumulative trials spent through this round.
+        spent: usize,
+        /// Modeled end-to-end network latency after this round, seconds
+        /// (sum over tasks of use-count × best kernel time).
+        network_seconds: f64,
+    },
     /// The run finished. Replay recomputes every field of this record
     /// (except the pass-through `wall_s`) from the preceding events.
     RunSummary {
@@ -259,6 +297,8 @@ impl TraceEvent {
             TraceEvent::AnalyzerStats { .. } => "analyzer_stats",
             TraceEvent::DbStats { .. } => "db_stats",
             TraceEvent::SessionStats { .. } => "session_stats",
+            TraceEvent::GraphPlan { .. } => "graph_plan",
+            TraceEvent::GraphRound { .. } => "graph_round",
             TraceEvent::RunSummary { .. } => "run_summary",
         }
     }
@@ -403,6 +443,34 @@ impl TraceEvent {
                 );
                 write_f64(&mut s, *queue_wait_s);
             }
+            TraceEvent::GraphPlan {
+                network,
+                occurrences,
+                tasks,
+                hits,
+                budget,
+                rounds,
+                pilot,
+            } => {
+                s.push_str(",\"network\":");
+                write_str(&mut s, network);
+                let _ = write!(
+                    s,
+                    ",\"occurrences\":{occurrences},\"tasks\":{tasks},\"hits\":{hits},\"budget\":{budget},\"rounds\":{rounds},\"pilot\":{pilot}"
+                );
+            }
+            TraceEvent::GraphRound {
+                round,
+                allocated,
+                spent,
+                network_seconds,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"round\":{round},\"allocated\":{allocated},\"spent\":{spent},\"network_seconds\":"
+                );
+                write_f64(&mut s, *network_seconds);
+            }
             TraceEvent::RunSummary {
                 trials,
                 measurements,
@@ -519,6 +587,21 @@ impl TraceEvent {
                 warm_starts: field(v.get_usize("warm_starts"))?,
                 coalesced: field(v.get_usize("coalesced"))?,
                 queue_wait_s: field(v.get_f64("queue_wait_s"))?,
+            },
+            "graph_plan" => TraceEvent::GraphPlan {
+                network: field(v.get_str("network"))?.to_string(),
+                occurrences: field(v.get_usize("occurrences"))?,
+                tasks: field(v.get_usize("tasks"))?,
+                hits: field(v.get_usize("hits"))?,
+                budget: field(v.get_usize("budget"))?,
+                rounds: field(v.get_usize("rounds"))?,
+                pilot: field(v.get_usize("pilot"))?,
+            },
+            "graph_round" => TraceEvent::GraphRound {
+                round: field(v.get_usize("round"))?,
+                allocated: field(v.get_usize("allocated"))?,
+                spent: field(v.get_usize("spent"))?,
+                network_seconds: field(v.get_f64("network_seconds"))?,
             },
             "run_summary" => TraceEvent::RunSummary {
                 trials: field(v.get_usize("trials"))?,
@@ -857,6 +940,21 @@ mod tests {
                 warm_starts: 4,
                 coalesced: 3,
                 queue_wait_s: 0.125,
+            },
+            TraceEvent::GraphPlan {
+                network: "shuffle_unit".into(),
+                occurrences: 10,
+                tasks: 4,
+                hits: 1,
+                budget: 64,
+                rounds: 3,
+                pilot: 2,
+            },
+            TraceEvent::GraphRound {
+                round: 1,
+                allocated: 18,
+                spent: 24,
+                network_seconds: 0.0125,
             },
             TraceEvent::RunSummary {
                 trials: 4,

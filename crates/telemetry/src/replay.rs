@@ -113,6 +113,12 @@ pub struct Replay {
     /// Per-session server statistics, in emission order (empty for
     /// plain search traces).
     pub sessions: Vec<TraceEvent>,
+    /// The last recorded graph-level tuning plan, if any (only present
+    /// in traces emitted by `flextensor-graph` drivers).
+    pub graph_plan: Option<TraceEvent>,
+    /// Graph-level budget rounds, in emission order (empty for
+    /// single-op traces).
+    pub graph_rounds: Vec<TraceEvent>,
     /// The `RunSummary` as recorded by the live run.
     pub recorded: TraceEvent,
     /// The `RunSummary` recomputed from the event stream (with the
@@ -152,6 +158,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
     let mut analyzer: Option<TraceEvent> = None;
     let mut db: Option<TraceEvent> = None;
     let mut sessions: Vec<TraceEvent> = Vec::new();
+    let mut graph_plan: Option<TraceEvent> = None;
+    let mut graph_rounds: Vec<TraceEvent> = Vec::new();
     let mut open_trial: Option<(usize, f64)> = None; // (trial, start wall_s)
     let mut max_trial = 0usize;
 
@@ -249,6 +257,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
             TraceEvent::AnalyzerStats { .. } => analyzer = Some(ev.clone()),
             TraceEvent::DbStats { .. } => db = Some(ev.clone()),
             TraceEvent::SessionStats { .. } => sessions.push(ev.clone()),
+            TraceEvent::GraphPlan { .. } => graph_plan = Some(ev.clone()),
+            TraceEvent::GraphRound { .. } => graph_rounds.push(ev.clone()),
             TraceEvent::RunSummary { .. } => {
                 if recorded.is_some() {
                     return Err(TraceError(
@@ -305,6 +315,8 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
         analyzer,
         db,
         sessions,
+        graph_plan,
+        graph_rounds,
         recorded,
         replayed,
     })
@@ -528,6 +540,44 @@ mod tests {
         let plain = replay(&mini_trace()).unwrap();
         assert_eq!(plain.db, None);
         assert!(plain.sessions.is_empty());
+    }
+
+    #[test]
+    fn graph_events_are_captured_without_affecting_the_fold() {
+        let mut events = mini_trace();
+        let summary_at = events.len() - 1;
+        let plan = TraceEvent::GraphPlan {
+            network: "net".into(),
+            occurrences: 6,
+            tasks: 3,
+            hits: 1,
+            budget: 40,
+            rounds: 2,
+            pilot: 2,
+        };
+        let r0 = TraceEvent::GraphRound {
+            round: 0,
+            allocated: 4,
+            spent: 4,
+            network_seconds: 0.5,
+        };
+        let r1 = TraceEvent::GraphRound {
+            round: 1,
+            allocated: 18,
+            spent: 22,
+            network_seconds: 0.25,
+        };
+        events.insert(summary_at, plan.clone());
+        events.insert(summary_at + 1, r0.clone());
+        events.insert(summary_at + 2, r1.clone());
+        let r = replay(&events).unwrap();
+        assert!(r.summary_matches(), "{:#?}", r);
+        assert_eq!(r.graph_plan, Some(plan));
+        assert_eq!(r.graph_rounds, vec![r0, r1]);
+        // Single-op traces carry neither.
+        let plain = replay(&mini_trace()).unwrap();
+        assert_eq!(plain.graph_plan, None);
+        assert!(plain.graph_rounds.is_empty());
     }
 
     #[test]

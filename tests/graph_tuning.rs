@@ -1,0 +1,181 @@
+//! Graph-level tuning end to end: whole networks through
+//! [`tune_graph`], over a real on-disk [`TuneDb`] and a real
+//! [`SessionServer`].
+//!
+//! The contracts under test:
+//!
+//! * **budget conservation** — the sum of per-task trials equals the
+//!   global budget exactly, as does the sum of per-round allocations
+//!   (never approximately: every split uses integer remainders);
+//! * **determinism** — the same seed produces the same plan and the
+//!   same modeled outcome, bit for bit, at any worker count;
+//! * **deduplication** — structurally identical layers collapse into
+//!   one weighted task, so a network with 19 layer occurrences stores
+//!   only as many database keys as it has distinct subgraphs, and the
+//!   duplicates coalesce inside the server rather than re-searching;
+//! * **ablation** — at the committed probe configuration the greedy
+//!   planner is no worse than the uniform split at equal budget.
+
+use std::sync::Arc;
+
+use flextensor::optimize::OptimizeOptions;
+use flextensor_graph::extract::{extract_tasks, SubgraphTask};
+use flextensor_graph::plan::Allocation;
+use flextensor_graph::tune::{tune_graph, GraphTuneOptions, GraphTuneReport};
+use flextensor_nn::network::{shufflenet_like, yolo_tiny};
+use flextensor_sim::spec::{v100, Device};
+use flextensor_tunedb::{testutil, TuneDb};
+
+fn gpu() -> Device {
+    Device::Gpu(v100())
+}
+
+fn fresh_db(tag: &str) -> Arc<TuneDb> {
+    Arc::new(TuneDb::open(testutil::temp_dir(tag)).unwrap().0)
+}
+
+/// The configuration committed in `results/probe_graph.csv` (probe
+/// defaults), with a caller-chosen policy and worker count.
+fn probe_opts(allocation: Allocation, workers: usize) -> GraphTuneOptions {
+    let mut base = OptimizeOptions::quick();
+    base.search.seed = 2024;
+    base.search.starts = 2;
+    base.search.initial_samples = 6;
+    GraphTuneOptions {
+        base,
+        workers,
+        budget: 48,
+        rounds: 2,
+        pilot: 2,
+        chunk: 2,
+        allocation,
+        ..GraphTuneOptions::default()
+    }
+}
+
+fn small_opts(budget: usize, workers: usize) -> GraphTuneOptions {
+    let mut o = probe_opts(Allocation::Greedy, workers);
+    o.base.search.trials = 4;
+    o.base.search.initial_samples = 4;
+    o.budget = budget;
+    o
+}
+
+#[test]
+fn global_budget_is_conserved_exactly() {
+    let db = fresh_db("it-graph-budget");
+    // 30 does not divide evenly by tasks or rounds, so every remainder
+    // path is exercised.
+    let report = tune_graph(&db, &shufflenet_like(1), &gpu(), &small_opts(30, 2)).unwrap();
+    assert_eq!(report.spent, report.budget);
+    assert_eq!(
+        report.tasks.iter().map(|t| t.trials).sum::<usize>(),
+        report.budget,
+        "per-task trials must sum to the global budget"
+    );
+    assert_eq!(
+        report.rounds.iter().map(|r| r.allocated).sum::<usize>(),
+        report.budget,
+        "per-round allocations must sum to the global budget"
+    );
+    for r in &report.rounds {
+        assert_eq!(
+            r.allocations.iter().sum::<usize>(),
+            r.allocated,
+            "round {} allocation vector must sum to its total",
+            r.round
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_deterministic_at_any_worker_count() {
+    let reports: Vec<GraphTuneReport> = [1usize, 2, 4]
+        .iter()
+        .map(|&w| {
+            let db = fresh_db(&format!("it-graph-det-{w}"));
+            tune_graph(&db, &yolo_tiny(1), &gpu(), &small_opts(24, w)).unwrap()
+        })
+        .collect();
+    let base = &reports[0];
+    for r in &reports[1..] {
+        assert_eq!(
+            r.network_seconds.to_bits(),
+            base.network_seconds.to_bits(),
+            "worker count must not change the modeled network latency"
+        );
+        for (a, b) in base.tasks.iter().zip(&r.tasks) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.trials, b.trials);
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+        }
+        for (a, b) in base.rounds.iter().zip(&r.rounds) {
+            assert_eq!(a.allocations, b.allocations, "plans must agree per round");
+            assert_eq!(a.network_seconds.to_bits(), b.network_seconds.to_bits());
+        }
+    }
+}
+
+#[test]
+fn duplicate_subgraphs_tune_once_through_the_server() {
+    let db = fresh_db("it-graph-dedup");
+    let net = shufflenet_like(1);
+    let tasks = extract_tasks(&net.export(), &gpu());
+    let report = tune_graph(&db, &net, &gpu(), &small_opts(24, 2)).unwrap();
+    assert_eq!(report.occurrences, 19);
+    assert_eq!(report.tasks.len(), 8);
+    // One database key per distinct subgraph — the 11 duplicate layer
+    // occurrences coalesced inside the pilot session instead of
+    // searching again.
+    assert_eq!(db.len(), tasks.len());
+    assert_eq!(report.coalesced, report.occurrences - report.tasks.len());
+    let mut keys: Vec<String> = report.tasks.iter().map(|t| t.key.flat()).collect();
+    keys.sort();
+    keys.dedup();
+    assert_eq!(keys.len(), report.tasks.len(), "task keys must be distinct");
+    // The store saw exactly one search per task per funded round — no
+    // per-occurrence writes.
+    let puts = db.stats().puts;
+    let funded: usize = report
+        .rounds
+        .iter()
+        .map(|r| r.allocations.iter().filter(|&&a| a > 0).count())
+        .sum();
+    assert_eq!(puts, funded, "one record per task per funded round");
+}
+
+#[test]
+fn dedup_weights_count_every_occurrence() {
+    for (net, distinct) in [(shufflenet_like(1), 8), (yolo_tiny(1), 6)] {
+        let occ = net.export();
+        let tasks = extract_tasks(&occ, &gpu());
+        assert_eq!(tasks.len(), distinct, "{}", net.name);
+        assert_eq!(
+            tasks.iter().map(SubgraphTask::uses).sum::<usize>(),
+            occ.len(),
+            "use counts must cover every occurrence of {}",
+            net.name
+        );
+        assert!(
+            tasks.iter().any(|t| t.uses() > 1),
+            "{} must contain repeated subgraphs",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn greedy_matches_or_beats_uniform_at_the_committed_configuration() {
+    let db_g = fresh_db("it-graph-greedy");
+    let db_u = fresh_db("it-graph-uniform");
+    let net = shufflenet_like(1);
+    let greedy = tune_graph(&db_g, &net, &gpu(), &probe_opts(Allocation::Greedy, 4)).unwrap();
+    let uniform = tune_graph(&db_u, &net, &gpu(), &probe_opts(Allocation::Uniform, 4)).unwrap();
+    assert_eq!(greedy.spent, uniform.spent, "equal budget");
+    assert!(
+        greedy.network_seconds <= uniform.network_seconds + 1e-15,
+        "greedy must not lose to uniform at the committed configuration: {} > {}",
+        greedy.network_seconds,
+        uniform.network_seconds
+    );
+}

@@ -204,3 +204,53 @@ fn committed_fixture_replays_exactly() {
     };
     assert!(best_seconds.is_finite() && best_seconds > 0.0);
 }
+
+/// The graph-tuning fixture: an ordinary search trace carrying
+/// `graph_plan` / `graph_round` events. The replayer must tolerate them
+/// (still fold the run exactly) *and* surface them for inspection.
+#[test]
+fn committed_graph_fixture_replays_and_surfaces_graph_events() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/bench/fixtures/trace_graph_shuffle.jsonl");
+    let events = read_trace_file(&path).unwrap();
+    let r = replay(&events).unwrap();
+    assert!(
+        r.summary_matches(),
+        "graph fixture no longer replays — schema or fold changed incompatibly: {:#?}",
+        r
+    );
+    let Some(TraceEvent::GraphPlan {
+        network,
+        occurrences,
+        tasks,
+        budget,
+        ..
+    }) = &r.graph_plan
+    else {
+        panic!("fixture must carry a graph_plan event: {:#?}", r.graph_plan);
+    };
+    assert_eq!(network, "shufflenet_like_b1");
+    assert_eq!(*occurrences, 19);
+    assert_eq!(*tasks, 8);
+    assert_eq!(*budget, 48);
+    // Pilot round plus two refinement rounds, in order, spending the
+    // whole budget by the final round.
+    assert_eq!(r.graph_rounds.len(), 3);
+    let mut spent_last = 0;
+    for (i, ev) in r.graph_rounds.iter().enumerate() {
+        let TraceEvent::GraphRound {
+            round,
+            spent,
+            network_seconds,
+            ..
+        } = ev
+        else {
+            panic!("graph_rounds must hold graph_round events: {ev:?}");
+        };
+        assert_eq!(*round, i);
+        assert!(*spent >= spent_last, "spent trials are cumulative");
+        assert!(network_seconds.is_finite() && *network_seconds > 0.0);
+        spent_last = *spent;
+    }
+    assert_eq!(spent_last, *budget, "the run spends its whole budget");
+}
