@@ -14,10 +14,32 @@
 //! repo tracks an evaluation-throughput trajectory across PRs (schema in
 //! `docs/PERFORMANCE.md`).
 //!
+//! Each workload is additionally run as a *neighbor batch* — a few seeded
+//! starting points expanded along every applicable direction, the exact
+//! shape the search drivers produce — through both the plain fast path
+//! and the **delta** path (`EvalPool::new_delta` +
+//! `evaluate_batch_delta`), which patches only the features each
+//! single-field move can affect. The delta outcomes are cross-checked
+//! against the plain pool before timing, and the per-workload
+//! `delta_speedup` (delta vs. plain fast path on the same batch) lands in
+//! the JSON alongside the fast-vs-naive numbers.
+//!
 //! Flags: `--seed N` (default 2024), `--workers N` (default 4),
 //! `--candidates N` per workload (default 512), `--budget-s S` total
 //! measurement budget in seconds (default 30), `--out PATH` (default
-//! `results/BENCH_explore.json`), `--db PATH` (default off).
+//! `results/BENCH_explore.json`), `--db PATH` (default off),
+//! `--check 1` regression-gate mode, `--floor-file PATH` (default
+//! `results/BENCH_explore.json`) where `--check` reads its floors.
+//!
+//! With `--check 1`, after measuring, the probe compares the overall
+//! geomeans against the `floor_speedup` / `floor_delta_speedup` /
+//! `floor_delta_vs_naive` fields of the committed floor file and exits
+//! nonzero if any measured value falls below its floor — CI's
+//! `bench-smoke` job runs this, so a change that regresses evaluation
+//! throughput below the committed floor fails the build. All three
+//! floors gate *ratios of same-run measurements*, so machine speed
+//! cancels; `floor_delta_vs_naive` is calibrated to twice the PR-4 fast
+//! path's committed speedup (see the constants below).
 //!
 //! With `--db`, each workload's best candidate is recorded into a
 //! [`TuneDb`] at PATH after the cross-check; a later run against the
@@ -47,6 +69,15 @@ struct WorkloadResult {
     candidates: usize,
     fast_cand_per_s: f64,
     naive_cand_per_s: f64,
+    /// Size of the neighbor batch the delta comparison ran on.
+    neighbor_cands: usize,
+    /// Plain fast path on the neighbor batch, candidates/sec.
+    neighbor_fast_cand_per_s: f64,
+    /// Delta path on the neighbor batch, candidates/sec.
+    delta_cand_per_s: f64,
+    /// Fresh evaluations the delta pool served incrementally / fully.
+    delta_hits: usize,
+    delta_full: usize,
     /// Encoding + modeled seconds of the cheapest feasible candidate
     /// (first-wins on ties); what `--db` records.
     best: Option<(Vec<i64>, f64)>,
@@ -55,6 +86,19 @@ struct WorkloadResult {
 impl WorkloadResult {
     fn speedup(&self) -> f64 {
         self.fast_cand_per_s / self.naive_cand_per_s.max(1e-12)
+    }
+
+    fn delta_speedup(&self) -> f64 {
+        self.delta_cand_per_s / self.neighbor_fast_cand_per_s.max(1e-12)
+    }
+
+    /// Delta path against the naive (re-lowering) path, both measured in
+    /// this run. Because numerator and denominator move together with the
+    /// machine, this ratio is the machine-robust form of "how much faster
+    /// than the PR-4 baseline is the delta path" — the committed floor
+    /// pins it at twice the PR-4 fast path's overall speedup.
+    fn delta_vs_naive(&self) -> f64 {
+        self.delta_cand_per_s / self.naive_cand_per_s.max(1e-12)
     }
 }
 
@@ -87,6 +131,59 @@ fn measure(
     total_cands as f64 / total_secs.max(1e-12)
 }
 
+/// Builds the neighbor-batch shape the search drivers produce: seeded
+/// starting points, each expanded along every applicable direction, with
+/// a per-candidate map back to its base.
+fn neighbor_batch(
+    space: &Space,
+    seed: u64,
+    n_bases: usize,
+) -> (Vec<NodeConfig>, Vec<usize>, Vec<NodeConfig>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bases: Vec<NodeConfig> = (0..n_bases).map(|_| space.random_point(&mut rng)).collect();
+    let mut configs = Vec::new();
+    let mut base_of = Vec::new();
+    for (bi, base) in bases.iter().enumerate() {
+        for dir in space.directions() {
+            if let Some(n) = space.apply(base, *dir) {
+                configs.push(n);
+                base_of.push(bi);
+            }
+        }
+    }
+    (configs, base_of, bases)
+}
+
+/// Measures the delta path on a neighbor batch (fresh pool + cache per
+/// repetition) and returns (candidates/sec, delta_hits, delta_full).
+fn measure_delta(
+    graph: &Graph,
+    ev: &Evaluator,
+    workers: usize,
+    cands: &[NodeConfig],
+    base_of: &[usize],
+    bases: &[NodeConfig],
+    budget_s: f64,
+) -> (f64, usize, usize) {
+    let mut total_cands = 0usize;
+    let mut total_secs = 0.0f64;
+    let mut reps = 0usize;
+    let mut hits = 0usize;
+    let mut full = 0usize;
+    while reps < 2 || total_secs < budget_s {
+        let mut pool = EvalPool::new_delta(graph, ev, workers, 1 << 20, false);
+        let t0 = Instant::now();
+        let outcomes = pool.evaluate_batch_delta(cands, base_of, bases);
+        total_secs += t0.elapsed().as_secs_f64();
+        total_cands += outcomes.len();
+        let s = pool.stats();
+        hits = s.delta_hits;
+        full = s.delta_full;
+        reps += 1;
+    }
+    (total_cands as f64 / total_secs.max(1e-12), hits, full)
+}
+
 fn run_workload(
     name: &'static str,
     graph: &Graph,
@@ -107,6 +204,17 @@ fn run_workload(
     let naive_out = EvalPool::new_reference(graph, &ev, workers, 1 << 20).evaluate_batch(&cands);
     assert_eq!(fast_out, naive_out, "fast path diverged on {name}");
 
+    // The delta comparison runs on a neighbor batch — the shape the
+    // search drivers actually produce — and is cross-checked the same way.
+    let (ncands, base_of, bases) = neighbor_batch(&space, seed ^ 0xde17a, 8);
+    let plain_neighbor_out = EvalPool::new(graph, &ev, workers, 1 << 20).evaluate_batch(&ncands);
+    let delta_out = EvalPool::new_delta(graph, &ev, workers, 1 << 20, false)
+        .evaluate_batch_delta(&ncands, &base_of, &bases);
+    assert_eq!(
+        delta_out, plain_neighbor_out,
+        "delta path diverged on {name}"
+    );
+
     let best = fast_out
         .iter()
         .zip(cands.iter())
@@ -118,13 +226,28 @@ fn run_workload(
         .map(|(c, s)| (c.encode(), s));
 
     // The naive path is the slow one; give it the larger share.
-    let naive_cand_per_s = measure(graph, &ev, workers, &cands, true, budget_s * 0.7);
-    let fast_cand_per_s = measure(graph, &ev, workers, &cands, false, budget_s * 0.3);
+    let naive_cand_per_s = measure(graph, &ev, workers, &cands, true, budget_s * 0.6);
+    let fast_cand_per_s = measure(graph, &ev, workers, &cands, false, budget_s * 0.2);
+    let neighbor_fast_cand_per_s = measure(graph, &ev, workers, &ncands, false, budget_s * 0.1);
+    let (delta_cand_per_s, delta_hits, delta_full) = measure_delta(
+        graph,
+        &ev,
+        workers,
+        &ncands,
+        &base_of,
+        &bases,
+        budget_s * 0.1,
+    );
     WorkloadResult {
         name,
         candidates,
         fast_cand_per_s,
         naive_cand_per_s,
+        neighbor_cands: ncands.len(),
+        neighbor_fast_cand_per_s,
+        delta_cand_per_s,
+        delta_hits,
+        delta_full,
         best,
     }
 }
@@ -187,6 +310,40 @@ fn record_or_replay(db_path: &str, seed: u64, workloads: &[(&Graph, &WorkloadRes
     }
 }
 
+/// Scans a hand-rolled JSON file for `"key": <number>` and parses the
+/// number. Good enough for the flat schema this probe writes.
+fn read_json_number(path: &str, key: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Default perf floors, used when the floor file has none (first run) —
+/// deliberately below the measured numbers so only a real regression
+/// trips them. The committed `results/BENCH_explore.json` carries the
+/// authoritative values.
+///
+/// Three floors, three meanings:
+/// * `floor_speedup` — fast path vs. naive re-lowering, geomean.
+/// * `floor_delta_speedup` — delta vs. plain fast path on the *same*
+///   neighbor batch in the *same* run. Since the split-phase template and
+///   slot-compiled feature kernels sped both paths up, this ratio sits
+///   near 1; its floor is a sanity bound ("the delta path never
+///   pessimizes"), not a progress target.
+/// * `floor_delta_vs_naive` — delta path vs. naive, geomean, both
+///   measured in this run so the ratio cancels machine speed. 51.5 is
+///   twice the PR-4 fast path's committed `overall_speedup` of 25.75,
+///   i.e. the enforced form of "the delta pipeline is ≥ 2× the PR-4
+///   fast-path baseline".
+const DEFAULT_FLOOR_SPEEDUP: f64 = 8.0;
+const DEFAULT_FLOOR_DELTA_SPEEDUP: f64 = 0.9;
+const DEFAULT_FLOOR_DELTA_VS_NAIVE: f64 = 51.5;
+
 fn main() {
     let seed: u64 = arg("seed", 2024);
     let workers: usize = arg("workers", 4);
@@ -194,6 +351,8 @@ fn main() {
     let budget_s: f64 = arg("budget-s", 30.0);
     let out: String = arg("out", "results/BENCH_explore.json".to_string());
     let db_path: String = arg("db", String::new());
+    let check: usize = arg("check", 0);
+    let floor_file: String = arg("floor-file", "results/BENCH_explore.json".to_string());
 
     println!(
         "== Probe: evaluation fast path (seed {seed}, {workers} workers, \
@@ -231,7 +390,30 @@ fn main() {
     }
     let overall: f64 =
         (results.iter().map(|r| r.speedup().ln()).sum::<f64>() / results.len() as f64).exp();
-    println!("\noverall speedup (geometric mean): {overall:.2}x");
+    println!("\noverall speedup (geometric mean): {overall:.2}x\n");
+
+    println!(
+        "{:<20} {:>10} {:>16} {:>16} {:>9} {:>12}",
+        "neighbor batch", "cands", "delta cand/s", "fast cand/s", "speedup", "delta/full"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:>10} {:>16.0} {:>16.0} {:>8.2}x {:>6}/{}",
+            r.name,
+            r.neighbor_cands,
+            r.delta_cand_per_s,
+            r.neighbor_fast_cand_per_s,
+            r.delta_speedup(),
+            r.delta_hits,
+            r.delta_full,
+        );
+    }
+    let overall_delta: f64 =
+        (results.iter().map(|r| r.delta_speedup().ln()).sum::<f64>() / results.len() as f64).exp();
+    println!("\noverall delta speedup (geometric mean): {overall_delta:.2}x");
+    let overall_delta_vs_naive: f64 =
+        (results.iter().map(|r| r.delta_vs_naive().ln()).sum::<f64>() / results.len() as f64).exp();
+    println!("overall delta-vs-naive (geometric mean): {overall_delta_vs_naive:.2}x");
 
     if !db_path.is_empty() {
         record_or_replay(
@@ -240,6 +422,14 @@ fn main() {
             &[(&gemm, &results[0]), (&conv, &results[1])],
         );
     }
+
+    // Floors travel with the JSON: committed once, enforced by `--check`.
+    let floor_speedup =
+        read_json_number(&floor_file, "floor_speedup").unwrap_or(DEFAULT_FLOOR_SPEEDUP);
+    let floor_delta_speedup =
+        read_json_number(&floor_file, "floor_delta_speedup").unwrap_or(DEFAULT_FLOOR_DELTA_SPEEDUP);
+    let floor_delta_vs_naive = read_json_number(&floor_file, "floor_delta_vs_naive")
+        .unwrap_or(DEFAULT_FLOOR_DELTA_VS_NAIVE);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -250,17 +440,40 @@ fn main() {
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"candidates\": {}, \"fast_cand_per_s\": {:.1}, \
-             \"naive_cand_per_s\": {:.1}, \"speedup\": {:.2}}}{}\n",
+             \"naive_cand_per_s\": {:.1}, \"speedup\": {:.2}, \"neighbor_cands\": {}, \
+             \"neighbor_fast_cand_per_s\": {:.1}, \"delta_cand_per_s\": {:.1}, \
+             \"delta_speedup\": {:.2}, \"delta_vs_naive\": {:.2}, \
+             \"delta_hits\": {}, \"delta_full\": {}}}{}\n",
             r.name,
             r.candidates,
             r.fast_cand_per_s,
             r.naive_cand_per_s,
             r.speedup(),
+            r.neighbor_cands,
+            r.neighbor_fast_cand_per_s,
+            r.delta_cand_per_s,
+            r.delta_speedup(),
+            r.delta_vs_naive(),
+            r.delta_hits,
+            r.delta_full,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!("  \"overall_speedup\": {overall:.2}\n"));
+    json.push_str(&format!("  \"overall_speedup\": {overall:.2},\n"));
+    json.push_str(&format!(
+        "  \"overall_delta_speedup\": {overall_delta:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"overall_delta_vs_naive\": {overall_delta_vs_naive:.2},\n"
+    ));
+    json.push_str(&format!("  \"floor_speedup\": {floor_speedup:.2},\n"));
+    json.push_str(&format!(
+        "  \"floor_delta_speedup\": {floor_delta_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"floor_delta_vs_naive\": {floor_delta_vs_naive:.2}\n"
+    ));
     json.push_str("}\n");
 
     if let Some(dir) = std::path::Path::new(&out).parent() {
@@ -271,5 +484,30 @@ fn main() {
     match std::fs::write(&out, &json) {
         Ok(()) => println!("(saved {out})"),
         Err(e) => eprintln!("warning: cannot write {out}: {e}"),
+    }
+
+    if check != 0 {
+        println!("\n== Perf floor check (floors from {floor_file}) ==");
+        let mut failed = false;
+        for (label, measured, floor) in [
+            ("fast-vs-naive geomean", overall, floor_speedup),
+            ("delta-vs-fast geomean", overall_delta, floor_delta_speedup),
+            (
+                "delta-vs-naive geomean",
+                overall_delta_vs_naive,
+                floor_delta_vs_naive,
+            ),
+        ] {
+            let ok = measured >= floor;
+            println!(
+                "{label}: {measured:.2}x (floor {floor:.2}x) {}",
+                if ok { "PASS" } else { "FAIL" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!("error: evaluation throughput fell below the committed floor");
+            std::process::exit(1);
+        }
     }
 }

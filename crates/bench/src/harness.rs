@@ -93,8 +93,16 @@ pub fn eval_summary(stats: &flextensor_explore::pool::EvalStats) -> String {
     } else {
         String::new()
     };
+    let delta = if stats.delta_hits + stats.delta_full > 0 {
+        format!(
+            ", {} delta / {} full recompute",
+            stats.delta_hits, stats.delta_full
+        )
+    } else {
+        String::new()
+    };
     format!(
-        "{} fresh evals, {} cache hits ({:.1}% hit rate){pruned}, {} worker{}, {} wall-clock evaluating",
+        "{} fresh evals, {} cache hits ({:.1}% hit rate){pruned}{delta}, {} worker{}, {} wall-clock evaluating",
         stats.evaluated,
         stats.cache_hits,
         100.0 * stats.hit_rate(),
@@ -151,6 +159,8 @@ mod tests {
             cache_hits: 10,
             cache_misses: 40,
             pruned: 0,
+            delta_hits: 0,
+            delta_full: 0,
             workers: 8,
             wall_clock_s: 0.25,
         };
@@ -160,9 +170,14 @@ mod tests {
         assert!(line.contains("20.0% hit rate"), "{line}");
         assert!(line.contains("8 workers"), "{line}");
         assert!(!line.contains("pruned"), "{line}");
+        assert!(!line.contains("delta"), "{line}");
         s.pruned = 6;
         let line = eval_summary(&s);
         assert!(line.contains("6 statically pruned"), "{line}");
+        s.delta_hits = 30;
+        s.delta_full = 10;
+        let line = eval_summary(&s);
+        assert!(line.contains("30 delta / 10 full recompute"), "{line}");
     }
 }
 

@@ -105,6 +105,16 @@ pub struct SearchOptions {
     /// candidates skip the modeled measurement cost, and their tally shows
     /// up in [`EvalStats::pruned`] and `analyzer_stats` trace records.
     pub analyzer_gate: bool,
+    /// Evaluate each trial's candidates incrementally
+    /// ([`flextensor_schedule::delta`]): every candidate is a single-field
+    /// move from its starting point, so the pool patches only the features
+    /// that move can affect instead of recomputing all of them. The delta
+    /// path is bit-identical to the full path by construction, so the
+    /// search result, trace, and RNG sequence are unchanged; only
+    /// evaluation throughput improves. Delta-vs-full tallies show up in
+    /// [`EvalStats::delta_hits`] / [`EvalStats::delta_full`] and
+    /// `delta_stats` trace records. Composes with `analyzer_gate`.
+    pub delta_eval: bool,
     /// Structured trace sink (disabled by default). When enabled, the
     /// search emits the full event stream of `docs/TRACE_FORMAT.md`:
     /// trial lifecycle, every absorbed candidate, SA moves, Q-network
@@ -146,6 +156,7 @@ impl Default for SearchOptions {
             eval_workers: 1,
             cache_capacity: 1 << 20,
             analyzer_gate: false,
+            delta_eval: false,
             telemetry: Telemetry::null(),
             warm_start: Vec::new(),
             anneal_window: None,
@@ -306,7 +317,15 @@ pub fn search(
 
     let mut d = Driver {
         graph,
-        pool: if opts.analyzer_gate {
+        pool: if opts.delta_eval {
+            EvalPool::new_delta(
+                graph,
+                evaluator,
+                opts.eval_workers,
+                opts.cache_capacity,
+                opts.analyzer_gate,
+            )
+        } else if opts.analyzer_gate {
             EvalPool::new_gated(graph, evaluator, opts.eval_workers, opts.cache_capacity)
         } else {
             EvalPool::new(graph, evaluator, opts.eval_workers, opts.cache_capacity)
@@ -435,8 +454,16 @@ pub fn search(
         }
 
         // Phase 2: evaluate the whole batch — memoized, fanned out over
-        // the pool's workers.
-        let outcomes = d.pool.evaluate_batch(&cands);
+        // the pool's workers. With delta evaluation on, each candidate
+        // carries its starting point so the pool can patch features
+        // incrementally instead of recomputing them.
+        let outcomes = if opts.delta_eval {
+            let bases: Vec<NodeConfig> = starts.iter().map(|(p, _)| p.clone()).collect();
+            let base_of: Vec<usize> = meta.iter().map(|&(si, _)| si).collect();
+            d.pool.evaluate_batch_delta(&cands, &base_of, &bases)
+        } else {
+            d.pool.evaluate_batch(&cands)
+        };
         d.pool.emit_stats(&tel, trial);
 
         // Phase 3: reduce in fixed candidate order. Hitting the stop
@@ -659,6 +686,87 @@ mod tests {
                 "{m}"
             );
             assert!(on.exploration_time_s < off.exploration_time_s, "{m}");
+        }
+    }
+
+    #[test]
+    fn delta_eval_preserves_search_results_bit_for_bit() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        for m in [Method::QMethod, Method::PMethod, Method::RandomWalk] {
+            let off = search(&g, &ev, m, &quick_opts(10)).unwrap();
+            let mut opts = quick_opts(10);
+            opts.delta_eval = true;
+            let on = search(&g, &ev, m, &opts).unwrap();
+            // The delta path is bit-identical by construction, so the
+            // whole search trajectory must be unchanged — same best point,
+            // same cost bits, same trace, same time accounting.
+            assert_eq!(on.best.encode(), off.best.encode(), "{m}");
+            assert_eq!(
+                on.best_cost.seconds.to_bits(),
+                off.best_cost.seconds.to_bits(),
+                "{m}"
+            );
+            assert_eq!(on.trace, off.trace, "{m}");
+            assert_eq!(on.measurements, off.measurements, "{m}");
+            assert_eq!(on.eval_stats.evaluated, off.eval_stats.evaluated, "{m}");
+            // And the fast path must actually be exercised.
+            assert_eq!(off.eval_stats.delta_hits, 0, "{m}");
+            assert!(on.eval_stats.delta_hits > 0, "{m}: delta path never ran");
+            assert_eq!(
+                on.eval_stats.delta_hits + on.eval_stats.delta_full,
+                on.eval_stats.evaluated,
+                "{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_eval_composes_with_the_analyzer_gate() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let mut gated = quick_opts(10);
+        gated.analyzer_gate = true;
+        let off = search(&g, &ev, Method::QMethod, &gated).unwrap();
+        let mut both = gated.clone();
+        both.delta_eval = true;
+        let on = search(&g, &ev, Method::QMethod, &both).unwrap();
+        assert_eq!(on.best.encode(), off.best.encode());
+        assert_eq!(
+            on.best_cost.seconds.to_bits(),
+            off.best_cost.seconds.to_bits()
+        );
+        assert_eq!(on.eval_stats.pruned, off.eval_stats.pruned);
+        assert!(on.eval_stats.delta_hits > 0);
+    }
+
+    #[test]
+    fn delta_search_traces_still_replay_exactly() {
+        use flextensor_telemetry::{replay, MemorySink};
+        use std::sync::Arc;
+
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let sink = Arc::new(MemorySink::new());
+        let mut opts = quick_opts(6);
+        opts.delta_eval = true;
+        opts.telemetry = Telemetry::new(sink.clone());
+        let r = search(&g, &ev, Method::QMethod, &opts).unwrap();
+
+        let events = sink.events();
+        let rep = replay::replay(&events).unwrap();
+        assert!(rep.summary_matches(), "{:#?}", rep.replayed);
+        match rep.delta {
+            Some(TraceEvent::DeltaStats {
+                delta_hits,
+                delta_full,
+                ..
+            }) => {
+                assert_eq!(delta_hits, r.eval_stats.delta_hits);
+                assert_eq!(delta_full, r.eval_stats.delta_full);
+                assert!(delta_hits > 0);
+            }
+            other => panic!("delta run must record delta_stats, got {other:?}"),
         }
     }
 

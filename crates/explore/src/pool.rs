@@ -28,6 +28,7 @@
 //! never a result or a counter.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -36,6 +37,8 @@ use std::time::{Duration, Instant};
 
 use flextensor_ir::graph::Graph;
 use flextensor_schedule::config::NodeConfig;
+use flextensor_schedule::delta::{delta_features_with, DeltaScratch};
+use flextensor_schedule::features::KernelFeatures;
 use flextensor_schedule::template::LoweredTemplate;
 use flextensor_sim::model::{Cost, Evaluator};
 use flextensor_telemetry::{Telemetry, TraceEvent};
@@ -44,11 +47,170 @@ use flextensor_telemetry::{Telemetry, TraceEvent};
 /// worker contention when the cache is shared across threads.
 const CACHE_SHARDS: usize = 16;
 
+/// Template-path batches at or below this many fresh evaluations run on
+/// the coordinator instead of fanning out. Through the split-phase
+/// template a fresh evaluation costs ~0.3 µs, while waking the worker
+/// threads, cloning the work subset into the job, and collecting results
+/// costs tens of µs per batch — measured on the probe hardware, fan-out
+/// only breaks even around a thousand fresh template-path candidates.
+/// Reference pools re-lower every candidate (~2 orders of magnitude more
+/// work per point), so they fan out for any non-trivial batch. The
+/// outcome of a batch is identical either way; only wall-clock changes.
+const INLINE_BATCH: usize = 1024;
+
+/// FNV-1a for the pool's integer-keyed maps. The standard library's
+/// default hasher (SipHash) is keyed for DoS resistance, which the pool
+/// does not need: keys are canonical config encodings produced by the
+/// search itself, never external input, and each candidate pays three
+/// hashes on the coordinator (cache peek, duplicate check, cache insert)
+/// — with short `i64`-word keys, FNV's one xor-multiply per word is
+/// several times cheaper. Deterministic across runs and platforms.
+#[derive(Debug, Clone, Copy)]
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325) // FNV-1a 64-bit offset basis
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    // Word-at-a-time fast paths: config keys hash as a run of `i64`s plus
+    // a `usize` length prefix, so these cover every write the pool does.
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x1000_0000_01b3);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FnvHasher`].
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// Empty-slot sentinel in a [`Shard`]'s probe table.
+const EMPTY: u32 = u32::MAX;
+
+/// One probe-table slot: the key's full 64-bit hash (compared before any
+/// key bytes are touched, so probe misses stay in the table's cache
+/// lines) and the entry it points at (`EMPTY` = free).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    hash: u64,
+    idx: u32,
+}
+
+/// One live cache entry; its key lives in the shard's arena at
+/// `start..start + len`.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    start: u32,
+    len: u32,
+    value: Option<Cost>,
+}
+
+/// One [`MemoCache`] shard: an open-addressed (linear-probing) table over
+/// entries whose keys are packed back to back in a flat `i64` arena.
+///
+/// Compared to a `HashMap<Vec<i64>, _>`, an insert costs no allocation
+/// (key words append to the arena) and a lookup costs one probe run over
+/// 16-byte slots plus — only on a full 64-bit hash match — one key
+/// comparison against the arena. That removes the per-candidate malloc
+/// and the pointer chase per probe, which dominated the evaluation
+/// pipeline (see `docs/PERFORMANCE.md`).
+#[derive(Debug, Default)]
+struct Shard {
+    /// Power-of-two probe table (empty until the first insert).
+    slots: Vec<Slot>,
+    /// Live entries in insertion order.
+    entries: Vec<Entry>,
+    /// Key words of every live entry, back to back.
+    arena: Vec<i64>,
+}
+
+impl Shard {
+    /// Finds `key` (`Ok(entry index)`) or the free slot where it would be
+    /// inserted (`Err(slot index)`). Requires a non-empty probe table.
+    fn find(&self, hash: u64, key: &[i64]) -> Result<usize, usize> {
+        let mask = self.slots.len() - 1;
+        // Probe from bits disjoint from the shard-selection bits (the low
+        // `log2(CACHE_SHARDS)` bits are constant within a shard).
+        let mut i = ((hash >> 7) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s.idx == EMPTY {
+                return Err(i);
+            }
+            if s.hash == hash {
+                let e = self.entries[s.idx as usize];
+                if self.arena[e.start as usize..(e.start + e.len) as usize] == *key {
+                    return Ok(s.idx as usize);
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Doubles the probe table, re-seating the existing slots (entry and
+    /// arena storage is untouched — only 16-byte slots move).
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mut slots = vec![
+            Slot {
+                hash: 0,
+                idx: EMPTY
+            };
+            new_len
+        ];
+        let mask = new_len - 1;
+        for s in &self.slots {
+            if s.idx == EMPTY {
+                continue;
+            }
+            let mut i = ((s.hash >> 7) as usize) & mask;
+            while slots[i].idx != EMPTY {
+                i = (i + 1) & mask;
+            }
+            slots[i] = *s;
+        }
+        self.slots = slots;
+    }
+
+    /// Generational flush: drops every entry but keeps the allocations.
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.arena.clear();
+        for s in &mut self.slots {
+            s.idx = EMPTY;
+        }
+    }
+}
+
 /// A concurrent, bounded memo table for evaluation results.
 ///
 /// Keys are the canonical integer encoding of a schedule point
 /// ([`NodeConfig::encode`]); values are the evaluator's verdict, including
 /// `None` for infeasible points, so infeasibility is memoized too.
+/// Internally each shard is an open-addressed table with keys packed in a
+/// flat arena (`Shard`), so a warm insert allocates nothing.
 ///
 /// Bounding: each shard holds at most `capacity / CACHE_SHARDS` entries
 /// and is *flushed* (generationally cleared) when an insert would
@@ -56,7 +218,7 @@ const CACHE_SHARDS: usize = 16;
 /// as inserts happen in a deterministic order.
 #[derive(Debug)]
 pub struct MemoCache {
-    shards: Vec<Mutex<HashMap<Vec<i64>, Option<Cost>>>>,
+    shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -67,7 +229,7 @@ impl MemoCache {
     pub fn new(capacity: usize) -> MemoCache {
         MemoCache {
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             per_shard_capacity: (capacity / CACHE_SHARDS).max(1),
             hits: AtomicUsize::new(0),
@@ -75,34 +237,78 @@ impl MemoCache {
         }
     }
 
-    fn shard(&self, key: &[i64]) -> &Mutex<HashMap<Vec<i64>, Option<Cost>>> {
-        // FNV-1a over the key words; stable across platforms.
+    /// FNV-1a over the key words; stable across platforms. The low bits
+    /// select the shard, bits 7+ seat the key in the shard's probe table.
+    fn hash(key: &[i64]) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for &w in key {
             h ^= w as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        &self.shards[(h % CACHE_SHARDS as u64) as usize]
+        h
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash % CACHE_SHARDS as u64) as usize]
     }
 
     /// Looks a key up **without** touching the hit/miss counters (the
     /// counters record lookups-with-intent, see [`MemoCache::count_hits`]).
     pub fn peek(&self, key: &[i64]) -> Option<Option<Cost>> {
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .copied()
+        let hash = MemoCache::hash(key);
+        let shard = self.shard(hash).lock().expect("cache shard poisoned");
+        if shard.slots.is_empty() {
+            return None;
+        }
+        match shard.find(hash, key) {
+            Ok(idx) => Some(shard.entries[idx].value),
+            Err(_) => None,
+        }
     }
 
     /// Inserts an evaluation result, flushing the target shard first when
-    /// it is at capacity.
-    pub fn insert(&self, key: Vec<i64>, value: Option<Cost>) {
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
-        if shard.len() >= self.per_shard_capacity && !shard.contains_key(&key) {
-            shard.clear();
+    /// it is at capacity. The key is copied into the shard's arena; no
+    /// per-entry allocation happens on a warm shard.
+    pub fn insert(&self, key: &[i64], value: Option<Cost>) {
+        let hash = MemoCache::hash(key);
+        let mut shard = self.shard(hash).lock().expect("cache shard poisoned");
+        if shard.slots.is_empty() {
+            shard.slots = vec![
+                Slot {
+                    hash: 0,
+                    idx: EMPTY
+                };
+                64
+            ];
         }
-        shard.insert(key, value);
+        let mut free = match shard.find(hash, key) {
+            Ok(idx) => {
+                shard.entries[idx].value = value;
+                return;
+            }
+            Err(free) => free,
+        };
+        if shard.entries.len() >= self.per_shard_capacity
+            || shard.arena.len() + key.len() > u32::MAX as usize
+        {
+            // The insert would overflow the shard: generational flush.
+            shard.clear();
+            free = ((hash >> 7) as usize) & (shard.slots.len() - 1);
+        } else if (shard.entries.len() + 1) * 8 > shard.slots.len() * 7 {
+            shard.grow();
+            free = shard
+                .find(hash, key)
+                .expect_err("key cannot appear during growth");
+        }
+        let start = shard.arena.len() as u32;
+        shard.arena.extend_from_slice(key);
+        let idx = shard.entries.len() as u32;
+        shard.entries.push(Entry {
+            start,
+            len: key.len() as u32,
+            value,
+        });
+        shard.slots[free] = Slot { hash, idx };
     }
 
     /// Records `n` lookups answered from the cache.
@@ -119,7 +325,7 @@ impl MemoCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
             .sum()
     }
 
@@ -158,6 +364,16 @@ pub struct EvalStats {
     pub workers: usize,
     /// Real time spent inside batched evaluation, seconds.
     pub wall_clock_s: f64,
+    /// Fresh evaluations served by the incremental (delta) fast path
+    /// (always 0 when the pool was not built with
+    /// [`EvalPool::new_delta`]). For delta pools,
+    /// `delta_hits + delta_full == evaluated`.
+    pub delta_hits: usize,
+    /// Fresh evaluations in a delta pool that needed the full feature
+    /// recompute (no base available, `inline_data` flips, or plain
+    /// batches without neighbor structure). Always 0 when delta
+    /// evaluation is off.
+    pub delta_full: usize,
 }
 
 impl EvalStats {
@@ -173,6 +389,8 @@ impl EvalStats {
     ///     pruned: 0,
     ///     workers: 4,
     ///     wall_clock_s: 0.2,
+    ///     delta_hits: 0,
+    ///     delta_full: 0,
     /// };
     /// assert_eq!(stats.lookups(), 50);
     /// assert!((stats.hit_rate() - 0.2).abs() < 1e-12);
@@ -225,6 +443,17 @@ struct EvalCtx {
     /// candidate would have evaluated to `None` anyway, so gating never
     /// changes a cost — only whether modeled measurement time is spent.
     analyzer_gate: bool,
+    /// When `true` ([`EvalPool::new_delta`]), batches that carry neighbor
+    /// structure ([`EvalPool::evaluate_batch_delta`]) evaluate candidates
+    /// incrementally from their base's features. Bit-identical to the
+    /// plain path (`flextensor_schedule::delta` invariants); only the
+    /// work per candidate changes.
+    delta_eval: bool,
+    /// Batches with at most this many fresh evaluations run on the
+    /// coordinator instead of fanning out ([`INLINE_BATCH`] for
+    /// template-path pools, 1 for reference pools; tests force 0 to
+    /// exercise the fan-out path on small batches).
+    inline_batch: usize,
 }
 
 impl EvalCtx {
@@ -268,14 +497,57 @@ impl EvalCtx {
             .map(|seconds| Cost { seconds, flops });
         (cost, false)
     }
+
+    /// Evaluates one point, incrementally from `base` when delta
+    /// evaluation is on and a base is available. Returns
+    /// `(cost, pruned, took_delta)`.
+    ///
+    /// The delta/full decision is a pure function of `(base, cfg)` — it
+    /// never depends on which worker runs the item or in what order — so
+    /// results *and counters* are deterministic across worker counts.
+    fn eval_with_base(
+        &self,
+        cfg: &NodeConfig,
+        base: Option<&(NodeConfig, KernelFeatures)>,
+        scratch: &mut DeltaScratch,
+    ) -> (Option<Cost>, bool, bool) {
+        let (true, Some((base_cfg, base_features))) = (self.delta_eval, base) else {
+            let (cost, pruned) = self.eval(cfg);
+            return (cost, pruned, false);
+        };
+        match delta_features_with(&self.template, base_cfg, base_features, cfg, scratch) {
+            Ok((features, took_delta)) => {
+                if self.analyzer_gate
+                    && flextensor_analyze::gate_rejects(self.evaluator.device(), &features)
+                        .is_some()
+                {
+                    return (None, true, took_delta);
+                }
+                let cost = self.evaluator.time_features(&features).map(|seconds| Cost {
+                    seconds,
+                    flops: self.template.graph_flops(),
+                });
+                (cost, false, took_delta)
+            }
+            // Invalid for the graph: same verdict (and same pruned
+            // semantics) as the plain gated/ungated paths.
+            Err(_) => (None, self.analyzer_gate, false),
+        }
+    }
 }
 
 /// One dispatched batch: workers claim indices from `next` and write into
 /// their pre-assigned `results` slot, keeping the reduction order fixed.
 struct BatchJob {
     configs: Vec<NodeConfig>,
+    /// Base candidates (config + features) for delta evaluation, compacted
+    /// to the bases that resolved; empty for plain batches.
+    bases: Vec<(NodeConfig, KernelFeatures)>,
+    /// Per config: index into `bases` (`None` = evaluate fully). Aligned
+    /// with `configs`.
+    base_idx: Vec<Option<usize>>,
     next: AtomicUsize,
-    results: Vec<OnceLock<(Option<Cost>, bool)>>,
+    results: Vec<OnceLock<(Option<Cost>, bool, bool)>>,
 }
 
 /// A persistent pool of evaluation workers with a memo cache in front.
@@ -292,7 +564,16 @@ pub struct EvalPool {
     handles: Vec<JoinHandle<()>>,
     evaluated: usize,
     pruned: usize,
+    delta_hits: usize,
+    delta_full: usize,
     wall_clock: Duration,
+    /// Batch scratch, reused so a steady-state batch allocates only its
+    /// result vector: the flat key buffer (all candidate encodings back to
+    /// back), the end offset of each key in it, and the serial-path
+    /// feature scratch.
+    key_buf: Vec<i64>,
+    key_ends: Vec<usize>,
+    inline_scratch: DeltaScratch,
 }
 
 impl std::fmt::Debug for EvalPool {
@@ -353,6 +634,33 @@ impl EvalPool {
             Arc::new(MemoCache::new(cache_capacity)),
             true,
             true,
+            false,
+        )
+    }
+
+    /// A pool with incremental (delta) candidate evaluation enabled:
+    /// batches submitted through [`EvalPool::evaluate_batch_delta`]
+    /// recompute only the features a candidate's diff against its base
+    /// can affect, instead of the full feature set. Results are
+    /// bit-identical to a plain pool's (see `flextensor_schedule::delta`);
+    /// [`EvalStats::delta_hits`] / [`EvalStats::delta_full`] count how
+    /// often the fast path applied. `analyzer_gate` composes the static
+    /// pruning gate exactly as in [`EvalPool::new_gated`].
+    pub fn new_delta(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache_capacity: usize,
+        analyzer_gate: bool,
+    ) -> EvalPool {
+        EvalPool::build(
+            graph,
+            evaluator,
+            workers,
+            Arc::new(MemoCache::new(cache_capacity)),
+            true,
+            analyzer_gate,
+            true,
         )
     }
 
@@ -375,6 +683,7 @@ impl EvalPool {
             Arc::new(MemoCache::new(cache_capacity)),
             false,
             false,
+            false,
         )
     }
 
@@ -386,7 +695,7 @@ impl EvalPool {
         workers: usize,
         cache: Arc<MemoCache>,
     ) -> EvalPool {
-        EvalPool::build(graph, evaluator, workers, cache, true, false)
+        EvalPool::build(graph, evaluator, workers, cache, true, false, false)
     }
 
     fn build(
@@ -396,6 +705,31 @@ impl EvalPool {
         cache: Arc<MemoCache>,
         use_template: bool,
         analyzer_gate: bool,
+        delta_eval: bool,
+    ) -> EvalPool {
+        let inline_batch = if use_template { INLINE_BATCH } else { 1 };
+        EvalPool::build_with_inline(
+            graph,
+            evaluator,
+            workers,
+            cache,
+            use_template,
+            analyzer_gate,
+            delta_eval,
+            inline_batch,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_with_inline(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache: Arc<MemoCache>,
+        use_template: bool,
+        analyzer_gate: bool,
+        delta_eval: bool,
+        inline_batch: usize,
     ) -> EvalPool {
         let workers = resolve_workers(workers);
         let ctx = Arc::new(EvalCtx {
@@ -404,6 +738,8 @@ impl EvalPool {
             template: LoweredTemplate::new(graph, evaluator.target()),
             use_template,
             analyzer_gate,
+            delta_eval,
+            inline_batch,
         });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
@@ -417,13 +753,16 @@ impl EvalPool {
                 let ctx = Arc::clone(&ctx);
                 let done_tx = done_tx.clone();
                 handles.push(std::thread::spawn(move || {
+                    // Per-worker scratch arena, reused across batches.
+                    let mut scratch = DeltaScratch::new();
                     while let Ok(job) = job_rx.recv() {
                         loop {
                             let i = job.next.fetch_add(1, Ordering::Relaxed);
                             if i >= job.configs.len() {
                                 break;
                             }
-                            let cost = ctx.eval(&job.configs[i]);
+                            let base = job.base_idx[i].map(|b| &job.bases[b]);
+                            let cost = ctx.eval_with_base(&job.configs[i], base, &mut scratch);
                             let _ = job.results[i].set(cost);
                         }
                         drop(job);
@@ -443,7 +782,12 @@ impl EvalPool {
             handles,
             evaluated: 0,
             pruned: 0,
+            delta_hits: 0,
+            delta_full: 0,
             wall_clock: Duration::ZERO,
+            key_buf: Vec::new(),
+            key_ends: Vec::new(),
+            inline_scratch: DeltaScratch::new(),
         }
     }
 
@@ -465,6 +809,12 @@ impl EvalPool {
         self.ctx.analyzer_gate
     }
 
+    /// Whether incremental (delta) evaluation is enabled
+    /// ([`EvalPool::new_delta`]).
+    pub fn delta_eval(&self) -> bool {
+        self.ctx.delta_eval
+    }
+
     /// The memo cache in front of the evaluator.
     pub fn cache(&self) -> &Arc<MemoCache> {
         &self.cache
@@ -476,56 +826,146 @@ impl EvalPool {
     /// reduction order is the candidate order, independent of the worker
     /// count and of thread scheduling.
     pub fn evaluate_batch(&mut self, configs: &[NodeConfig]) -> Vec<EvalOutcome> {
+        self.batch_inner(configs, None)
+    }
+
+    /// Evaluates a batch of *neighbor* candidates, each derived from one
+    /// of `bases` by a single schedule move: `base_of[i]` names the base
+    /// (an index into `bases`) candidate `configs[i]` was derived from.
+    ///
+    /// On a delta pool ([`EvalPool::new_delta`]) each base's features are
+    /// computed once on the coordinator and every fresh candidate is then
+    /// evaluated incrementally from its base. On a non-delta pool (or for
+    /// a base that does not validate) the batch degrades to the plain
+    /// path. Either way the outcomes are bit-identical to
+    /// [`EvalPool::evaluate_batch`] on the same configs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `base_of` is not aligned with `configs` or names a base
+    /// out of range.
+    pub fn evaluate_batch_delta(
+        &mut self,
+        configs: &[NodeConfig],
+        base_of: &[usize],
+        bases: &[NodeConfig],
+    ) -> Vec<EvalOutcome> {
+        assert_eq!(
+            base_of.len(),
+            configs.len(),
+            "base_of must be index-aligned with configs"
+        );
+        assert!(
+            base_of.iter().all(|&b| b < bases.len()),
+            "base_of entry out of range"
+        );
+        self.batch_inner(configs, Some((base_of, bases)))
+    }
+
+    fn batch_inner(
+        &mut self,
+        configs: &[NodeConfig],
+        delta: Option<(&[usize], &[NodeConfig])>,
+    ) -> Vec<EvalOutcome> {
         let t0 = Instant::now();
         let n = configs.len();
-        let mut keys: Vec<Vec<i64>> = configs.iter().map(NodeConfig::encode).collect();
+        // Encode every candidate into the pool's flat key buffer; for the
+        // rest of the batch a key is a slice of it (no per-key vector).
+        let mut key_buf = std::mem::take(&mut self.key_buf);
+        let mut key_ends = std::mem::take(&mut self.key_ends);
+        key_buf.clear();
+        key_ends.clear();
+        for c in configs {
+            c.encode_into(&mut key_buf);
+            key_ends.push(key_buf.len());
+        }
+        let key = |i: usize| -> &[i64] {
+            let start = if i == 0 { 0 } else { key_ends[i - 1] };
+            &key_buf[start..key_ends[i]]
+        };
         let mut out: Vec<Option<EvalOutcome>> = vec![None; n];
 
         // Resolve cache hits and in-batch duplicates on the coordinator.
-        let mut first_of_key: HashMap<&[i64], usize> = HashMap::new();
+        let mut first_of_key: FnvMap<&[i64], usize> =
+            FnvMap::with_capacity_and_hasher(n, Default::default());
         let mut work: Vec<usize> = Vec::new();
         let mut hits = 0usize;
-        for i in 0..n {
-            if let Some(cost) = self.cache.peek(&keys[i]) {
-                out[i] = Some(EvalOutcome {
+        for (i, slot) in out.iter_mut().enumerate() {
+            if let Some(cost) = self.cache.peek(key(i)) {
+                *slot = Some(EvalOutcome {
                     cost,
                     fresh: false,
                     pruned: false,
                 });
                 hits += 1;
-            } else if !first_of_key.contains_key(keys[i].as_slice()) {
-                first_of_key.insert(&keys[i], i);
+            } else if !first_of_key.contains_key(key(i)) {
+                first_of_key.insert(key(i), i);
                 work.push(i);
             }
             // else: duplicate of an earlier candidate; resolved below.
         }
 
-        // Evaluate the misses — inline when serial or trivially small,
-        // fanned out over the persistent workers otherwise.
-        let fresh: Vec<(Option<Cost>, bool)> = if self.senders.is_empty() || work.len() <= 1 {
-            work.iter().map(|&i| self.ctx.eval(&configs[i])).collect()
-        } else {
-            let job = Arc::new(BatchJob {
-                configs: work.iter().map(|&i| configs[i].clone()).collect(),
-                next: AtomicUsize::new(0),
-                results: (0..work.len()).map(|_| OnceLock::new()).collect(),
-            });
-            for tx in &self.senders {
-                tx.send(Arc::clone(&job)).expect("evaluation worker died");
+        // Resolve delta bases once, on the coordinator: one full feature
+        // computation per distinct base, amortized over all its neighbors.
+        // Bases that do not validate resolve to `None` and their neighbors
+        // fall back to the full path.
+        let mut job_bases: Vec<(NodeConfig, KernelFeatures)> = Vec::new();
+        let mut base_idx: Vec<Option<usize>> = vec![None; work.len()];
+        if let Some((base_of, bases)) = delta {
+            if self.ctx.delta_eval {
+                // Lazily, so bases whose neighbors were all answered from
+                // the cache cost nothing.
+                let mut resolved: Vec<Option<Option<usize>>> = vec![None; bases.len()];
+                for (slot, &i) in base_idx.iter_mut().zip(&work) {
+                    let bi = base_of[i];
+                    if resolved[bi].is_none() {
+                        resolved[bi] = Some(self.ctx.template.features(&bases[bi]).ok().map(|f| {
+                            job_bases.push((bases[bi].clone(), f));
+                            job_bases.len() - 1
+                        }));
+                    }
+                    *slot = resolved[bi].expect("just resolved");
+                }
             }
-            let done = self.done_rx.as_ref().expect("pool has workers");
-            for _ in 0..self.senders.len() {
-                done.recv().expect("evaluation worker died");
-            }
-            job.results
-                .iter()
-                .map(|slot| *slot.get().expect("every claimed slot is filled"))
-                .collect()
-        };
+        }
+
+        // Evaluate the misses — inline when serial or too small to
+        // amortize dispatch (see [`INLINE_BATCH`]), fanned out over the
+        // persistent workers otherwise.
+        let fresh: Vec<(Option<Cost>, bool, bool)> =
+            if self.senders.is_empty() || work.len() <= self.ctx.inline_batch.max(1) {
+                let ctx = &self.ctx;
+                let scratch = &mut self.inline_scratch;
+                work.iter()
+                    .zip(&base_idx)
+                    .map(|(&i, &b)| {
+                        ctx.eval_with_base(&configs[i], b.map(|bi| &job_bases[bi]), scratch)
+                    })
+                    .collect()
+            } else {
+                let job = Arc::new(BatchJob {
+                    configs: work.iter().map(|&i| configs[i].clone()).collect(),
+                    bases: job_bases,
+                    base_idx,
+                    next: AtomicUsize::new(0),
+                    results: (0..work.len()).map(|_| OnceLock::new()).collect(),
+                });
+                for tx in &self.senders {
+                    tx.send(Arc::clone(&job)).expect("evaluation worker died");
+                }
+                let done = self.done_rx.as_ref().expect("pool has workers");
+                for _ in 0..self.senders.len() {
+                    done.recv().expect("evaluation worker died");
+                }
+                job.results
+                    .iter()
+                    .map(|slot| *slot.get().expect("every claimed slot is filled"))
+                    .collect()
+            };
 
         // Reduce in candidate order: publish fresh results, then resolve
         // duplicates as hits.
-        for (&(cost, pruned), &i) in fresh.iter().zip(&work) {
+        for (&(cost, pruned, _), &i) in fresh.iter().zip(&work) {
             out[i] = Some(EvalOutcome {
                 cost,
                 fresh: true,
@@ -534,7 +974,7 @@ impl EvalPool {
         }
         for i in 0..n {
             if out[i].is_none() {
-                let j = first_of_key[keys[i].as_slice()];
+                let j = first_of_key[key(i)];
                 let cost = out[j].expect("first occurrence resolved").cost;
                 out[i] = Some(EvalOutcome {
                     cost,
@@ -545,17 +985,29 @@ impl EvalPool {
             }
         }
         // All cache writes happen here, on the coordinator, in candidate
-        // order, so cache content is deterministic. Keys move into the
-        // cache (no clone per fresh evaluation). Gate rejections memoize
-        // as `None` — sound, since they would have evaluated to `None`.
-        drop(first_of_key);
-        for (&(cost, _), &i) in fresh.iter().zip(&work) {
-            self.cache.insert(std::mem::take(&mut keys[i]), cost);
+        // order, so cache content is deterministic. Keys are copied from
+        // the flat buffer into the cache's arena (no allocation on a warm
+        // shard). Gate rejections memoize as `None` — sound, since they
+        // would have evaluated to `None`.
+        for (&(cost, _, _), &i) in fresh.iter().zip(&work) {
+            self.cache.insert(key(i), cost);
         }
+        // `first_of_key` borrows the key buffer and has drop glue; end it
+        // explicitly so the buffers can be stowed for the next batch.
+        drop(first_of_key);
+        self.key_buf = key_buf;
+        self.key_ends = key_ends;
         self.cache.count_hits(hits);
         self.cache.count_misses(work.len());
         self.evaluated += work.len();
-        self.pruned += fresh.iter().filter(|&&(_, pruned)| pruned).count();
+        self.pruned += fresh.iter().filter(|&&(_, pruned, _)| pruned).count();
+        if self.ctx.delta_eval {
+            // Every fresh evaluation in a delta pool is either a delta hit
+            // or a full recompute: delta_hits + delta_full == evaluated.
+            let taken = fresh.iter().filter(|&&(_, _, d)| d).count();
+            self.delta_hits += taken;
+            self.delta_full += fresh.len() - taken;
+        }
         self.wall_clock += t0.elapsed();
 
         out.into_iter()
@@ -577,6 +1029,8 @@ impl EvalPool {
             pruned: self.pruned,
             workers: self.workers,
             wall_clock_s: self.wall_clock.as_secs_f64(),
+            delta_hits: self.delta_hits,
+            delta_full: self.delta_full,
         }
     }
 
@@ -610,6 +1064,17 @@ impl EvalPool {
             telemetry.emit(TraceEvent::AnalyzerStats {
                 trial,
                 pruned: s.pruned,
+            });
+        }
+        // Delta pools additionally record the incremental-evaluation
+        // tally, mirroring the analyzer-stats opt-in: traces from
+        // non-delta runs (including every committed fixture) are unchanged
+        // byte for byte.
+        if self.ctx.delta_eval {
+            telemetry.emit(TraceEvent::DeltaStats {
+                trial,
+                delta_hits: s.delta_hits,
+                delta_full: s.delta_full,
             });
         }
     }
@@ -789,5 +1254,116 @@ mod tests {
             0,
             "ungated pools never prune"
         );
+    }
+
+    /// Builds the neighbor-batch shape the search drivers produce: a few
+    /// base points, each expanded along every applicable direction.
+    fn neighbor_batch(
+        space: &crate::space::Space,
+        seed: u64,
+        n_bases: usize,
+    ) -> (Vec<NodeConfig>, Vec<usize>, Vec<NodeConfig>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<_> = (0..n_bases).map(|_| space.random_point(&mut rng)).collect();
+        let mut configs = Vec::new();
+        let mut base_of = Vec::new();
+        for (bi, base) in bases.iter().enumerate() {
+            for dir in space.directions() {
+                if let Some(n) = space.apply(base, *dir) {
+                    configs.push(n);
+                    base_of.push(bi);
+                }
+            }
+        }
+        (configs, base_of, bases)
+    }
+
+    #[test]
+    fn delta_batches_match_plain_batches_across_workers() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let (cands, base_of, bases) = neighbor_batch(&space, 6, 4);
+        assert!(cands.len() > 20, "expected a non-trivial neighbor batch");
+        let plain = EvalPool::new(&g, &ev, 1, 1 << 16).evaluate_batch(&cands);
+        let mut counter_runs = Vec::new();
+        for workers in [1, 4] {
+            let mut pool = EvalPool::new_delta(&g, &ev, workers, 1 << 16, false);
+            assert!(pool.delta_eval());
+            let outcomes = pool.evaluate_batch_delta(&cands, &base_of, &bases);
+            assert_eq!(outcomes, plain, "delta pool must be bit-identical");
+            let s = pool.stats();
+            assert_eq!(s.delta_hits + s.delta_full, s.evaluated);
+            assert!(s.delta_hits > 0, "neighbor batches must take the fast path");
+            counter_runs.push((s.delta_hits, s.delta_full));
+        }
+        assert_eq!(
+            counter_runs[0], counter_runs[1],
+            "delta counters must not depend on the worker count"
+        );
+    }
+
+    /// The inline-vs-fan-out decision is wall-clock-only: forcing tiny
+    /// batches through the worker threads (inline threshold 0) must give
+    /// the same outcomes and counters as the default inline path, for
+    /// plain and delta batches alike.
+    #[test]
+    fn fanned_out_batches_match_inline_batches() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let (cands, base_of, bases) = neighbor_batch(&space, 9, 4);
+        let make = |delta: bool, inline_batch: usize| {
+            EvalPool::build_with_inline(
+                &g,
+                &ev,
+                4,
+                Arc::new(MemoCache::new(1 << 16)),
+                true,
+                false,
+                delta,
+                inline_batch,
+            )
+        };
+        let inline_plain = make(false, INLINE_BATCH).evaluate_batch(&cands);
+        let fanned_plain = make(false, 0).evaluate_batch(&cands);
+        assert_eq!(inline_plain, fanned_plain);
+        let mut inline_pool = make(true, INLINE_BATCH);
+        let mut fanned_pool = make(true, 0);
+        assert_eq!(
+            inline_pool.evaluate_batch_delta(&cands, &base_of, &bases),
+            fanned_pool.evaluate_batch_delta(&cands, &base_of, &bases),
+        );
+        let (i, f) = (inline_pool.stats(), fanned_pool.stats());
+        assert_eq!((i.delta_hits, i.delta_full), (f.delta_hits, f.delta_full));
+        assert_eq!(i.evaluated, f.evaluated);
+    }
+
+    #[test]
+    fn delta_pool_without_bases_behaves_like_a_plain_pool() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let mut rng = StdRng::seed_from_u64(7);
+        let cands: Vec<_> = (0..16).map(|_| space.random_point(&mut rng)).collect();
+        let plain = EvalPool::new(&g, &ev, 4, 1 << 16).evaluate_batch(&cands);
+        let mut pool = EvalPool::new_delta(&g, &ev, 4, 1 << 16, false);
+        assert_eq!(pool.evaluate_batch(&cands), plain);
+        let s = pool.stats();
+        assert_eq!(s.delta_hits, 0);
+        assert_eq!(s.delta_full, s.evaluated);
+    }
+
+    #[test]
+    fn gated_delta_pool_matches_gated_pool() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let (cands, base_of, bases) = neighbor_batch(&space, 8, 4);
+        let mut gated = EvalPool::new_gated(&g, &ev, 1, 1 << 16);
+        let expected = gated.evaluate_batch(&cands);
+        for workers in [1, 4] {
+            let mut pool = EvalPool::new_delta(&g, &ev, workers, 1 << 16, true);
+            assert!(pool.analyzer_gate() && pool.delta_eval());
+            let outcomes = pool.evaluate_batch_delta(&cands, &base_of, &bases);
+            assert_eq!(outcomes, expected);
+            assert_eq!(pool.stats().pruned, gated.stats().pruned);
+        }
     }
 }

@@ -65,17 +65,40 @@ impl Linear {
         out.clear();
         for o in 0..self.outputs {
             let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
-            let mut acc = self.b[o];
-            for (wi, xi) in row.iter().zip(x) {
-                acc += wi * xi;
-            }
-            out.push(acc);
+            out.push(self.b[o] + dot(row, x));
         }
     }
 
     fn num_params(&self) -> usize {
         self.w.len() + self.b.len()
     }
+}
+
+/// Dot product over four independent accumulator lanes.
+///
+/// Breaking the single serial dependency chain into four lets the
+/// compiler keep the loop in SIMD registers (and overlaps the scalar FMAs
+/// even where it cannot). The combine order — `(l0 + l1) + (l2 + l3)`,
+/// then the remainder tail left to right — is fixed, so results are
+/// deterministic across builds; they are *not* bit-identical to a plain
+/// serial fold (floating-point addition is non-associative), which is why
+/// the committed probe CSVs were regenerated when this landed.
+fn dot(w: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), x.len());
+    let mut lanes = [0.0f64; 4];
+    let (w4, wt) = w.split_at(w.len() - w.len() % 4);
+    let (x4, xt) = x.split_at(w4.len());
+    for (wc, xc) in w4.chunks_exact(4).zip(x4.chunks_exact(4)) {
+        lanes[0] += wc[0] * xc[0];
+        lanes[1] += wc[1] * xc[1];
+        lanes[2] += wc[2] * xc[2];
+        lanes[3] += wc[3] * xc[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (wi, xi) in wt.iter().zip(xt) {
+        acc += wi * xi;
+    }
+    acc
 }
 
 /// Reusable ping-pong activation buffers for allocation-free inference

@@ -119,6 +119,13 @@ impl NodeConfig {
     /// permutation, or an out-of-range fuse depth. Every message leads
     /// with the offending field and index (`spatial_splits[1]: ...`),
     /// using the same spans `flextensor-analyze` puts on its diagnostics.
+    /// Validation is a conjunction of *independent* per-aspect predicates
+    /// (one per spatial axis, one per reduce axis, reorder, fuse, the two
+    /// FPGA fields), reported first-failure-first in a fixed global order.
+    /// The delta evaluator (`crate::delta`) exploits this: starting from a
+    /// known-valid base config it re-runs only the checks whose aspect
+    /// changed, in the same order, and is guaranteed the same outcome —
+    /// including the exact error string.
     pub fn validate(&self, op: &ComputeOp) -> Result<(), String> {
         if self.spatial_splits.len() != op.spatial.len() {
             return Err(format!(
@@ -134,38 +141,64 @@ impl NodeConfig {
                 self.reduce_splits.len()
             ));
         }
-        for (i, (axis, f)) in op.spatial.iter().zip(&self.spatial_splits).enumerate() {
-            if f.len() != SPATIAL_PARTS {
-                return Err(format!(
-                    "spatial_splits[{i}]: axis {} needs {SPATIAL_PARTS} factors, got {}",
-                    axis.name,
-                    f.len()
-                ));
-            }
-            let prod: i64 = f.iter().product();
-            if prod != axis.extent || f.iter().any(|&x| x < 1) {
-                return Err(format!(
-                    "spatial_splits[{i}]: axis {}: factors {:?} do not multiply to extent {}",
-                    axis.name, f, axis.extent
-                ));
-            }
+        for i in 0..op.spatial.len() {
+            self.check_spatial_axis(op, i)?;
         }
-        for (i, (axis, f)) in op.reduce.iter().zip(&self.reduce_splits).enumerate() {
-            if f.len() != REDUCE_PARTS {
-                return Err(format!(
-                    "reduce_splits[{i}]: axis {} needs {REDUCE_PARTS} factors, got {}",
-                    axis.name,
-                    f.len()
-                ));
-            }
-            let prod: i64 = f.iter().product();
-            if prod != axis.extent || f.iter().any(|&x| x < 1) {
-                return Err(format!(
-                    "reduce_splits[{i}]: axis {}: factors {:?} do not multiply to extent {}",
-                    axis.name, f, axis.extent
-                ));
-            }
+        for i in 0..op.reduce.len() {
+            self.check_reduce_axis(op, i)?;
         }
+        self.check_reorder(op)?;
+        self.check_fuse(op)?;
+        self.check_fpga_partition()?;
+        self.check_fpga_pipeline()
+    }
+
+    /// Arity and product check for one spatial axis (assumes
+    /// `spatial_splits.len() == op.spatial.len()`).
+    pub(crate) fn check_spatial_axis(&self, op: &ComputeOp, i: usize) -> Result<(), String> {
+        let axis = &op.spatial[i];
+        let f = &self.spatial_splits[i];
+        if f.len() != SPATIAL_PARTS {
+            return Err(format!(
+                "spatial_splits[{i}]: axis {} needs {SPATIAL_PARTS} factors, got {}",
+                axis.name,
+                f.len()
+            ));
+        }
+        let prod: i64 = f.iter().product();
+        if prod != axis.extent || f.iter().any(|&x| x < 1) {
+            return Err(format!(
+                "spatial_splits[{i}]: axis {}: factors {:?} do not multiply to extent {}",
+                axis.name, f, axis.extent
+            ));
+        }
+        Ok(())
+    }
+
+    /// Arity and product check for one reduce axis (assumes
+    /// `reduce_splits.len() == op.reduce.len()`).
+    pub(crate) fn check_reduce_axis(&self, op: &ComputeOp, i: usize) -> Result<(), String> {
+        let axis = &op.reduce[i];
+        let f = &self.reduce_splits[i];
+        if f.len() != REDUCE_PARTS {
+            return Err(format!(
+                "reduce_splits[{i}]: axis {} needs {REDUCE_PARTS} factors, got {}",
+                axis.name,
+                f.len()
+            ));
+        }
+        let prod: i64 = f.iter().product();
+        if prod != axis.extent || f.iter().any(|&x| x < 1) {
+            return Err(format!(
+                "reduce_splits[{i}]: axis {}: factors {:?} do not multiply to extent {}",
+                axis.name, f, axis.extent
+            ));
+        }
+        Ok(())
+    }
+
+    /// Length and permutation check for the reorder vector.
+    pub(crate) fn check_reorder(&self, op: &ComputeOp) -> Result<(), String> {
         let mut seen = vec![false; op.spatial.len()];
         if self.reorder.len() != op.spatial.len() {
             return Err(format!(
@@ -184,6 +217,11 @@ impl NodeConfig {
             }
             seen[i] = true;
         }
+        Ok(())
+    }
+
+    /// Range check for the fusion depth.
+    pub(crate) fn check_fuse(&self, op: &ComputeOp) -> Result<(), String> {
         if self.fuse_outer < 1 || self.fuse_outer > op.spatial.len() {
             return Err(format!(
                 "fuse_outer: depth {} out of range 1..={}",
@@ -191,12 +229,22 @@ impl NodeConfig {
                 op.spatial.len()
             ));
         }
+        Ok(())
+    }
+
+    /// Positivity check for the FPGA partition factor.
+    pub(crate) fn check_fpga_partition(&self) -> Result<(), String> {
         if self.fpga_partition < 1 {
             return Err(format!(
                 "fpga_partition: factor {} must be positive",
                 self.fpga_partition
             ));
         }
+        Ok(())
+    }
+
+    /// Range check for the FPGA pipeline depth.
+    pub(crate) fn check_fpga_pipeline(&self) -> Result<(), String> {
         if self.fpga_pipeline < 1 || self.fpga_pipeline > 3 {
             return Err(format!(
                 "fpga_pipeline: depth {} out of range 1..=3",
@@ -211,21 +259,28 @@ impl NodeConfig {
     /// vectorize, cache, inline, partition, pipeline]`.
     pub fn encode(&self) -> Vec<i64> {
         let mut v = Vec::new();
+        self.encode_into(&mut v);
+        v
+    }
+
+    /// Appends the [`NodeConfig::encode`] words to `out` instead of
+    /// allocating a fresh vector — the form the evaluation pool uses to
+    /// encode a whole candidate batch into one flat key buffer.
+    pub fn encode_into(&self, out: &mut Vec<i64>) {
         for f in &self.spatial_splits {
-            v.extend_from_slice(f);
+            out.extend_from_slice(f);
         }
         for f in &self.reduce_splits {
-            v.extend_from_slice(f);
+            out.extend_from_slice(f);
         }
-        v.extend(self.reorder.iter().map(|&i| i as i64));
-        v.push(self.fuse_outer as i64);
-        v.push(self.unroll as i64);
-        v.push(self.vectorize as i64);
-        v.push(self.cache_shared as i64);
-        v.push(self.inline_data as i64);
-        v.push(self.fpga_partition);
-        v.push(self.fpga_pipeline);
-        v
+        out.extend(self.reorder.iter().map(|&i| i as i64));
+        out.push(self.fuse_outer as i64);
+        out.push(self.unroll as i64);
+        out.push(self.vectorize as i64);
+        out.push(self.cache_shared as i64);
+        out.push(self.inline_data as i64);
+        out.push(self.fpga_partition);
+        out.push(self.fpga_pipeline);
     }
 
     /// Reconstructs a config from [`NodeConfig::encode`] output.

@@ -1,0 +1,544 @@
+//! Incremental (delta) candidate evaluation over [`LoweredTemplate`].
+//!
+//! Neighboring candidates in the SA/Q-learning search differ in a single
+//! schedule decision — one prime factor moved between split levels, one
+//! reorder swap, one flag toggled. Recomputing the full
+//! [`KernelFeatures`] for such a neighbor repeats work: most features
+//! depend only on config fields that did not change. This module maps a
+//! config diff onto the subset of features it can affect (the same
+//! field→feature spans `flextensor-analyze` attaches to its diagnostics)
+//! and recomputes only that subset, starting from the base candidate's
+//! features.
+//!
+//! # Bit-identity invariants
+//!
+//! The delta path is proven bit-identical to a fresh
+//! [`LoweredTemplate::features`] call (see `tests/fastpath.rs` and
+//! `tests/property_based.rs` in `flextensor-repro`), and the guarantee is
+//! structural, not empirical:
+//!
+//! 1. **Shared kernels.** Every recomputed feature is produced by the same
+//!    `feat_*` kernel in [`crate::template`] that `compute_features` is
+//!    composed of — there is no second implementation to drift.
+//! 2. **Exact dependency masks.** The field→feature map below is the
+//!    data-flow of `compute_features` itself: a feature is recomputed iff
+//!    one of the config fields it reads changed. All features are integer
+//!    / boolean valued, so `PartialEq` equality *is* bit-identity.
+//! 3. **Order-preserving validation.** [`NodeConfig::validate`] is a
+//!    conjunction of independent per-aspect predicates reported
+//!    first-failure-first in a fixed order. Starting from a *valid* base,
+//!    only checks whose aspect changed can fail, so re-running exactly
+//!    those, in the same global order, yields the same `Ok`/first-`Err`
+//!    (including the error string) as a full validation.
+//! 4. **Conservative fallback.** Diffs the mask does not cover —
+//!    `inline_data` flips (which swap the load-group set) or structural
+//!    length mismatches — fall back to the full
+//!    [`LoweredTemplate::features`] path.
+//!
+//! # Field → feature dependency map
+//!
+//! With `Sk` = "some axis's spatial factor at level *k* changed" and `Rk`
+//! the reduce analogue (see `docs/PERFORMANCE.md` for the derivation):
+//!
+//! | feature | recomputed when |
+//! |---|---|
+//! | `grid` | S0 |
+//! | `parallel_chunks` | S0 ∪ reorder ∪ fuse_outer |
+//! | `vthreads` | S1 |
+//! | `block_threads` | S2 |
+//! | `thread_tile` | S3 |
+//! | `thread_reg_bytes` | S1 ∪ S3 ∪ unroll |
+//! | `shared_bytes_per_block` | S1 ∪ S2 ∪ S3 ∪ R1 ∪ R2 |
+//! | `l1_tile_bytes` | S3 ∪ R2 |
+//! | `l2_tile_bytes` | S2 ∪ S3 ∪ R1 ∪ R2 |
+//! | `reduce_outer` / `mid` / `inner` | R0 / R1 / R2 |
+//! | `unroll`, `cache_shared` | the flag itself |
+//! | `vector_len` | vectorize ∪ reorder ∪ S3 |
+//! | `contiguous_inner` | reorder |
+//! | `fpga` (whole block) | any Sk ∪ any Rk; partition/pipeline patched |
+//! | everything else | never (config-independent constants) |
+
+use crate::config::{NodeConfig, TargetKind, REDUCE_PARTS, SPATIAL_PARTS};
+use crate::features::KernelFeatures;
+use crate::lower::LowerError;
+use crate::template::{
+    feat_contiguous_inner, feat_fpga, feat_l1_tile_bytes, feat_l2_tile_bytes, feat_parallel_chunks,
+    feat_shared_bytes_per_block, feat_thread_reg_bytes, feat_vector_len, LoweredTemplate,
+    SlotScratch,
+};
+
+/// The per-aspect diff between a base config and a candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ConfigDelta {
+    /// Bitmask of spatial axes whose split vector changed (bit `i` = axis
+    /// `i`, ascending), for re-validation. A mask instead of a `Vec` so
+    /// diffing a candidate never allocates; ops with more than 64 axes
+    /// (none exist) would fall back via `incompatible`.
+    spatial_axes: u64,
+    /// Per spatial level: did any axis's factor at this level change?
+    spatial_levels: [bool; SPATIAL_PARTS],
+    /// Bitmask of reduce axes whose split vector changed (ascending).
+    reduce_axes: u64,
+    /// Per reduce level: did any axis's factor at this level change?
+    reduce_levels: [bool; REDUCE_PARTS],
+    reorder: bool,
+    fuse: bool,
+    unroll: bool,
+    vectorize: bool,
+    cache: bool,
+    inline: bool,
+    partition: bool,
+    pipeline: bool,
+    /// Structural mismatch vs. the base (axis counts or factor arities
+    /// differ): the masks above are meaningless and the candidate must
+    /// take the full path.
+    incompatible: bool,
+}
+
+impl ConfigDelta {
+    /// Diffs `cfg` against `base` field by field.
+    fn of(base: &NodeConfig, cfg: &NodeConfig) -> ConfigDelta {
+        let mut d = ConfigDelta {
+            spatial_axes: 0,
+            spatial_levels: [false; SPATIAL_PARTS],
+            reduce_axes: 0,
+            reduce_levels: [false; REDUCE_PARTS],
+            reorder: base.reorder != cfg.reorder,
+            fuse: base.fuse_outer != cfg.fuse_outer,
+            unroll: base.unroll != cfg.unroll,
+            vectorize: base.vectorize != cfg.vectorize,
+            cache: base.cache_shared != cfg.cache_shared,
+            inline: base.inline_data != cfg.inline_data,
+            partition: base.fpga_partition != cfg.fpga_partition,
+            pipeline: base.fpga_pipeline != cfg.fpga_pipeline,
+            incompatible: false,
+        };
+        if base.spatial_splits.len() != cfg.spatial_splits.len()
+            || base.reduce_splits.len() != cfg.reduce_splits.len()
+            || base.reorder.len() != cfg.reorder.len()
+            || cfg.spatial_splits.len() > 64
+            || cfg.reduce_splits.len() > 64
+        {
+            d.incompatible = true;
+            return d;
+        }
+        for (i, (b, c)) in base
+            .spatial_splits
+            .iter()
+            .zip(&cfg.spatial_splits)
+            .enumerate()
+        {
+            if b == c {
+                continue;
+            }
+            if b.len() != SPATIAL_PARTS || c.len() != SPATIAL_PARTS {
+                d.incompatible = true;
+                return d;
+            }
+            d.spatial_axes |= 1 << i;
+            for l in 0..SPATIAL_PARTS {
+                d.spatial_levels[l] |= b[l] != c[l];
+            }
+        }
+        for (i, (b, c)) in base
+            .reduce_splits
+            .iter()
+            .zip(&cfg.reduce_splits)
+            .enumerate()
+        {
+            if b == c {
+                continue;
+            }
+            if b.len() != REDUCE_PARTS || c.len() != REDUCE_PARTS {
+                d.incompatible = true;
+                return d;
+            }
+            d.reduce_axes |= 1 << i;
+            for l in 0..REDUCE_PARTS {
+                d.reduce_levels[l] |= b[l] != c[l];
+            }
+        }
+        d
+    }
+}
+
+/// Computes `cfg`'s features incrementally from a base candidate, using a
+/// caller-provided scratch arena (reusable across calls).
+///
+/// Returns the features plus a flag telling whether the delta fast path
+/// was actually taken (`false` means the call fell back to the full
+/// [`LoweredTemplate::features`] recompute — the result is identical
+/// either way).
+///
+/// # Preconditions
+///
+/// `base_features` must be the (successful) result of
+/// `template.features(base_cfg)` for this same template. The validity of
+/// the base is what lets the delta path skip re-checking unchanged
+/// aspects.
+///
+/// # Errors
+///
+/// Returns the exact [`LowerError`] a full `template.features(cfg)` call
+/// would return when `cfg` is invalid.
+pub fn delta_features_with(
+    template: &LoweredTemplate,
+    base_cfg: &NodeConfig,
+    base_features: &KernelFeatures,
+    cfg: &NodeConfig,
+    scratch: &mut DeltaScratch,
+) -> Result<(KernelFeatures, bool), LowerError> {
+    let d = ConfigDelta::of(base_cfg, cfg);
+    if d.incompatible || d.inline {
+        // Structural change or a load-group swap: full recompute.
+        return template.features(cfg).map(|f| (f, false));
+    }
+
+    let root = &template.root;
+
+    // Re-validate only the changed aspects, in validate()'s global order
+    // (bitmask iteration walks axes in ascending order).
+    let mut m = d.spatial_axes;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        cfg.check_spatial_axis(root, i).map_err(LowerError)?;
+    }
+    let mut m = d.reduce_axes;
+    while m != 0 {
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        cfg.check_reduce_axis(root, i).map_err(LowerError)?;
+    }
+    if d.reorder {
+        cfg.check_reorder(root).map_err(LowerError)?;
+    }
+    if d.fuse {
+        cfg.check_fuse(root).map_err(LowerError)?;
+    }
+    if d.partition {
+        cfg.check_fpga_partition().map_err(LowerError)?;
+    }
+    if d.pipeline {
+        cfg.check_fpga_pipeline().map_err(LowerError)?;
+    }
+
+    let groups = &template.groups[cfg.inline_data as usize];
+    let s = &d.spatial_levels;
+    let r = &d.reduce_levels;
+    let scratch = &mut scratch.slots;
+    let mut f = base_features.clone();
+
+    if s[0] {
+        f.grid = cfg.spatial_level_product(0);
+    }
+    if s[0] || d.reorder || d.fuse {
+        f.parallel_chunks = feat_parallel_chunks(cfg);
+    }
+    if s[1] {
+        f.vthreads = cfg.spatial_level_product(1);
+    }
+    if s[2] {
+        f.block_threads = cfg.spatial_level_product(2);
+    }
+    if s[3] {
+        f.thread_tile = cfg.spatial_level_product(3);
+    }
+    if s[1] || s[3] || d.unroll {
+        f.thread_reg_bytes = feat_thread_reg_bytes(root, cfg, groups, scratch);
+    }
+    if s[1] || s[2] || s[3] || r[1] || r[2] {
+        f.shared_bytes_per_block = feat_shared_bytes_per_block(root, cfg, groups, scratch);
+    }
+    if s[3] || r[2] {
+        f.l1_tile_bytes = feat_l1_tile_bytes(root, cfg, groups, scratch);
+    }
+    if s[2] || s[3] || r[1] || r[2] {
+        f.l2_tile_bytes = feat_l2_tile_bytes(root, cfg, groups, scratch);
+    }
+    if r[0] {
+        f.reduce_outer = cfg.reduce_level_product(0);
+    }
+    if r[1] {
+        f.reduce_mid = cfg.reduce_level_product(1);
+    }
+    if r[2] {
+        f.reduce_inner = cfg.reduce_level_product(2);
+    }
+    if d.unroll {
+        f.unroll = cfg.unroll;
+    }
+    if d.vectorize || d.reorder || s[3] {
+        f.vector_len = feat_vector_len(cfg);
+    }
+    if d.reorder {
+        f.contiguous_inner = feat_contiguous_inner(root, cfg);
+    }
+    if d.cache {
+        f.cache_shared = cfg.cache_shared;
+    }
+    if template.target == TargetKind::Fpga {
+        let any_split = s.iter().any(|&b| b) || r.iter().any(|&b| b);
+        if any_split {
+            f.fpga = Some(feat_fpga(root, cfg, groups, scratch));
+        } else if let Some(fp) = f.fpga.as_mut() {
+            fp.partition = cfg.fpga_partition;
+            fp.pipeline = cfg.fpga_pipeline;
+        }
+    }
+
+    Ok((f, true))
+}
+
+/// Computes `cfg`'s features incrementally from a base candidate.
+///
+/// Convenience wrapper over [`delta_features_with`] that allocates a
+/// one-shot [`DeltaScratch`]; hot loops should hold a scratch and call
+/// [`delta_features_with`] (or use a [`DeltaEvaluator`]) instead.
+///
+/// # Errors
+///
+/// Same contract as [`delta_features_with`].
+pub fn delta_features(
+    template: &LoweredTemplate,
+    base_cfg: &NodeConfig,
+    base_features: &KernelFeatures,
+    cfg: &NodeConfig,
+) -> Result<(KernelFeatures, bool), LowerError> {
+    let mut scratch = DeltaScratch::new();
+    delta_features_with(template, base_cfg, base_features, cfg, &mut scratch)
+}
+
+/// Reusable scratch state for delta evaluation (the slot-form
+/// tile-environment arena). One per evaluating thread; never shared.
+#[derive(Debug, Default)]
+pub struct DeltaScratch {
+    slots: SlotScratch,
+}
+
+impl DeltaScratch {
+    /// An empty scratch, warmed up on first use.
+    pub fn new() -> DeltaScratch {
+        DeltaScratch::default()
+    }
+}
+
+/// Rolling-base incremental evaluator: each successfully evaluated config
+/// becomes the base for the next, which is exactly the access pattern of
+/// a simulated-annealing / Q-learning neighbor walk.
+///
+/// # Examples
+///
+/// ```
+/// use flextensor_ir::ops;
+/// use flextensor_schedule::config::{NodeConfig, TargetKind};
+/// use flextensor_schedule::delta::DeltaEvaluator;
+/// use flextensor_schedule::template::LoweredTemplate;
+///
+/// let g = ops::gemm(64, 32, 16);
+/// let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+/// let mut ev = DeltaEvaluator::new(&tpl);
+/// let mut cfg = NodeConfig::naive(g.root_op());
+/// let a = ev.features(&cfg).unwrap(); // first call: full compute
+/// cfg.unroll = true;
+/// let b = ev.features(&cfg).unwrap(); // neighbor: delta compute
+/// assert_eq!(b, tpl.features(&cfg).unwrap()); // bit-identical
+/// assert_ne!(a, b);
+/// assert_eq!(ev.delta_hits(), 1);
+/// assert_eq!(ev.full_recomputes(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DeltaEvaluator<'t> {
+    template: &'t LoweredTemplate,
+    base: Option<(NodeConfig, KernelFeatures)>,
+    scratch: DeltaScratch,
+    delta_hits: usize,
+    full_recomputes: usize,
+}
+
+impl<'t> DeltaEvaluator<'t> {
+    /// A fresh evaluator with no base; the first call computes fully.
+    pub fn new(template: &'t LoweredTemplate) -> DeltaEvaluator<'t> {
+        DeltaEvaluator {
+            template,
+            base: None,
+            scratch: DeltaScratch::new(),
+            delta_hits: 0,
+            full_recomputes: 0,
+        }
+    }
+
+    /// Evaluates `cfg`, incrementally when a base is available, and makes
+    /// `cfg` the new base on success. Failed (invalid) candidates do not
+    /// move the base and are not counted.
+    ///
+    /// # Errors
+    ///
+    /// The same [`LowerError`] as [`LoweredTemplate::features`].
+    pub fn features(&mut self, cfg: &NodeConfig) -> Result<KernelFeatures, LowerError> {
+        let (f, took_delta) = match &self.base {
+            Some((b, bf)) => delta_features_with(self.template, b, bf, cfg, &mut self.scratch)?,
+            None => (self.template.features(cfg)?, false),
+        };
+        if took_delta {
+            self.delta_hits += 1;
+        } else {
+            self.full_recomputes += 1;
+        }
+        self.base = Some((cfg.clone(), f.clone()));
+        Ok(f)
+    }
+
+    /// Evaluations served by the incremental fast path.
+    pub fn delta_hits(&self) -> usize {
+        self.delta_hits
+    }
+
+    /// Evaluations that needed the full `compute_features` (first call,
+    /// `inline_data` flips, structural mismatches).
+    pub fn full_recomputes(&self) -> usize {
+        self.full_recomputes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextensor_ir::graph::Graph;
+    use flextensor_ir::ops::{self, ConvParams};
+
+    fn neighbors(cfg: &NodeConfig) -> Vec<NodeConfig> {
+        // One hand-rolled neighbor per mutation family.
+        let mut out = Vec::new();
+        let mut c = cfg.clone();
+        let f = &mut c.spatial_splits[0];
+        if f[3] % 2 == 0 {
+            f[3] /= 2;
+            f[1] *= 2;
+            out.push(c);
+        }
+        let mut c = cfg.clone();
+        let f = &mut c.reduce_splits[0];
+        if f[2] % 2 == 0 {
+            f[2] /= 2;
+            f[0] *= 2;
+            out.push(c);
+        }
+        let mut c = cfg.clone();
+        c.reorder.reverse();
+        out.push(c);
+        let mut c = cfg.clone();
+        c.fuse_outer = if c.fuse_outer == 1 { 2 } else { 1 };
+        out.push(c);
+        for toggle in [0, 1, 2, 3] {
+            let mut c = cfg.clone();
+            match toggle {
+                0 => c.unroll = !c.unroll,
+                1 => c.vectorize = !c.vectorize,
+                2 => c.cache_shared = !c.cache_shared,
+                _ => c.inline_data = !c.inline_data,
+            }
+            out.push(c);
+        }
+        let mut c = cfg.clone();
+        c.fpga_partition *= 2;
+        c.fpga_pipeline = 3;
+        out.push(c);
+        out
+    }
+
+    fn check_graph(g: &Graph, target: TargetKind) {
+        let tpl = LoweredTemplate::new(g, target);
+        let base = NodeConfig::naive(g.root_op());
+        let base_f = tpl.features(&base).unwrap();
+        for n in neighbors(&base) {
+            let (df, _) = delta_features(&tpl, &base, &base_f, &n).unwrap();
+            let full = tpl.features(&n).unwrap();
+            assert_eq!(df, full, "target {target}, neighbor {n}");
+        }
+    }
+
+    #[test]
+    fn delta_matches_full_for_every_mutation_family() {
+        let gemm = ops::gemm(64, 32, 16);
+        let conv = ops::conv2d(ConvParams::same(1, 4, 8, 3), 8, 8);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            check_graph(&gemm, target);
+            check_graph(&conv, target);
+        }
+    }
+
+    #[test]
+    fn delta_reports_the_same_error_as_full() {
+        let g = ops::gemm(64, 32, 16);
+        let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+        let base = NodeConfig::naive(g.root_op());
+        let base_f = tpl.features(&base).unwrap();
+        // Invalid neighbors, one per aspect.
+        let mut bad_split = base.clone();
+        bad_split.spatial_splits[1] = vec![3, 1, 1, 1];
+        let mut bad_reorder = base.clone();
+        bad_reorder.reorder = vec![0, 0];
+        let mut bad_fuse = base.clone();
+        bad_fuse.fuse_outer = 9;
+        let mut bad_fpga = base.clone();
+        bad_fpga.fpga_pipeline = 7;
+        for bad in [bad_split, bad_reorder, bad_fuse, bad_fpga] {
+            let de = delta_features(&tpl, &base, &base_f, &bad).unwrap_err();
+            let fe = tpl.features(&bad).unwrap_err();
+            assert_eq!(de, fe);
+        }
+    }
+
+    #[test]
+    fn inline_flip_falls_back_to_full_recompute() {
+        let g = ops::conv2d(ConvParams::same(1, 4, 8, 3), 8, 8);
+        let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+        let base = NodeConfig::naive(g.root_op());
+        let base_f = tpl.features(&base).unwrap();
+        let mut flip = base.clone();
+        flip.inline_data = !flip.inline_data;
+        let (f, took_delta) = delta_features(&tpl, &base, &base_f, &flip).unwrap();
+        assert!(!took_delta, "inline flips must take the full path");
+        assert_eq!(f, tpl.features(&flip).unwrap());
+    }
+
+    #[test]
+    fn rolling_evaluator_walk_stays_bit_identical() {
+        let g = ops::gemm(64, 32, 16);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let tpl = LoweredTemplate::new(&g, target);
+            let mut ev = DeltaEvaluator::new(&tpl);
+            let mut cur = NodeConfig::naive(g.root_op());
+            let mut visited = 0usize;
+            for step in 0..6 {
+                let f = ev.features(&cur).unwrap();
+                assert_eq!(f, tpl.features(&cur).unwrap(), "step {step}");
+                visited += 1;
+                let next = neighbors(&cur);
+                cur = next[step % next.len()].clone();
+            }
+            assert_eq!(ev.delta_hits() + ev.full_recomputes(), visited);
+            assert!(ev.delta_hits() >= 1, "walk should hit the delta path");
+        }
+    }
+
+    #[test]
+    fn errors_do_not_move_the_base_or_the_counters() {
+        let g = ops::gemm(64, 32, 16);
+        let tpl = LoweredTemplate::new(&g, TargetKind::Gpu);
+        let mut ev = DeltaEvaluator::new(&tpl);
+        let base = NodeConfig::naive(g.root_op());
+        ev.features(&base).unwrap();
+        let mut bad = base.clone();
+        bad.fuse_outer = 99;
+        assert!(ev.features(&bad).is_err());
+        assert_eq!(ev.delta_hits() + ev.full_recomputes(), 1);
+        // The next good neighbor still deltas off the last good base.
+        let mut good = base.clone();
+        good.unroll = true;
+        let f = ev.features(&good).unwrap();
+        assert_eq!(f, tpl.features(&good).unwrap());
+        assert_eq!(ev.delta_hits(), 1);
+    }
+}

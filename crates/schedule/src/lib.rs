@@ -21,6 +21,9 @@
 //!   [`template::LoweredTemplate`] caches the config-independent half of
 //!   lowering so exploration derives per-candidate features without
 //!   re-walking the expression tree (see `docs/PERFORMANCE.md`).
+//! * [`delta`] — incremental evaluation: [`delta::DeltaEvaluator`]
+//!   recomputes only the features a single-field config mutation can
+//!   affect, bit-identical to the full path by construction.
 //! * [`interval`] — the index-interval analysis behind tile-footprint
 //!   computation (shared-memory sizing, cache-fit, register pressure).
 //! * [`primitives`] — the printable Table 2 primitive sequence a config
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod delta;
 pub mod features;
 pub mod interval;
 pub mod lower;
@@ -54,6 +58,7 @@ pub mod primitives;
 pub mod template;
 
 pub use config::{NodeConfig, TargetKind, REDUCE_PARTS, SPATIAL_PARTS};
+pub use delta::{delta_features, delta_features_with, DeltaEvaluator, DeltaScratch};
 pub use features::{FpgaFeatures, KernelFeatures};
 pub use lower::{lower, lower_naive, LowerError, LoweredKernel};
 pub use nest::{LoopKind, Stmt};

@@ -27,7 +27,8 @@ use crate::features::KernelFeatures;
 use crate::interval::footprint;
 use crate::nest::{LoopKind, Stmt};
 use crate::template::{
-    compute_features, data_producers, inline_producers, load_groups, tile_env, FeatureConsts,
+    compile_groups, compute_features, data_producers, inline_producers, load_groups, tile_env,
+    FeatureConsts,
 };
 
 /// A fully lowered kernel: an executable statement sequence plus the
@@ -296,7 +297,7 @@ pub fn lower(
             })
             .sum(),
     };
-    let features = compute_features(root, cfg, target, &groups, &consts);
+    let features = compute_features(root, cfg, target, &compile_groups(root, &groups), &consts);
 
     // ---- build the nest ------------------------------------------------
     let store = ctx.store_stmt();

@@ -23,12 +23,12 @@
 //! so the two paths agree bit-for-bit by construction (see
 //! `tests/fastpath.rs` for the differential check).
 
-use flextensor_ir::expr::Expr;
+use flextensor_ir::expr::{BinOp, Expr};
 use flextensor_ir::graph::{ComputeOp, Graph};
 
 use crate::config::{NodeConfig, TargetKind};
 use crate::features::{FpgaFeatures, KernelFeatures};
-use crate::interval::{footprint, Interval, IntervalEnv};
+use crate::interval::{Interval, IntervalEnv};
 use crate::lower::LowerError;
 
 /// Returns the data-movement producer chain of the root op: compute nodes
@@ -207,15 +207,196 @@ pub(crate) fn tile_env(
     env
 }
 
+/// An index expression compiled against a root op's axes: every variable
+/// is resolved at template-build time to a dense *slot* — spatial axis `i`
+/// occupies slot `i`, reduce axis `j` occupies slot `ns + j` — so the hot
+/// feature kernels evaluate intervals against a flat `&[Interval]` instead
+/// of hashing axis-name `String`s through an [`IntervalEnv`] for every
+/// environment variant of every candidate.
+///
+/// Compilation mirrors [`crate::interval::eval_interval`]'s leaf handling
+/// exactly: [`tile_env`] always binds precisely the root's spatial and
+/// reduce axes, so any other variable (and any load-as-index) is the fixed
+/// point 0, and float constants truncate the same way. [`eval_slot`]
+/// mirrors its arithmetic arm for arm, so slot evaluation is a pure
+/// renaming of the `String`-keyed path — bit-identical by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum SlotExpr {
+    /// A constant index: `IConst`, truncated `FConst`, a variable outside
+    /// the root's axes, or a load used as an index (origin convention).
+    Const(i64),
+    /// The tile interval of one root axis (spatial `i` → `i`, reduce `j`
+    /// → `spatial_len + j`).
+    Slot(usize),
+    /// Binary index arithmetic, evaluated with interval semantics.
+    Bin(BinOp, Box<SlotExpr>, Box<SlotExpr>),
+    /// A `Select`'s interval is the hull of its arms (the condition never
+    /// contributes), so only the arms survive compilation.
+    Hull(Box<SlotExpr>, Box<SlotExpr>),
+}
+
+/// Compiles one index expression to slot form against `root`'s axes.
+pub(crate) fn compile_slot_expr(e: &Expr, root: &ComputeOp) -> SlotExpr {
+    match e {
+        Expr::IConst(v) => SlotExpr::Const(*v),
+        Expr::FConst(v) => SlotExpr::Const(*v as i64),
+        Expr::Var(name) => {
+            if let Some(i) = root.spatial.iter().position(|a| &a.name == name) {
+                SlotExpr::Slot(i)
+            } else if let Some(j) = root.reduce.iter().position(|a| &a.name == name) {
+                SlotExpr::Slot(root.spatial.len() + j)
+            } else {
+                SlotExpr::Const(0)
+            }
+        }
+        Expr::Bin(op, a, b) => SlotExpr::Bin(
+            *op,
+            Box::new(compile_slot_expr(a, root)),
+            Box::new(compile_slot_expr(b, root)),
+        ),
+        Expr::Select(_, a, b) => SlotExpr::Hull(
+            Box::new(compile_slot_expr(a, root)),
+            Box::new(compile_slot_expr(b, root)),
+        ),
+        Expr::Load { .. } => SlotExpr::Const(0),
+    }
+}
+
+/// Evaluates a compiled index expression over the slot intervals. The
+/// arithmetic is copied arm for arm from
+/// [`crate::interval::eval_interval`]; any change must be made in both.
+pub(crate) fn eval_slot(e: &SlotExpr, slots: &[Interval]) -> Interval {
+    match e {
+        SlotExpr::Const(v) => Interval::point(*v),
+        SlotExpr::Slot(i) => slots[*i],
+        SlotExpr::Bin(op, a, b) => {
+            let x = eval_slot(a, slots);
+            let y = eval_slot(b, slots);
+            match op {
+                BinOp::Add => Interval::new(x.lo + y.lo, x.hi + y.hi),
+                BinOp::Sub => Interval::new(x.lo - y.hi, x.hi - y.lo),
+                BinOp::Mul => {
+                    let c = [x.lo * y.lo, x.lo * y.hi, x.hi * y.lo, x.hi * y.hi];
+                    Interval::new(
+                        *c.iter().min().expect("non-empty"),
+                        *c.iter().max().expect("non-empty"),
+                    )
+                }
+                BinOp::Div => {
+                    if y.lo == y.hi && y.lo != 0 {
+                        let d = y.lo;
+                        let c = [x.lo / d, x.hi / d];
+                        Interval::new(*c.iter().min().unwrap(), *c.iter().max().unwrap())
+                    } else {
+                        Interval::new(-x.lo.abs().max(x.hi.abs()), x.lo.abs().max(x.hi.abs()))
+                    }
+                }
+                BinOp::Mod => {
+                    if y.lo == y.hi && y.lo > 0 {
+                        let m = y.lo;
+                        if x.lo >= 0 && x.hi < m {
+                            x
+                        } else {
+                            Interval::new(0, (m - 1).min(x.len() - 1))
+                        }
+                    } else {
+                        Interval::new(x.lo.min(0), x.hi.max(0))
+                    }
+                }
+                BinOp::Min => Interval::new(x.lo.min(y.lo), x.hi.min(y.hi)),
+                BinOp::Max => Interval::new(x.lo.max(y.lo), x.hi.max(y.hi)),
+            }
+        }
+        SlotExpr::Hull(a, b) => eval_slot(a, slots).hull(eval_slot(b, slots)),
+    }
+}
+
+/// A [`LoadGroup`] with its index expressions compiled to slot form —
+/// the representation the per-candidate feature kernels consume.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CompiledGroup {
+    /// Compiled index expressions of every load site of this tensor.
+    pub sites: Vec<Vec<SlotExpr>>,
+    /// Total bytes of the declared tensor (see [`LoadGroup::total_bytes`]).
+    pub total_bytes: Option<i64>,
+}
+
+/// Compiles every group's load sites against `root`'s axis slots.
+pub(crate) fn compile_groups(root: &ComputeOp, groups: &[LoadGroup]) -> Vec<CompiledGroup> {
+    groups
+        .iter()
+        .map(|g| CompiledGroup {
+            sites: g
+                .sites
+                .iter()
+                .map(|ix| ix.iter().map(|e| compile_slot_expr(e, root)).collect())
+                .collect(),
+            total_bytes: g.total_bytes,
+        })
+        .collect()
+}
+
+/// Arena-style scratch for tile-interval environments in slot form: one
+/// flat `Vec<Interval>` (spatial axes first, then reduce axes) overwritten
+/// in place for each environment variant, instead of a fresh map
+/// allocation for every one of the four-plus environments a candidate
+/// needs. [`compute_features`] reuses a single scratch across its
+/// environments, and the delta evaluator (`crate::delta`) carries one
+/// across candidates.
+#[derive(Debug, Default)]
+pub(crate) struct SlotScratch {
+    slots: Vec<Interval>,
+}
+
+impl SlotScratch {
+    /// An empty scratch; the slot vector is sized on first use.
+    pub(crate) fn new() -> SlotScratch {
+        SlotScratch::default()
+    }
+
+    /// Overwrites the scratch with the tile intervals of `cfg` at the
+    /// given levels — the slot-form twin of [`tile_env`] — and returns
+    /// the slot slice.
+    pub(crate) fn set_tile(
+        &mut self,
+        root: &ComputeOp,
+        cfg: &NodeConfig,
+        spatial_levels: &[usize],
+        reduce_levels: &[usize],
+    ) -> &[Interval] {
+        self.slots.clear();
+        for i in 0..root.spatial.len() {
+            let tile: i64 = spatial_levels
+                .iter()
+                .map(|&l| cfg.spatial_splits[i][l])
+                .product();
+            self.slots.push(Interval::new(0, tile - 1));
+        }
+        for i in 0..root.reduce.len() {
+            let tile: i64 = reduce_levels
+                .iter()
+                .map(|&l| cfg.reduce_splits[i][l])
+                .product();
+            self.slots.push(Interval::new(0, tile - 1));
+        }
+        &self.slots
+    }
+}
+
 /// Sum over tensors of the footprint (bytes) of all loads of that tensor
-/// under `env` (taking the hull across load sites of the same tensor).
-pub(crate) fn loads_footprint_bytes(groups: &[LoadGroup], env: &IntervalEnv) -> i64 {
+/// under the slot intervals (taking the hull across load sites of the
+/// same tensor).
+pub(crate) fn loads_footprint_bytes(groups: &[CompiledGroup], slots: &[Interval]) -> i64 {
     let mut total = 0i64;
     for g in groups {
         let fp = g
             .sites
             .iter()
-            .map(|ix| footprint(ix, env))
+            .map(|ix| {
+                ix.iter()
+                    .map(|e| eval_slot(e, slots).len())
+                    .product::<i64>()
+            })
             .max()
             .unwrap_or(0);
         total += fp * 4;
@@ -241,57 +422,168 @@ pub(crate) struct FeatureConsts {
     pub materialized_data_bytes: i64,
 }
 
-/// Computes [`KernelFeatures`] for a validated config from precomputed
-/// load groups and graph constants. This is the single source of truth for
-/// feature computation: both [`crate::lower::lower`] and
-/// [`LoweredTemplate::features`] call it, so the fast path cannot drift
-/// from the full lowering.
-pub(crate) fn compute_features(
+// Per-feature kernels. Each computes exactly one config-dependent feature
+// (or one tightly coupled group) from the candidate config and the cached
+// load groups. `compute_features` composes all of them; the delta
+// evaluator (`crate::delta`) calls only the ones whose inputs changed.
+// Because both paths run the *same* helper for a given feature, delta
+// results are bit-identical to a full recompute by construction.
+
+/// Shared-memory bytes staged per block: footprint over spatial levels
+/// {1,2,3} and reduce levels {1,2}.
+pub(crate) fn feat_shared_bytes_per_block(
     root: &ComputeOp,
     cfg: &NodeConfig,
-    target: TargetKind,
-    groups: &[LoadGroup],
-    consts: &FeatureConsts,
-) -> KernelFeatures {
-    // Tile environments at the levels the models care about.
-    let block_env = tile_env(root, cfg, &[1, 2, 3], &[1, 2]); // per-block, per outer-reduce step
-                                                              // Registers hold the accumulators plus the operands of one reduce
-                                                              // iteration (two when unrolling interleaves iterations) — not the whole
-                                                              // staged tile, which lives in shared memory / cache.
-    let thread_env = tile_env(root, cfg, &[3], &[]);
-    let l1_env = tile_env(root, cfg, &[3], &[2]);
-    let l2_env = tile_env(root, cfg, &[2, 3], &[1, 2]);
+    groups: &[CompiledGroup],
+    scratch: &mut SlotScratch,
+) -> i64 {
+    loads_footprint_bytes(groups, scratch.set_tile(root, cfg, &[1, 2, 3], &[1, 2]))
+}
 
-    let shared_bytes_per_block = loads_footprint_bytes(groups, &block_env);
-    let thread_input_bytes = loads_footprint_bytes(groups, &thread_env);
-    let thread_tile: i64 = cfg.spatial_level_product(3);
-    let thread_reg_bytes = thread_tile * cfg.spatial_level_product(1) * 4
-        + thread_input_bytes * if cfg.unroll { 2 } else { 1 };
-    let l1_tile_bytes = loads_footprint_bytes(groups, &l1_env) + thread_tile * 4;
-    let l2_tile_bytes =
-        loads_footprint_bytes(groups, &l2_env) + cfg.spatial_level_product(2) * thread_tile * 4;
+/// Register bytes per thread: accumulators plus the operands of one reduce
+/// iteration (two when unrolling interleaves iterations) — not the whole
+/// staged tile, which lives in shared memory / cache.
+pub(crate) fn feat_thread_reg_bytes(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    groups: &[CompiledGroup],
+    scratch: &mut SlotScratch,
+) -> i64 {
+    let thread_input_bytes = loads_footprint_bytes(groups, scratch.set_tile(root, cfg, &[3], &[]));
+    cfg.spatial_level_product(3) * cfg.spatial_level_product(1) * 4
+        + thread_input_bytes * if cfg.unroll { 2 } else { 1 }
+}
 
-    // Innermost-contiguity: the fastest-varying spatial sub-loop belongs to
-    // the reorder-last axis; it is contiguous iff that axis is the last
-    // output dimension.
-    let contiguous_inner = cfg
-        .reorder
+/// L1-resident tile bytes: footprint over spatial level 3 / reduce level 2
+/// plus the per-thread output tile.
+pub(crate) fn feat_l1_tile_bytes(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    groups: &[CompiledGroup],
+    scratch: &mut SlotScratch,
+) -> i64 {
+    loads_footprint_bytes(groups, scratch.set_tile(root, cfg, &[3], &[2]))
+        + cfg.spatial_level_product(3) * 4
+}
+
+/// L2-resident tile bytes: footprint over spatial levels {2,3} / reduce
+/// levels {1,2} plus the per-core output tile.
+pub(crate) fn feat_l2_tile_bytes(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    groups: &[CompiledGroup],
+    scratch: &mut SlotScratch,
+) -> i64 {
+    loads_footprint_bytes(groups, scratch.set_tile(root, cfg, &[2, 3], &[1, 2]))
+        + cfg.spatial_level_product(2) * cfg.spatial_level_product(3) * 4
+}
+
+/// Iterations of the fused parallel loop: level-0 factors of the first
+/// `fuse_outer` axes in reorder order.
+pub(crate) fn feat_parallel_chunks(cfg: &NodeConfig) -> i64 {
+    cfg.reorder
+        .iter()
+        .take(cfg.fuse_outer)
+        .map(|&ax| cfg.spatial_splits[ax][0])
+        .product()
+}
+
+/// Innermost-contiguity: the fastest-varying spatial sub-loop belongs to
+/// the reorder-last axis; it is contiguous iff that axis is the last
+/// output dimension.
+pub(crate) fn feat_contiguous_inner(root: &ComputeOp, cfg: &NodeConfig) -> bool {
+    cfg.reorder
         .last()
-        .is_some_and(|&ax| ax == root.spatial.len() - 1);
+        .is_some_and(|&ax| ax == root.spatial.len() - 1)
+}
 
-    let data_node_bytes: i64 = if cfg.inline_data {
-        0
-    } else {
-        consts.materialized_data_bytes
-    };
-
-    let vector_len = if cfg.vectorize {
+/// Vector width of the innermost sub-loop (1 when vectorization is off).
+pub(crate) fn feat_vector_len(cfg: &NodeConfig) -> i64 {
+    if cfg.vectorize {
         cfg.reorder
             .last()
             .map(|&ax| cfg.spatial_splits[ax][3])
             .unwrap_or(1)
     } else {
         1
+    }
+}
+
+/// The full FPGA feature block: PE array size, sequential rounds, BRAM
+/// buffer and DDR stream bytes under the per-round tile environment.
+pub(crate) fn feat_fpga(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    groups: &[CompiledGroup],
+    scratch: &mut SlotScratch,
+) -> FpgaFeatures {
+    // PE array: levels 2 and 3 are spatial hardware parallelism;
+    // levels 0 and 1 are sequential rounds.
+    let pe: i64 = cfg.spatial_level_product(2) * cfg.spatial_level_product(3);
+    let rounds: i64 = cfg.spatial_level_product(0) * cfg.spatial_level_product(1);
+    let round_slots = scratch.set_tile(root, cfg, &[2, 3], &[0, 1, 2]);
+    // BRAM must hold the full per-round tile; DDR streaming is
+    // cheaper: a tensor is fetched from DDR a bounded number of
+    // times over the whole run (on-chip reuse across rounds, e.g.
+    // weights stay resident while spatial rounds advance).
+    const DDR_REFETCH_CAP: f64 = 8.0;
+    let mut buffer_bytes = 0i64;
+    let mut stream_bytes = 0i64;
+    for g in groups {
+        let fp = g
+            .sites
+            .iter()
+            .map(|ix| {
+                ix.iter()
+                    .map(|e| eval_slot(e, round_slots).len())
+                    .product::<i64>()
+            })
+            .max()
+            .unwrap_or(0)
+            * 4;
+        buffer_bytes += fp;
+        let total = g.total_bytes.unwrap_or(fp);
+        let amortized =
+            ((total as f64 * DDR_REFETCH_CAP / rounds.max(1) as f64).ceil() as i64).max(1);
+        stream_bytes += fp.min(amortized);
+    }
+    let write_bytes = pe * 4;
+    FpgaFeatures {
+        pe,
+        rounds,
+        buffer_bytes,
+        stream_bytes,
+        write_bytes,
+        partition: cfg.fpga_partition,
+        pipeline: cfg.fpga_pipeline,
+    }
+}
+
+/// Computes [`KernelFeatures`] for a validated config from precomputed
+/// load groups and graph constants. This is the single source of truth for
+/// feature computation: [`crate::lower::lower`],
+/// [`LoweredTemplate::features`], and the delta evaluator's full-recompute
+/// fallback all call it (and the delta fast path calls the same `feat_*`
+/// kernels it is composed of), so no path can drift from another.
+pub(crate) fn compute_features(
+    root: &ComputeOp,
+    cfg: &NodeConfig,
+    target: TargetKind,
+    groups: &[CompiledGroup],
+    consts: &FeatureConsts,
+) -> KernelFeatures {
+    // One scratch slot vector serves every tile env below (arena reuse).
+    let mut scratch = SlotScratch::new();
+
+    let shared_bytes_per_block = feat_shared_bytes_per_block(root, cfg, groups, &mut scratch);
+    let thread_reg_bytes = feat_thread_reg_bytes(root, cfg, groups, &mut scratch);
+    let l1_tile_bytes = feat_l1_tile_bytes(root, cfg, groups, &mut scratch);
+    let l2_tile_bytes = feat_l2_tile_bytes(root, cfg, groups, &mut scratch);
+
+    let data_node_bytes: i64 = if cfg.inline_data {
+        0
+    } else {
+        consts.materialized_data_bytes
     };
 
     let mut features = KernelFeatures {
@@ -303,21 +595,16 @@ pub(crate) fn compute_features(
         body_loads: groups.len(),
         reduce_size: consts.reduce_size,
         grid: cfg.spatial_level_product(0),
-        parallel_chunks: cfg
-            .reorder
-            .iter()
-            .take(cfg.fuse_outer)
-            .map(|&ax| cfg.spatial_splits[ax][0])
-            .product(),
+        parallel_chunks: feat_parallel_chunks(cfg),
         vthreads: cfg.spatial_level_product(1),
         block_threads: cfg.spatial_level_product(2),
-        thread_tile,
+        thread_tile: cfg.spatial_level_product(3),
         reduce_outer: cfg.reduce_level_product(0),
         reduce_mid: cfg.reduce_level_product(1),
         reduce_inner: cfg.reduce_level_product(2),
         unroll: cfg.unroll,
-        vector_len,
-        contiguous_inner,
+        vector_len: feat_vector_len(cfg),
+        contiguous_inner: feat_contiguous_inner(root, cfg),
         cache_shared: cfg.cache_shared,
         shared_bytes_per_block,
         thread_reg_bytes,
@@ -329,42 +616,7 @@ pub(crate) fn compute_features(
     };
 
     if target == TargetKind::Fpga {
-        // PE array: levels 2 and 3 are spatial hardware parallelism;
-        // levels 0 and 1 are sequential rounds.
-        let pe: i64 = cfg.spatial_level_product(2) * cfg.spatial_level_product(3);
-        let rounds: i64 = cfg.spatial_level_product(0) * cfg.spatial_level_product(1);
-        let round_env = tile_env(root, cfg, &[2, 3], &[0, 1, 2]);
-        // BRAM must hold the full per-round tile; DDR streaming is
-        // cheaper: a tensor is fetched from DDR a bounded number of
-        // times over the whole run (on-chip reuse across rounds, e.g.
-        // weights stay resident while spatial rounds advance).
-        const DDR_REFETCH_CAP: f64 = 8.0;
-        let mut buffer_bytes = 0i64;
-        let mut stream_bytes = 0i64;
-        for g in groups {
-            let fp = g
-                .sites
-                .iter()
-                .map(|ix| footprint(ix, &round_env))
-                .max()
-                .unwrap_or(0)
-                * 4;
-            buffer_bytes += fp;
-            let total = g.total_bytes.unwrap_or(fp);
-            let amortized =
-                ((total as f64 * DDR_REFETCH_CAP / rounds.max(1) as f64).ceil() as i64).max(1);
-            stream_bytes += fp.min(amortized);
-        }
-        let write_bytes = pe * 4;
-        features.fpga = Some(FpgaFeatures {
-            pe,
-            rounds,
-            buffer_bytes,
-            stream_bytes,
-            write_bytes,
-            partition: cfg.fpga_partition,
-            pipeline: cfg.fpga_pipeline,
-        });
+        features.fpga = Some(feat_fpga(root, cfg, groups, &mut scratch));
     }
 
     // Fused epilogue consumers (bias, activation) add FLOPs but no extra
@@ -399,12 +651,13 @@ pub(crate) fn compute_features(
 /// ```
 #[derive(Debug, Clone)]
 pub struct LoweredTemplate {
-    target: TargetKind,
-    root: ComputeOp,
-    /// Load groups per `inline_data` variant: `[false, true]`.
-    groups: [Vec<LoadGroup>; 2],
-    consts: FeatureConsts,
-    graph_flops: u64,
+    pub(crate) target: TargetKind,
+    pub(crate) root: ComputeOp,
+    /// Slot-compiled load groups per `inline_data` variant:
+    /// `[false, true]`.
+    pub(crate) groups: [Vec<CompiledGroup>; 2],
+    pub(crate) consts: FeatureConsts,
+    pub(crate) graph_flops: u64,
 }
 
 impl LoweredTemplate {
@@ -412,9 +665,9 @@ impl LoweredTemplate {
     /// target: both body variants' load groups and the graph constants.
     pub fn new(graph: &Graph, target: TargetKind) -> LoweredTemplate {
         let root = graph.anchor_op().clone();
-        let raw_groups = load_groups(graph, &root.body);
+        let raw_groups = compile_groups(&root, &load_groups(graph, &root.body));
         let inlined_body = inline_producers(graph, &root, &root.body);
-        let inlined_groups = load_groups(graph, &inlined_body);
+        let inlined_groups = compile_groups(&root, &load_groups(graph, &inlined_body));
         let materialized_data_bytes: i64 = data_producers(graph, &root)
             .iter()
             .map(|p| 2 * (p.spatial_size() * 4)) // write once + read back

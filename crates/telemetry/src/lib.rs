@@ -178,6 +178,22 @@ pub enum TraceEvent {
         /// ran, cumulative over the run.
         pruned: usize,
     },
+    /// Cumulative incremental-evaluation statistics after a batch.
+    /// Emitted only by delta-enabled evaluation pools, immediately after
+    /// the batch's [`TraceEvent::PoolStats`] (and, when gated, the
+    /// [`TraceEvent::AnalyzerStats`]) record; traces from non-delta runs
+    /// never contain it. For delta pools,
+    /// `delta_hits + delta_full == evaluated`.
+    DeltaStats {
+        /// Trial whose batch just completed.
+        trial: usize,
+        /// Fresh evaluations served by the incremental (delta) fast path,
+        /// cumulative over the run.
+        delta_hits: usize,
+        /// Fresh evaluations that needed the full feature recompute,
+        /// cumulative over the run.
+        delta_full: usize,
+    },
     /// Cumulative schedule-database statistics (`flextensor-tunedb`):
     /// lookup hits/misses, warm-start seeds served, records appended,
     /// and lines dropped by crash recovery. Emitted by the session
@@ -295,6 +311,7 @@ impl TraceEvent {
             TraceEvent::QUpdate { .. } => "q_update",
             TraceEvent::PoolStats { .. } => "pool_stats",
             TraceEvent::AnalyzerStats { .. } => "analyzer_stats",
+            TraceEvent::DeltaStats { .. } => "delta_stats",
             TraceEvent::DbStats { .. } => "db_stats",
             TraceEvent::SessionStats { .. } => "session_stats",
             TraceEvent::GraphPlan { .. } => "graph_plan",
@@ -410,6 +427,16 @@ impl TraceEvent {
             }
             TraceEvent::AnalyzerStats { trial, pruned } => {
                 let _ = write!(s, ",\"trial\":{trial},\"pruned\":{pruned}");
+            }
+            TraceEvent::DeltaStats {
+                trial,
+                delta_hits,
+                delta_full,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"trial\":{trial},\"delta_hits\":{delta_hits},\"delta_full\":{delta_full}"
+                );
             }
             TraceEvent::DbStats {
                 records,
@@ -568,6 +595,11 @@ impl TraceEvent {
             "analyzer_stats" => TraceEvent::AnalyzerStats {
                 trial: field(v.get_usize("trial"))?,
                 pruned: field(v.get_usize("pruned"))?,
+            },
+            "delta_stats" => TraceEvent::DeltaStats {
+                trial: field(v.get_usize("trial"))?,
+                delta_hits: field(v.get_usize("delta_hits"))?,
+                delta_full: field(v.get_usize("delta_full"))?,
             },
             "db_stats" => TraceEvent::DbStats {
                 records: field(v.get_usize("records"))?,
@@ -921,6 +953,11 @@ mod tests {
             TraceEvent::AnalyzerStats {
                 trial: 1,
                 pruned: 5,
+            },
+            TraceEvent::DeltaStats {
+                trial: 1,
+                delta_hits: 9,
+                delta_full: 3,
             },
             TraceEvent::DbStats {
                 records: 17,

@@ -107,6 +107,9 @@ pub struct Replay {
     /// The last recorded analyzer-gate statistics, if any (only present
     /// in traces of gate-enabled runs).
     pub analyzer: Option<TraceEvent>,
+    /// The last recorded incremental-evaluation statistics, if any (only
+    /// present in traces of delta-enabled runs).
+    pub delta: Option<TraceEvent>,
     /// The last recorded schedule-database statistics, if any (only
     /// present in traces emitted through the session server).
     pub db: Option<TraceEvent>,
@@ -156,6 +159,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
     let mut q_updates: Vec<QPoint> = Vec::new();
     let mut pool: Option<TraceEvent> = None;
     let mut analyzer: Option<TraceEvent> = None;
+    let mut delta: Option<TraceEvent> = None;
     let mut db: Option<TraceEvent> = None;
     let mut sessions: Vec<TraceEvent> = Vec::new();
     let mut graph_plan: Option<TraceEvent> = None;
@@ -255,6 +259,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
             }),
             TraceEvent::PoolStats { .. } => pool = Some(ev.clone()),
             TraceEvent::AnalyzerStats { .. } => analyzer = Some(ev.clone()),
+            TraceEvent::DeltaStats { .. } => delta = Some(ev.clone()),
             TraceEvent::DbStats { .. } => db = Some(ev.clone()),
             TraceEvent::SessionStats { .. } => sessions.push(ev.clone()),
             TraceEvent::GraphPlan { .. } => graph_plan = Some(ev.clone()),
@@ -313,6 +318,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
         q_updates,
         pool,
         analyzer,
+        delta,
         db,
         sessions,
         graph_plan,
@@ -505,6 +511,32 @@ mod tests {
         );
         // Ungated traces carry no analyzer record at all.
         assert_eq!(replay(&mini_trace()).unwrap().analyzer, None);
+    }
+
+    #[test]
+    fn delta_stats_are_captured_without_affecting_the_fold() {
+        let mut events = mini_trace();
+        let summary_at = events.len() - 1;
+        events.insert(
+            summary_at,
+            TraceEvent::DeltaStats {
+                trial: 2,
+                delta_hits: 5,
+                delta_full: 2,
+            },
+        );
+        let r = replay(&events).unwrap();
+        assert!(r.summary_matches(), "{:#?}", r);
+        assert_eq!(
+            r.delta,
+            Some(TraceEvent::DeltaStats {
+                trial: 2,
+                delta_hits: 5,
+                delta_full: 2,
+            })
+        );
+        // Non-delta traces carry no delta record at all.
+        assert_eq!(replay(&mini_trace()).unwrap().delta, None);
     }
 
     #[test]

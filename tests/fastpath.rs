@@ -13,12 +13,13 @@ use flextensor_ir::graph::Graph;
 use flextensor_ir::ops;
 use flextensor_ir::suite::{small_case, OperatorKind};
 use flextensor_schedule::config::{NodeConfig, TargetKind};
+use flextensor_schedule::delta::{delta_features_with, DeltaScratch};
 use flextensor_schedule::lower::lower;
 use flextensor_schedule::template::LoweredTemplate;
 use flextensor_sim::model::Evaluator;
 use flextensor_sim::spec::{v100, vu9p, xeon_e5_2699_v4, Device};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
 fn device_for(target: TargetKind) -> Device {
     match target {
@@ -90,6 +91,65 @@ fn template_rejections_match_lower_rejections() {
         template.features(&bad).unwrap_err(),
         lower(&graph, &bad, TargetKind::Gpu).unwrap_err()
     );
+}
+
+/// Delta-vs-full differential sweep: for every Table 3 suite operator and
+/// every target, walk ~50 seeded single-move neighbor steps and check at
+/// each step that the incremental feature patch is **bit-identical** to a
+/// full `template.features()` recompute — features, modeled costs, and
+/// error verdicts alike. The walk rolls its base forward through the
+/// *delta-produced* features, so any drift would compound and be caught.
+#[test]
+fn delta_walk_matches_full_recompute_for_every_suite_op() {
+    for (ki, kind) in OperatorKind::all().into_iter().enumerate() {
+        let graph = small_case(kind);
+        for target in [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga] {
+            let ev = Evaluator::new(device_for(target));
+            let template = LoweredTemplate::new(&graph, target);
+            let space = Space::new(&graph, target);
+            let mut rng = StdRng::seed_from_u64(0xDE17A ^ ((ki as u64) << 8) ^ target as u64);
+            let dirs = space.directions();
+            let mut scratch = DeltaScratch::new();
+            let mut base = space.start_point().clone();
+            let mut base_feats = template
+                .features(&base)
+                .expect("the naive start point always lowers");
+            let mut compared = 0usize;
+            for step in 0..50 {
+                let dir = dirs[rng.next_u32() as usize % dirs.len()];
+                let Some(neighbor) = space.apply(&base, dir) else {
+                    continue;
+                };
+                let full = template.features(&neighbor);
+                let delta =
+                    delta_features_with(&template, &base, &base_feats, &neighbor, &mut scratch);
+                match (full, delta) {
+                    (Ok(f), Ok((d, _took_delta))) => {
+                        assert_eq!(f, d, "{kind:?} on {target} step {step}: features diverged");
+                        assert_eq!(
+                            ev.time_features(&f).map(f64::to_bits),
+                            ev.time_features(&d).map(f64::to_bits),
+                            "{kind:?} on {target} step {step}: costs diverged"
+                        );
+                        base = neighbor;
+                        base_feats = d;
+                        compared += 1;
+                    }
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a, b, "{kind:?} on {target} step {step}: errors diverged");
+                    }
+                    (f, d) => panic!(
+                        "{kind:?} on {target} step {step}: verdicts diverged \
+                         (full {f:?}, delta {d:?})"
+                    ),
+                }
+            }
+            assert!(
+                compared >= 10,
+                "{kind:?} on {target}: walk compared only {compared} steps"
+            );
+        }
+    }
 }
 
 #[test]

@@ -172,6 +172,102 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Delta-evaluation properties: incremental features equal fresh features.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary seeded single-move mutation sequences: evaluating each
+    /// step's config incrementally from its predecessor (rolling the base
+    /// forward through the delta-produced features) is bit-for-bit
+    /// identical to a fresh full `features()` computation at every step —
+    /// features, costs, and rejection verdicts alike.
+    #[test]
+    fn delta_features_match_fresh_compute_under_arbitrary_mutations(
+        seed in any::<u64>(),
+        target_idx in 0usize..3,
+        steps in 10usize..40,
+    ) {
+        use flextensor_schedule::delta::{delta_features_with, DeltaScratch};
+        use flextensor_schedule::template::LoweredTemplate;
+        use rand::{RngCore, SeedableRng};
+
+        let g = ops::conv2d(ops::ConvParams::same(1, 4, 8, 3), 8, 8);
+        let target = [TargetKind::Cpu, TargetKind::Gpu, TargetKind::Fpga][target_idx];
+        let template = LoweredTemplate::new(&g, target);
+        let space = Space::new(&g, target);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dirs = space.directions();
+        let mut scratch = DeltaScratch::new();
+        let mut base = space.random_point(&mut rng);
+        let mut base_feats = template
+            .features(&base)
+            .expect("random points are valid");
+        for _ in 0..steps {
+            let dir = dirs[rng.next_u32() as usize % dirs.len()];
+            let Some(next) = space.apply(&base, dir) else { continue };
+            let fresh = template.features(&next);
+            let delta =
+                delta_features_with(&template, &base, &base_feats, &next, &mut scratch);
+            match (fresh, delta) {
+                (Ok(f), Ok((d, _))) => {
+                    prop_assert_eq!(&f, &d, "features diverged");
+                    base = next;
+                    base_feats = d;
+                }
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "errors diverged"),
+                (f, d) => {
+                    prop_assert!(false, "verdicts diverged: fresh {:?} vs delta {:?}", f, d);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary seeded neighbor batches through delta pools: outcomes
+    /// (costs bit for bit) and delta counters are invariant in the worker
+    /// count and match a plain pool on the same candidates.
+    #[test]
+    fn delta_pool_outcomes_are_worker_count_invariant(
+        seed in any::<u64>(),
+        n_bases in 2usize..5,
+    ) {
+        use flextensor_explore::pool::EvalPool;
+        use flextensor_sim::model::Evaluator;
+        use flextensor_sim::spec::{v100, Device};
+        use rand::SeedableRng;
+
+        let g = ops::gemm(32, 32, 32);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let space = Space::new(&g, ev.target());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bases: Vec<NodeConfig> =
+            (0..n_bases).map(|_| space.random_point(&mut rng)).collect();
+        let mut cands = Vec::new();
+        let mut base_of = Vec::new();
+        for (bi, b) in bases.iter().enumerate() {
+            for &d in space.directions() {
+                if let Some(n) = space.apply(b, d) {
+                    cands.push(n);
+                    base_of.push(bi);
+                }
+            }
+        }
+        prop_assert!(!cands.is_empty());
+        let plain = EvalPool::new(&g, &ev, 1, 1 << 16).evaluate_batch(&cands);
+        let mut counters = Vec::new();
+        for workers in [1usize, 4] {
+            let mut pool = EvalPool::new_delta(&g, &ev, workers, 1 << 16, false);
+            let out = pool.evaluate_batch_delta(&cands, &base_of, &bases);
+            prop_assert_eq!(&out, &plain, "workers {}", workers);
+            let s = pool.stats();
+            prop_assert_eq!(s.delta_hits + s.delta_full, s.evaluated);
+            counters.push((s.delta_hits, s.delta_full, s.evaluated));
+        }
+        prop_assert_eq!(counters[0], counters[1]);
+    }
+}
+
 /// The trivial point of the schedule space exists for *every* shape the
 /// paper benchmarks: `NodeConfig::naive` validates against the anchor of
 /// each suite test case of each operator kind (checked exhaustively, not
