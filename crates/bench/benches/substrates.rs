@@ -13,7 +13,7 @@ use flextensor_explore::space::Space;
 use flextensor_interp::machine::run_kernel;
 use flextensor_interp::reference::random_inputs;
 use flextensor_ir::ops::{self, ConvParams};
-use flextensor_nn::{AdaDelta, Mlp};
+use flextensor_nn::{AdaDelta, Mlp, TrainScratch};
 use flextensor_schedule::config::TargetKind;
 use flextensor_schedule::lower::{lower, lower_naive};
 use flextensor_sim::library::expert_gpu_config;
@@ -74,8 +74,11 @@ fn bench_nn(c: &mut Criterion) {
     let mut opt = AdaDelta::new(net.num_params());
     let xs: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 7) as f64 / 7.0; 40]).collect();
     let ys: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 5) as f64 / 5.0; 70]).collect();
+    let xr: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
+    let yr: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
+    let mut scratch = TrainScratch::new();
     c.bench_function("nn/q_network_train_batch64", |b| {
-        b.iter(|| net.train_batch(black_box(&xs), black_box(&ys), &mut opt))
+        b.iter(|| net.train_batch_with(black_box(&xr), black_box(&yr), &mut opt, &mut scratch))
     });
     let x = vec![0.3; 40];
     c.bench_function("nn/q_network_forward", |b| {

@@ -18,7 +18,14 @@
 //! only pays the cheap config-apply step (identical results to a full
 //! re-lowering — see `docs/PERFORMANCE.md`). The re-lowering path is kept
 //! behind [`EvalPool::new_reference`] for differential tests and the
-//! `probe_perf` baseline.
+//! `probe_perf` baseline. Cost-model scoring is *batched*: candidates'
+//! features are gathered into a structure-of-arrays
+//! [`FeatureBatch`] and scored through one
+//! [`Evaluator::time_features_batch`] call per coordinator batch (or per
+//! claimed worker chunk), bit-identical to scalar scoring by that API's
+//! determinism contract. Memo keys are hashed once per candidate, and
+//! neighbor batches derive each candidate's key from its base's key by
+//! patching only the changed words ([`NodeConfig::encode_delta_into`]).
 //!
 //! Determinism argument: the evaluator is a pure function of
 //! `(graph, config)`, candidate batches are constructed before any
@@ -27,6 +34,7 @@
 //! order. Thread scheduling can therefore change *wall-clock time only*,
 //! never a result or a counter.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,6 +48,7 @@ use flextensor_schedule::config::NodeConfig;
 use flextensor_schedule::delta::{delta_features_with, DeltaScratch};
 use flextensor_schedule::features::KernelFeatures;
 use flextensor_schedule::template::LoweredTemplate;
+use flextensor_sim::batch::FeatureBatch;
 use flextensor_sim::model::{Cost, Evaluator};
 use flextensor_telemetry::{Telemetry, TraceEvent};
 
@@ -58,13 +67,19 @@ const CACHE_SHARDS: usize = 16;
 /// outcome of a batch is identical either way; only wall-clock changes.
 const INLINE_BATCH: usize = 1024;
 
+/// Fan-out work-claim granularity: a worker claims this many candidates
+/// per `fetch_add` and scores them through one batched cost-model call
+/// ([`Evaluator::time_features_batch`]). Result slots are pre-assigned per
+/// candidate, so the chunk size only changes load balancing and the
+/// batching of the scoring loop — never a result or a counter.
+const WORKER_CHUNK: usize = 32;
+
 /// FNV-1a for the pool's integer-keyed maps. The standard library's
 /// default hasher (SipHash) is keyed for DoS resistance, which the pool
 /// does not need: keys are canonical config encodings produced by the
-/// search itself, never external input, and each candidate pays three
-/// hashes on the coordinator (cache peek, duplicate check, cache insert)
-/// — with short `i64`-word keys, FNV's one xor-multiply per word is
-/// several times cheaper. Deterministic across runs and platforms.
+/// search itself, never external input — with short `i64`-word keys,
+/// FNV's one xor-multiply per word is several times cheaper.
+/// Deterministic across runs and platforms.
 #[derive(Debug, Clone, Copy)]
 struct FnvHasher(u64);
 
@@ -239,7 +254,10 @@ impl MemoCache {
 
     /// FNV-1a over the key words; stable across platforms. The low bits
     /// select the shard, bits 7+ seat the key in the shard's probe table.
-    fn hash(key: &[i64]) -> u64 {
+    /// Public so a caller holding many keys (the evaluation pool) can hash
+    /// each one once and reuse it across [`MemoCache::peek_hashed`],
+    /// in-batch duplicate detection, and [`MemoCache::insert_hashed`].
+    pub fn hash(key: &[i64]) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for &w in key {
             h ^= w as u64;
@@ -255,7 +273,12 @@ impl MemoCache {
     /// Looks a key up **without** touching the hit/miss counters (the
     /// counters record lookups-with-intent, see [`MemoCache::count_hits`]).
     pub fn peek(&self, key: &[i64]) -> Option<Option<Cost>> {
-        let hash = MemoCache::hash(key);
+        self.peek_hashed(MemoCache::hash(key), key)
+    }
+
+    /// [`MemoCache::peek`] with a precomputed [`MemoCache::hash`] of `key`.
+    pub fn peek_hashed(&self, hash: u64, key: &[i64]) -> Option<Option<Cost>> {
+        debug_assert_eq!(hash, MemoCache::hash(key));
         let shard = self.shard(hash).lock().expect("cache shard poisoned");
         if shard.slots.is_empty() {
             return None;
@@ -270,7 +293,13 @@ impl MemoCache {
     /// it is at capacity. The key is copied into the shard's arena; no
     /// per-entry allocation happens on a warm shard.
     pub fn insert(&self, key: &[i64], value: Option<Cost>) {
-        let hash = MemoCache::hash(key);
+        self.insert_hashed(MemoCache::hash(key), key, value)
+    }
+
+    /// [`MemoCache::insert`] with a precomputed [`MemoCache::hash`] of
+    /// `key`.
+    pub fn insert_hashed(&self, hash: u64, key: &[i64], value: Option<Cost>) {
+        debug_assert_eq!(hash, MemoCache::hash(key));
         let mut shard = self.shard(hash).lock().expect("cache shard poisoned");
         if shard.slots.is_empty() {
             shard.slots = vec![
@@ -456,82 +485,137 @@ struct EvalCtx {
     inline_batch: usize,
 }
 
-impl EvalCtx {
-    /// Evaluates one point; the second component reports a gate rejection.
-    fn eval(&self, cfg: &NodeConfig) -> (Option<Cost>, bool) {
-        if !self.analyzer_gate {
-            let cost = if self.use_template {
-                self.evaluator.evaluate_template(&self.template, cfg)
-            } else {
-                self.evaluator.evaluate(&self.graph, cfg)
-            };
-            return (cost, false);
-        }
-        // Gated path: derive features once, consult the analyzer, and only
-        // then run the cost model — on the same features, so costs are
-        // bit-identical to the ungated path.
-        let (features, flops) = if self.use_template {
-            (
-                self.template.features(cfg).ok(),
-                self.template.graph_flops(),
-            )
-        } else {
-            let target = self.evaluator.target();
-            (
-                flextensor_schedule::lower::lower(&self.graph, cfg, target)
-                    .ok()
-                    .map(|k| k.features),
-                self.graph.flops(),
-            )
-        };
-        let Some(features) = features else {
-            // Invalid for the graph (a config-level legality error).
-            return (None, true);
-        };
-        if flextensor_analyze::gate_rejects(self.evaluator.device(), &features).is_some() {
-            return (None, true);
-        }
-        let cost = self
-            .evaluator
-            .time_features(&features)
-            .map(|seconds| Cost { seconds, flops });
-        (cost, false)
-    }
+/// What one candidate contributed to a feature batch, before scoring.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    /// A feature row was pushed; the verdict comes from the batched
+    /// scoring pass. When `false` the verdict is already `None`
+    /// (config-invalid or gate-rejected).
+    valid: bool,
+    /// The analyzer gate (or a config-level legality error on a gated
+    /// pool) rejected the point before the cost model.
+    pruned: bool,
+    /// The incremental (delta) feature path served the point.
+    took_delta: bool,
+}
 
-    /// Evaluates one point, incrementally from `base` when delta
-    /// evaluation is on and a base is available. Returns
-    /// `(cost, pruned, took_delta)`.
+impl EvalCtx {
+    /// Derives the features for one point — incrementally from `base` when
+    /// delta evaluation is on and a base is available — and appends them to
+    /// `batch` as one row when the point is scoreable. Scoring happens
+    /// separately, over the whole batch, through
+    /// [`Evaluator::time_features_batch`] (bit-identical to scoring rows
+    /// one at a time; see `flextensor_sim::batch`).
     ///
     /// The delta/full decision is a pure function of `(base, cfg)` — it
     /// never depends on which worker runs the item or in what order — so
     /// results *and counters* are deterministic across worker counts.
-    fn eval_with_base(
+    fn features_into(
         &self,
         cfg: &NodeConfig,
         base: Option<&(NodeConfig, KernelFeatures)>,
         scratch: &mut DeltaScratch,
-    ) -> (Option<Cost>, bool, bool) {
-        let (true, Some((base_cfg, base_features))) = (self.delta_eval, base) else {
-            let (cost, pruned) = self.eval(cfg);
-            return (cost, pruned, false);
-        };
-        match delta_features_with(&self.template, base_cfg, base_features, cfg, scratch) {
-            Ok((features, took_delta)) => {
-                if self.analyzer_gate
-                    && flextensor_analyze::gate_rejects(self.evaluator.device(), &features)
-                        .is_some()
-                {
-                    return (None, true, took_delta);
+        batch: &mut FeatureBatch,
+    ) -> RowMeta {
+        if let (true, Some((base_cfg, base_features))) = (self.delta_eval, base) {
+            return match delta_features_with(&self.template, base_cfg, base_features, cfg, scratch)
+            {
+                Ok((features, took_delta)) => {
+                    if self.analyzer_gate
+                        && flextensor_analyze::gate_rejects(self.evaluator.device(), &features)
+                            .is_some()
+                    {
+                        RowMeta {
+                            valid: false,
+                            pruned: true,
+                            took_delta,
+                        }
+                    } else {
+                        batch.push(&features);
+                        RowMeta {
+                            valid: true,
+                            pruned: false,
+                            took_delta,
+                        }
+                    }
                 }
-                let cost = self.evaluator.time_features(&features).map(|seconds| Cost {
-                    seconds,
-                    flops: self.template.graph_flops(),
-                });
-                (cost, false, took_delta)
-            }
-            // Invalid for the graph: same verdict (and same pruned
-            // semantics) as the plain gated/ungated paths.
-            Err(_) => (None, self.analyzer_gate, false),
+                // Invalid for the graph: same verdict (and same pruned
+                // semantics) as the full path below.
+                Err(_) => RowMeta {
+                    valid: false,
+                    pruned: self.analyzer_gate,
+                    took_delta: false,
+                },
+            };
+        }
+        let features = if self.use_template {
+            self.template.features(cfg).ok()
+        } else {
+            let target = self.evaluator.target();
+            flextensor_schedule::lower::lower(&self.graph, cfg, target)
+                .ok()
+                .map(|k| k.features)
+        };
+        let Some(features) = features else {
+            // Invalid for the graph (a config-level legality error); gated
+            // pools report it as pruned, plain pools as a bare `None`.
+            return RowMeta {
+                valid: false,
+                pruned: self.analyzer_gate,
+                took_delta: false,
+            };
+        };
+        if self.analyzer_gate
+            && flextensor_analyze::gate_rejects(self.evaluator.device(), &features).is_some()
+        {
+            return RowMeta {
+                valid: false,
+                pruned: true,
+                took_delta: false,
+            };
+        }
+        batch.push(&features);
+        RowMeta {
+            valid: true,
+            pruned: false,
+            took_delta: false,
+        }
+    }
+
+    /// Workload FLOPs, read from the active evaluation path (template
+    /// pools report the template's, reference pools the graph's — equal by
+    /// construction).
+    fn flops(&self) -> u64 {
+        if self.use_template {
+            self.template.graph_flops()
+        } else {
+            self.graph.flops()
+        }
+    }
+
+    /// Scores the gathered feature rows and zips the verdicts back onto
+    /// the per-candidate metadata, producing the `(cost, pruned,
+    /// took_delta)` triples the reduction step consumes. `scores` is the
+    /// caller's reusable output buffer for the batched scoring call.
+    fn score_batch(
+        &self,
+        batch: &FeatureBatch,
+        metas: &[RowMeta],
+        scores: &mut Vec<Option<f64>>,
+        out: &mut dyn FnMut(usize, (Option<Cost>, bool, bool)),
+    ) {
+        self.evaluator.time_features_batch(batch, scores);
+        let flops = self.flops();
+        let mut row = 0usize;
+        for (k, m) in metas.iter().enumerate() {
+            let cost = if m.valid {
+                let s = scores[row];
+                row += 1;
+                s.map(|seconds| Cost { seconds, flops })
+            } else {
+                None
+            };
+            out(k, (cost, m.pruned, m.took_delta));
         }
     }
 }
@@ -569,11 +653,17 @@ pub struct EvalPool {
     wall_clock: Duration,
     /// Batch scratch, reused so a steady-state batch allocates only its
     /// result vector: the flat key buffer (all candidate encodings back to
-    /// back), the end offset of each key in it, and the serial-path
-    /// feature scratch.
+    /// back), the end offset of each key in it, the per-key hash (computed
+    /// once, reused by peek / duplicate check / insert), the flat buffer
+    /// of base keys for delta batches, and the serial-path feature, batch,
+    /// and score scratch.
     key_buf: Vec<i64>,
     key_ends: Vec<usize>,
+    key_hashes: Vec<u64>,
+    base_key_buf: Vec<i64>,
     inline_scratch: DeltaScratch,
+    feature_batch: FeatureBatch,
+    score_buf: Vec<Option<f64>>,
 }
 
 impl std::fmt::Debug for EvalPool {
@@ -753,17 +843,39 @@ impl EvalPool {
                 let ctx = Arc::clone(&ctx);
                 let done_tx = done_tx.clone();
                 handles.push(std::thread::spawn(move || {
-                    // Per-worker scratch arena, reused across batches.
+                    // Per-worker scratch, reused across batches: the delta
+                    // arena, the feature-batch columns, and the score
+                    // buffer.
                     let mut scratch = DeltaScratch::new();
+                    let mut batch = FeatureBatch::new();
+                    let mut scores: Vec<Option<f64>> = Vec::new();
+                    let mut metas: Vec<RowMeta> = Vec::new();
                     while let Ok(job) = job_rx.recv() {
                         loop {
-                            let i = job.next.fetch_add(1, Ordering::Relaxed);
-                            if i >= job.configs.len() {
+                            // Claim a chunk: derive features for every
+                            // candidate in it, then score them through one
+                            // batched cost-model call. Slots are
+                            // pre-assigned, so chunking only changes load
+                            // balancing, never a result.
+                            let start = job.next.fetch_add(WORKER_CHUNK, Ordering::Relaxed);
+                            if start >= job.configs.len() {
                                 break;
                             }
-                            let base = job.base_idx[i].map(|b| &job.bases[b]);
-                            let cost = ctx.eval_with_base(&job.configs[i], base, &mut scratch);
-                            let _ = job.results[i].set(cost);
+                            let end = (start + WORKER_CHUNK).min(job.configs.len());
+                            batch.clear();
+                            metas.clear();
+                            for i in start..end {
+                                let base = job.base_idx[i].map(|b| &job.bases[b]);
+                                metas.push(ctx.features_into(
+                                    &job.configs[i],
+                                    base,
+                                    &mut scratch,
+                                    &mut batch,
+                                ));
+                            }
+                            ctx.score_batch(&batch, &metas, &mut scores, &mut |k, triple| {
+                                let _ = job.results[start + k].set(triple);
+                            });
                         }
                         drop(job);
                         if done_tx.send(()).is_err() {
@@ -787,7 +899,11 @@ impl EvalPool {
             wall_clock: Duration::ZERO,
             key_buf: Vec::new(),
             key_ends: Vec::new(),
+            key_hashes: Vec::new(),
+            base_key_buf: Vec::new(),
             inline_scratch: DeltaScratch::new(),
+            feature_batch: FeatureBatch::new(),
+            score_buf: Vec::new(),
         }
     }
 
@@ -871,38 +987,82 @@ impl EvalPool {
         let n = configs.len();
         // Encode every candidate into the pool's flat key buffer; for the
         // rest of the batch a key is a slice of it (no per-key vector).
+        // Neighbor batches derive each candidate's key from its base's
+        // already-encoded key by patching only the changed words
+        // ([`NodeConfig::encode_delta_into`]) instead of re-encoding the
+        // full config; the derived words are exactly the full encoding, so
+        // cache identity is untouched.
         let mut key_buf = std::mem::take(&mut self.key_buf);
         let mut key_ends = std::mem::take(&mut self.key_ends);
+        let mut key_hashes = std::mem::take(&mut self.key_hashes);
         key_buf.clear();
         key_ends.clear();
-        for c in configs {
-            c.encode_into(&mut key_buf);
-            key_ends.push(key_buf.len());
+        key_hashes.clear();
+        if let Some((base_of, bases)) = delta {
+            let mut base_key_buf = std::mem::take(&mut self.base_key_buf);
+            base_key_buf.clear();
+            // Span of each base's key in `base_key_buf`, encoded lazily so
+            // unused bases cost nothing.
+            let mut spans: Vec<Option<(usize, usize)>> = vec![None; bases.len()];
+            for (i, c) in configs.iter().enumerate() {
+                let bi = base_of[i];
+                let (s, e) = *spans[bi].get_or_insert_with(|| {
+                    let s = base_key_buf.len();
+                    bases[bi].encode_into(&mut base_key_buf);
+                    (s, base_key_buf.len())
+                });
+                if !c.encode_delta_into(&bases[bi], &base_key_buf[s..e], &mut key_buf) {
+                    c.encode_into(&mut key_buf);
+                }
+                key_ends.push(key_buf.len());
+            }
+            self.base_key_buf = base_key_buf;
+        } else {
+            for c in configs {
+                c.encode_into(&mut key_buf);
+                key_ends.push(key_buf.len());
+            }
         }
         let key = |i: usize| -> &[i64] {
             let start = if i == 0 { 0 } else { key_ends[i - 1] };
             &key_buf[start..key_ends[i]]
         };
+        // Hash each key exactly once; the cache peek, the in-batch
+        // duplicate check, and the final insert all reuse it.
+        for i in 0..n {
+            key_hashes.push(MemoCache::hash(key(i)));
+        }
         let mut out: Vec<Option<EvalOutcome>> = vec![None; n];
 
         // Resolve cache hits and in-batch duplicates on the coordinator.
-        let mut first_of_key: FnvMap<&[i64], usize> =
+        // Duplicates are detected by the precomputed 64-bit hash with a
+        // key comparison on a match; should two *distinct* keys ever
+        // collide, the later one is evaluated fresh rather than mis-shared
+        // — deterministic either way.
+        let mut first_of_hash: FnvMap<u64, usize> =
             FnvMap::with_capacity_and_hasher(n, Default::default());
         let mut work: Vec<usize> = Vec::new();
         let mut hits = 0usize;
         for (i, slot) in out.iter_mut().enumerate() {
-            if let Some(cost) = self.cache.peek(key(i)) {
+            if let Some(cost) = self.cache.peek_hashed(key_hashes[i], key(i)) {
                 *slot = Some(EvalOutcome {
                     cost,
                     fresh: false,
                     pruned: false,
                 });
                 hits += 1;
-            } else if !first_of_key.contains_key(key(i)) {
-                first_of_key.insert(key(i), i);
-                work.push(i);
+            } else {
+                match first_of_hash.entry(key_hashes[i]) {
+                    MapEntry::Vacant(e) => {
+                        e.insert(i);
+                        work.push(i);
+                    }
+                    MapEntry::Occupied(e) if key(*e.get()) != key(i) => work.push(i),
+                    // else: duplicate of an earlier candidate; resolved
+                    // below.
+                    MapEntry::Occupied(_) => {}
+                }
             }
-            // else: duplicate of an earlier candidate; resolved below.
         }
 
         // Resolve delta bases once, on the coordinator: one full feature
@@ -931,17 +1091,28 @@ impl EvalPool {
 
         // Evaluate the misses — inline when serial or too small to
         // amortize dispatch (see [`INLINE_BATCH`]), fanned out over the
-        // persistent workers otherwise.
+        // persistent workers otherwise. Either way the evaluation is
+        // split-phase: features first (delta-aware), then one batched
+        // cost-model scoring call per chunk.
         let fresh: Vec<(Option<Cost>, bool, bool)> =
             if self.senders.is_empty() || work.len() <= self.ctx.inline_batch.max(1) {
                 let ctx = &self.ctx;
                 let scratch = &mut self.inline_scratch;
-                work.iter()
+                let batch = &mut self.feature_batch;
+                batch.clear();
+                let metas: Vec<RowMeta> = work
+                    .iter()
                     .zip(&base_idx)
                     .map(|(&i, &b)| {
-                        ctx.eval_with_base(&configs[i], b.map(|bi| &job_bases[bi]), scratch)
+                        ctx.features_into(&configs[i], b.map(|bi| &job_bases[bi]), scratch, batch)
                     })
-                    .collect()
+                    .collect();
+                let mut fresh: Vec<(Option<Cost>, bool, bool)> =
+                    vec![(None, false, false); metas.len()];
+                ctx.score_batch(batch, &metas, &mut self.score_buf, &mut |k, triple| {
+                    fresh[k] = triple;
+                });
+                fresh
             } else {
                 let job = Arc::new(BatchJob {
                     configs: work.iter().map(|&i| configs[i].clone()).collect(),
@@ -974,7 +1145,9 @@ impl EvalPool {
         }
         for i in 0..n {
             if out[i].is_none() {
-                let j = first_of_key[key(i)];
+                // Unresolved ⇒ its key matched an earlier candidate's (the
+                // hash entry's key was compared at detection time).
+                let j = first_of_hash[&key_hashes[i]];
                 let cost = out[j].expect("first occurrence resolved").cost;
                 out[i] = Some(EvalOutcome {
                     cost,
@@ -990,13 +1163,11 @@ impl EvalPool {
         // shard). Gate rejections memoize as `None` — sound, since they
         // would have evaluated to `None`.
         for (&(cost, _, _), &i) in fresh.iter().zip(&work) {
-            self.cache.insert(key(i), cost);
+            self.cache.insert_hashed(key_hashes[i], key(i), cost);
         }
-        // `first_of_key` borrows the key buffer and has drop glue; end it
-        // explicitly so the buffers can be stowed for the next batch.
-        drop(first_of_key);
         self.key_buf = key_buf;
         self.key_ends = key_ends;
+        self.key_hashes = key_hashes;
         self.cache.count_hits(hits);
         self.cache.count_misses(work.len());
         self.evaluated += work.len();
@@ -1335,6 +1506,49 @@ mod tests {
         let (i, f) = (inline_pool.stats(), fanned_pool.stats());
         assert_eq!((i.delta_hits, i.delta_full), (f.delta_hits, f.delta_full));
         assert_eq!(i.evaluated, f.evaluated);
+    }
+
+    /// Keys derived from a base key (`encode_delta_into`) must be the
+    /// exact canonical encoding: after a delta batch warms the cache, a
+    /// *plain* batch over the same configs (keys encoded from scratch)
+    /// must be answered entirely from the cache, and vice versa.
+    #[test]
+    fn delta_derived_keys_share_cache_identity_with_plain_keys() {
+        let (g, ev) = setup();
+        let space = crate::space::Space::new(&g, ev.target());
+        let (cands, base_of, bases) = neighbor_batch(&space, 10, 4);
+        let mut pool = EvalPool::new_delta(&g, &ev, 1, 1 << 16, false);
+        let via_delta = pool.evaluate_batch_delta(&cands, &base_of, &bases);
+        let evaluated = pool.stats().evaluated;
+        let via_plain = pool.evaluate_batch(&cands);
+        assert_eq!(
+            pool.stats().evaluated,
+            evaluated,
+            "plain re-encoding must hit every delta-derived cache entry"
+        );
+        for (d, p) in via_delta.iter().zip(&via_plain) {
+            assert_eq!(d.cost, p.cost);
+            assert!(!p.fresh);
+        }
+    }
+
+    #[test]
+    fn hashed_cache_entry_points_match_the_plain_ones() {
+        let cache = MemoCache::new(1 << 10);
+        let key_a = [1i64, 2, 3, 4];
+        let key_b = [4i64, 3, 2, 1];
+        let cost = Some(Cost {
+            seconds: 1.5,
+            flops: 10,
+        });
+        cache.insert_hashed(MemoCache::hash(&key_a), &key_a, cost);
+        cache.insert(&key_b, None);
+        assert_eq!(cache.peek(&key_a), Some(cost));
+        assert_eq!(
+            cache.peek_hashed(MemoCache::hash(&key_b), &key_b),
+            Some(None)
+        );
+        assert_eq!(cache.peek_hashed(MemoCache::hash(&[9i64]), &[9i64]), None);
     }
 
     #[test]

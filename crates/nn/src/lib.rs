@@ -13,17 +13,18 @@
 //! # Examples
 //!
 //! ```
-//! use flextensor_nn::{Mlp, AdaDelta};
+//! use flextensor_nn::{Mlp, AdaDelta, TrainScratch};
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
 //! // 4 fully-connected layers (the paper's Q-network shape).
 //! let mut net = Mlp::new(&[8, 32, 32, 4], &mut rng);
 //! let mut opt = AdaDelta::new(net.num_params());
+//! let mut scratch = TrainScratch::new();
 //! let x = vec![0.5; 8];
 //! let y = vec![1.0, 0.0, 0.0, 0.0];
 //! for _ in 0..200 {
-//!     net.train_batch(&[x.clone()], &[y.clone()], &mut opt);
+//!     net.train_batch_with(&[&x], &[&y], &mut opt, &mut scratch);
 //! }
 //! let out = net.forward(&x);
 //! assert!((out[0] - 1.0).abs() < 0.5);
@@ -74,31 +75,101 @@ impl Linear {
     }
 }
 
-/// Dot product over four independent accumulator lanes.
+/// Fixed chunk width of the dense kernels ([`dot`] / [`axpy`]): eight
+/// independent f64 lanes, matching one AVX-512 register or two AVX2
+/// registers' worth of accumulators.
+pub const DOT_LANES: usize = 8;
+
+/// Specified accumulation order of [`dot`] — the scalar reference the
+/// chunked kernel must match bit-for-bit at every length.
 ///
-/// Breaking the single serial dependency chain into four lets the
-/// compiler keep the loop in SIMD registers (and overlaps the scalar FMAs
-/// even where it cannot). The combine order — `(l0 + l1) + (l2 + l3)`,
-/// then the remainder tail left to right — is fixed, so results are
-/// deterministic across builds; they are *not* bit-identical to a plain
-/// serial fold (floating-point addition is non-associative), which is why
-/// the committed probe CSVs were regenerated when this landed.
-fn dot(w: &[f64], x: &[f64]) -> f64 {
-    debug_assert_eq!(w.len(), x.len());
-    let mut lanes = [0.0f64; 4];
-    let (w4, wt) = w.split_at(w.len() - w.len() % 4);
-    let (x4, xt) = x.split_at(w4.len());
-    for (wc, xc) in w4.chunks_exact(4).zip(x4.chunks_exact(4)) {
-        lanes[0] += wc[0] * xc[0];
-        lanes[1] += wc[1] * xc[1];
-        lanes[2] += wc[2] * xc[2];
-        lanes[3] += wc[3] * xc[3];
+/// Definition: split `w`/`x` at the largest multiple of [`DOT_LANES`].
+/// Over the full chunks, lane `j` accumulates the products at positions
+/// `≡ j (mod 8)` in index order. The eight lanes combine pairwise as
+/// `((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7))`, then the ragged
+/// tail folds in left to right. Any length is covered: `len < 8` is all
+/// tail, `len % 8 != 0` exercises both parts, `len == 0` returns `0.0`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_spec(w: &[f64], x: &[f64]) -> f64 {
+    assert_eq!(w.len(), x.len(), "dot over mismatched lengths");
+    let n = w.len();
+    let full = n - n % DOT_LANES;
+    let mut lanes = [0.0f64; DOT_LANES];
+    let mut i = 0;
+    while i < full {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += w[i + j] * x[i + j];
+        }
+        i += DOT_LANES;
     }
-    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+    for k in full..n {
+        acc += w[k] * x[k];
+    }
+    acc
+}
+
+/// Dot product over eight independent accumulator lanes.
+///
+/// Breaking the single serial dependency chain into eight lets the
+/// compiler keep the loop in SIMD registers (and overlaps the scalar FMAs
+/// even where it cannot). The accumulation order is *defined* — see
+/// [`dot_spec`], which this function matches bit-for-bit at any length
+/// (enforced by the chunked-kernel property tests) — so results are
+/// deterministic across builds. They are *not* bit-identical to a plain
+/// serial fold or to the previous four-lane kernel (floating-point
+/// addition is non-associative), which is why the committed trace
+/// fixtures and probe CSVs were regenerated when this landed.
+pub fn dot(w: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), x.len());
+    let split = w.len() - w.len() % DOT_LANES;
+    let (w8, wt) = w.split_at(split);
+    let (x8, xt) = x.split_at(split);
+    let mut lanes = [0.0f64; DOT_LANES];
+    for (wc, xc) in w8.chunks_exact(DOT_LANES).zip(x8.chunks_exact(DOT_LANES)) {
+        for (j, lane) in lanes.iter_mut().enumerate() {
+            *lane += wc[j] * xc[j];
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+        + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
     for (wi, xi) in wt.iter().zip(xt) {
         acc += wi * xi;
     }
     acc
+}
+
+/// Chunked in-place scaled add: `y[i] += a * x[i]` for every `i`, swept in
+/// [`DOT_LANES`]-wide chunks with an explicit ragged tail.
+///
+/// Each element updates independently — there is no cross-element
+/// accumulation — so the chunking is pure loop shaping and the result is
+/// exactly the naive element-wise loop at any length. Used by the backprop
+/// inner loops (gradient-row updates and delta propagation).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy over mismatched lengths");
+    let split = x.len() - x.len() % DOT_LANES;
+    let (x8, xt) = x.split_at(split);
+    let (y8, yt) = y.split_at_mut(split);
+    for (yc, xc) in y8
+        .chunks_exact_mut(DOT_LANES)
+        .zip(x8.chunks_exact(DOT_LANES))
+    {
+        for (j, yj) in yc.iter_mut().enumerate() {
+            *yj += a * xc[j];
+        }
+    }
+    for (yi, xi) in yt.iter_mut().zip(xt) {
+        *yi += a * xi;
+    }
 }
 
 /// Reusable ping-pong activation buffers for allocation-free inference
@@ -247,13 +318,22 @@ impl Mlp {
 
     /// One optimization step on a batch under MSE loss; returns the batch
     /// loss before the update. Convenience wrapper over
-    /// [`Mlp::train_batch_with`] with throwaway scratch — hot loops should
-    /// hold a [`TrainScratch`] and call the `_with` variant directly.
+    /// [`Mlp::train_batch_with`] with throwaway scratch.
+    ///
+    /// Deprecated for hot paths: this allocates a fresh [`TrainScratch`]
+    /// (and two slice-reference vectors) on every call. Loops that train
+    /// repeatedly — the Q-learning replay loop, benchmarks — must hold a
+    /// [`TrainScratch`] and call [`Mlp::train_batch_with`] directly; this
+    /// wrapper stays for one-off use and tests.
     ///
     /// # Panics
     ///
     /// Panics if the batch is empty, shapes mismatch, or `opt` was created
     /// for a different parameter count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call; hot loops should hold a TrainScratch and use train_batch_with"
+    )]
     pub fn train_batch(&mut self, xs: &[Vec<f64>], ys: &[Vec<f64>], opt: &mut AdaDelta) -> f64 {
         let xr: Vec<&[f64]> = xs.iter().map(Vec::as_slice).collect();
         let yr: Vec<&[f64]> = ys.iter().map(Vec::as_slice).collect();
@@ -323,9 +403,7 @@ impl Mlp {
                 for o in 0..layer.outputs {
                     gb[o] += delta[o];
                     let row = &mut gw[o * layer.inputs..(o + 1) * layer.inputs];
-                    for (g, xi) in row.iter_mut().zip(input) {
-                        *g += delta[o] * xi;
-                    }
+                    axpy(delta[o], input, row);
                 }
                 if li > 0 {
                     // Propagate delta through W and the ReLU derivative at
@@ -333,9 +411,7 @@ impl Mlp {
                     prev.clear();
                     prev.resize(layer.inputs, 0.0);
                     for (d, row) in delta.iter().zip(layer.w.chunks(layer.inputs)) {
-                        for (p, wi) in prev.iter_mut().zip(row) {
-                            *p += d * wi;
-                        }
+                        axpy(*d, row, prev);
                     }
                     for (p, a) in prev.iter_mut().zip(&acts[li]) {
                         if *a <= 0.0 {
@@ -418,6 +494,9 @@ impl AdaDelta {
 }
 
 #[cfg(test)]
+// The tests deliberately exercise the deprecated convenience wrapper —
+// it must stay bit-identical to `train_batch_with`.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

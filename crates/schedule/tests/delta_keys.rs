@@ -1,0 +1,131 @@
+//! Property tests for the delta-aware key encoder: for *any* pair of
+//! structurally compatible configs, [`NodeConfig::encode_delta_into`] must
+//! produce exactly the words [`NodeConfig::encode_into`] would — the memo
+//! cache's key identity may never depend on which of the two paths encoded
+//! a candidate. Structurally incompatible pairs must be rejected without
+//! touching the output buffer.
+
+use flextensor_schedule::config::{NodeConfig, REDUCE_PARTS, SPATIAL_PARTS};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so config generation needs no external RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// An arbitrary config with `ns` spatial and `nr` reduce axes. Values are
+/// unconstrained (the encoder is total over configs; validity is
+/// `validate`'s business, not the key's).
+fn config(rng: &mut Rng, ns: usize, nr: usize) -> NodeConfig {
+    let factor = |rng: &mut Rng| (rng.next() % 64 + 1) as i64;
+    NodeConfig {
+        spatial_splits: (0..ns)
+            .map(|_| (0..SPATIAL_PARTS).map(|_| factor(rng)).collect())
+            .collect(),
+        reduce_splits: (0..nr)
+            .map(|_| (0..REDUCE_PARTS).map(|_| factor(rng)).collect())
+            .collect(),
+        reorder: (0..ns).map(|_| (rng.next() as usize) % ns).collect(),
+        fuse_outer: (rng.next() as usize) % ns + 1,
+        unroll: rng.next().is_multiple_of(2),
+        vectorize: rng.next().is_multiple_of(2),
+        cache_shared: rng.next().is_multiple_of(2),
+        inline_data: rng.next().is_multiple_of(2),
+        fpga_partition: (rng.next() % 16 + 1) as i64,
+        fpga_pipeline: (rng.next() % 3 + 1) as i64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Derived key == full encode, for arbitrary compatible (base, cfg)
+    /// pairs — including pairs that differ in every field.
+    #[test]
+    fn derived_key_equals_full_encode(
+        ns in 1usize..4,
+        nr in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed | 1);
+        let base = config(&mut rng, ns, nr);
+        let cfg = config(&mut rng, ns, nr);
+        let base_key = base.encode();
+        let mut derived = vec![42i64]; // pre-existing words must survive
+        prop_assert!(cfg.encode_delta_into(&base, &base_key, &mut derived));
+        prop_assert_eq!(&derived[..1], &[42i64][..]);
+        let full = cfg.encode();
+        prop_assert_eq!(&derived[1..], full.as_slice());
+    }
+
+    /// Self-derivation (the no-move neighbor) reproduces the base key.
+    #[test]
+    fn self_derivation_is_the_identity(
+        ns in 1usize..4,
+        nr in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed | 1);
+        let base = config(&mut rng, ns, nr);
+        let base_key = base.encode();
+        let mut derived = Vec::new();
+        prop_assert!(base.encode_delta_into(&base, &base_key, &mut derived));
+        prop_assert_eq!(derived, base_key);
+    }
+
+    /// A single-move neighbor (the shape the search produces) derives the
+    /// same key as a full encode, whichever field moved.
+    #[test]
+    fn single_move_neighbors_derive_exact_keys(
+        ns in 1usize..4,
+        nr in 0usize..3,
+        seed in any::<u64>(),
+        field in 0usize..8,
+    ) {
+        let mut rng = Rng(seed | 1);
+        let base = config(&mut rng, ns, nr);
+        let mut n = base.clone();
+        match field {
+            0 => n.spatial_splits[(rng.next() as usize) % ns] =
+                (0..SPATIAL_PARTS).map(|_| (rng.next() % 64 + 1) as i64).collect(),
+            1 if nr > 0 => n.reduce_splits[(rng.next() as usize) % nr] =
+                (0..REDUCE_PARTS).map(|_| (rng.next() % 64 + 1) as i64).collect(),
+            2 => n.reorder[(rng.next() as usize) % ns] = (rng.next() as usize) % ns,
+            3 => n.fuse_outer = (rng.next() as usize) % ns + 1,
+            4 => n.unroll = !n.unroll,
+            5 => n.vectorize = !n.vectorize,
+            6 => n.cache_shared = !n.cache_shared,
+            _ => n.fpga_partition += 1,
+        }
+        let base_key = base.encode();
+        let mut derived = Vec::new();
+        prop_assert!(n.encode_delta_into(&base, &base_key, &mut derived));
+        let full = n.encode();
+        prop_assert_eq!(derived, full);
+    }
+
+    /// Shape mismatches are rejected and leave the output untouched.
+    #[test]
+    fn incompatible_shapes_are_rejected(
+        ns in 1usize..4,
+        nr in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng(seed | 1);
+        let base = config(&mut rng, ns, nr);
+        let other = config(&mut rng, ns + 1, nr);
+        let base_key = base.encode();
+        let mut out = vec![7i64];
+        prop_assert!(!other.encode_delta_into(&base, &base_key, &mut out));
+        prop_assert_eq!(out, vec![7i64]);
+    }
+}

@@ -12,11 +12,62 @@ use flextensor_schedule::features::KernelFeatures;
 
 use crate::spec::CpuSpec;
 
+/// The exact subset of [`KernelFeatures`] the CPU model reads, flattened
+/// into one `Copy` row. The scalar entry point builds one row per call;
+/// [`crate::batch::FeatureBatch`] stores the same columns
+/// structure-of-arrays and feeds them through the identical
+/// [`cpu_time_row`] arithmetic, which is what makes the batched path
+/// bit-identical to the scalar one by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CpuRow {
+    pub flops: u64,
+    pub grid: i64,
+    pub parallel_chunks: i64,
+    pub thread_tile: i64,
+    pub reduce_outer: i64,
+    pub vector_len: i64,
+    pub shared_bytes_per_block: i64,
+    pub l1_tile_bytes: i64,
+    pub l2_tile_bytes: i64,
+    pub input_bytes_total: i64,
+    pub output_bytes: i64,
+    pub data_node_bytes: i64,
+    pub unroll: bool,
+    pub contiguous_inner: bool,
+}
+
+impl CpuRow {
+    pub(crate) fn of(f: &KernelFeatures) -> CpuRow {
+        CpuRow {
+            flops: f.flops,
+            grid: f.grid,
+            parallel_chunks: f.parallel_chunks,
+            thread_tile: f.thread_tile,
+            reduce_outer: f.reduce_outer,
+            vector_len: f.vector_len,
+            shared_bytes_per_block: f.shared_bytes_per_block,
+            l1_tile_bytes: f.l1_tile_bytes,
+            l2_tile_bytes: f.l2_tile_bytes,
+            input_bytes_total: f.input_bytes_total,
+            output_bytes: f.output_bytes,
+            data_node_bytes: f.data_node_bytes,
+            unroll: f.unroll,
+            contiguous_inner: f.contiguous_inner,
+        }
+    }
+}
+
 /// Estimates kernel time in seconds; `None` when the configuration is
 /// infeasible (never on CPU — everything runs, just possibly slowly — so
 /// this returns `Some` for all valid features; the `Option` keeps the
 /// interface uniform across targets).
 pub fn cpu_time(spec: &CpuSpec, f: &KernelFeatures, code_quality: f64) -> Option<f64> {
+    Some(cpu_time_row(spec, CpuRow::of(f), code_quality))
+}
+
+/// The CPU model arithmetic over one feature row — the single
+/// implementation shared by the scalar and batched entry points.
+pub(crate) fn cpu_time_row(spec: &CpuSpec, f: CpuRow, code_quality: f64) -> f64 {
     // ---- threading ----------------------------------------------------
     let chunks = f.parallel_chunks.max(1);
     let used_cores = chunks.min(spec.cores);
@@ -101,7 +152,7 @@ pub fn cpu_time(spec: &CpuSpec, f: &KernelFeatures, code_quality: f64) -> Option
     } else {
         0.0
     };
-    Some(compute_s.max(mem_s) + 0.2 * compute_s.min(mem_s) + spawn)
+    compute_s.max(mem_s) + 0.2 * compute_s.min(mem_s) + spawn
 }
 
 #[cfg(test)]

@@ -15,14 +15,53 @@
 //! the paper says FlexTensor "solv\[es\] an optimization problem under
 //! certain FPGA resource constraints".
 
-use flextensor_schedule::features::KernelFeatures;
+use flextensor_schedule::features::{FpgaFeatures, KernelFeatures};
 
 use crate::spec::FpgaSpec;
 
+/// The exact inputs of the FPGA pipeline model, flattened into one `Copy`
+/// row: the [`FpgaFeatures`] block plus the workload FLOPs. Both the
+/// scalar entry point and the batched [`crate::batch::FeatureBatch`] path
+/// score rows through the same [`fpga_time_row`] arithmetic, making them
+/// bit-identical by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FpgaRow {
+    pub flops: u64,
+    pub pe: i64,
+    pub rounds: i64,
+    pub buffer_bytes: i64,
+    pub stream_bytes: i64,
+    pub write_bytes: i64,
+    pub partition: i64,
+    pub pipeline: i64,
+}
+
+impl FpgaRow {
+    pub(crate) fn of(flops: u64, fp: &FpgaFeatures) -> FpgaRow {
+        FpgaRow {
+            flops,
+            pe: fp.pe,
+            rounds: fp.rounds,
+            buffer_bytes: fp.buffer_bytes,
+            stream_bytes: fp.stream_bytes,
+            write_bytes: fp.write_bytes,
+            partition: fp.partition,
+            pipeline: fp.pipeline,
+        }
+    }
+}
+
 /// Estimates execution time in seconds; `None` when the design does not
-/// fit (PE count exceeds the DSP budget, or buffers exceed BRAM).
+/// fit (PE count exceeds the DSP budget, or buffers exceed BRAM) or the
+/// features carry no FPGA block (kernel was lowered for another target).
 pub fn fpga_time(spec: &FpgaSpec, f: &KernelFeatures, code_quality: f64) -> Option<f64> {
     let fp = f.fpga.as_ref()?;
+    fpga_time_row(spec, FpgaRow::of(f.flops, fp), code_quality)
+}
+
+/// The FPGA model arithmetic over one feature row — the single
+/// implementation shared by the scalar and batched entry points.
+pub(crate) fn fpga_time_row(spec: &FpgaSpec, fp: FpgaRow, code_quality: f64) -> Option<f64> {
     if fp.pe > spec.max_pe() {
         return None; // not enough DSPs
     }
@@ -41,7 +80,7 @@ pub fn fpga_time(spec: &FpgaSpec, f: &KernelFeatures, code_quality: f64) -> Opti
     let rounds = fp.rounds.max(1) as f64;
 
     // C: compute time of one round. Each PE retires one MAC per cycle.
-    let total_macs = (f.flops / 2) as f64;
+    let total_macs = (fp.flops / 2) as f64;
     let macs_per_round = total_macs / rounds;
     let c = if total_macs == 0.0 {
         0.0

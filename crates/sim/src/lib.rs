@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cpu;
 pub mod fpga;
 pub mod gpu;
@@ -48,5 +49,6 @@ pub mod library;
 pub mod model;
 pub mod spec;
 
+pub use batch::FeatureBatch;
 pub use model::{Cost, Evaluator, GENERATED_CODE_QUALITY};
 pub use spec::{p100, titan_x, v100, vu9p, xeon_e5_2699_v4, CpuSpec, Device, FpgaSpec, GpuSpec};

@@ -1,0 +1,180 @@
+//! Differential tier for the batched cost model: `time_features_batch`
+//! must equal `map(time_features)` **bit-for-bit** on every device model,
+//! at every batch size — full chunks, ragged tails (`len % 8 != 0`,
+//! `len < 8`), and the empty batch. The scalar path is the reference; the
+//! batched path has no licence to diverge by a single ULP.
+
+use flextensor_ir::ops;
+use flextensor_schedule::config::NodeConfig;
+use flextensor_schedule::features::KernelFeatures;
+use flextensor_schedule::lower::lower;
+use flextensor_sim::batch::FeatureBatch;
+use flextensor_sim::model::Evaluator;
+use flextensor_sim::spec::{v100, vu9p, xeon_e5_2699_v4, Device};
+use proptest::prelude::*;
+
+/// Deterministic xorshift so feature generation needs no external RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// Generates `count` feature rows for `dev` by lowering seeded random (but
+/// always valid) gemm/conv tilings. Mixes feasible and infeasible rows so
+/// the `None` lanes of the batch kernels are exercised too.
+fn sample_features(dev: &Device, seed: u64, count: usize) -> Vec<KernelFeatures> {
+    let gemm = ops::gemm(256, 192, 128);
+    let conv = ops::conv2d(ops::ConvParams::same(1, 32, 64, 3), 14, 14);
+    let mut rng = Rng(seed | 1);
+    let gemm_i: [Vec<i64>; 4] = [
+        vec![8, 1, 16, 2],
+        vec![16, 1, 16, 1],
+        vec![1, 1, 256, 1],
+        vec![4, 4, 4, 4],
+    ];
+    let gemm_j: [Vec<i64>; 3] = [vec![6, 1, 16, 2], vec![12, 1, 16, 1], vec![192, 1, 1, 1]];
+    let gemm_k: [Vec<i64>; 3] = [vec![64, 1, 2], vec![32, 2, 2], vec![128, 1, 1]];
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let use_conv = rng.next().is_multiple_of(4);
+        let (g, mut cfg) = if use_conv {
+            let c = NodeConfig::naive(conv.root_op());
+            (&conv, c)
+        } else {
+            let mut c = NodeConfig::naive(gemm.root_op());
+            c.spatial_splits = vec![rng.pick(&gemm_i).clone(), rng.pick(&gemm_j).clone()];
+            c.reduce_splits = vec![rng.pick(&gemm_k).clone()];
+            (&gemm, c)
+        };
+        cfg.cache_shared = rng.next().is_multiple_of(2);
+        cfg.unroll = rng.next().is_multiple_of(2);
+        cfg.vectorize = rng.next().is_multiple_of(2);
+        if let Ok(kernel) = lower(g, &cfg, dev.target()) {
+            out.push(kernel.features);
+        }
+    }
+    out
+}
+
+fn devices() -> [Device; 3] {
+    [
+        Device::Gpu(v100()),
+        Device::Cpu(xeon_e5_2699_v4()),
+        Device::Fpga(vu9p()),
+    ]
+}
+
+fn assert_batch_matches_scalar(dev: &Device, feats: &[KernelFeatures]) {
+    let ev = Evaluator::new(dev.clone());
+    let mut batch = FeatureBatch::new();
+    for f in feats {
+        batch.push(f);
+    }
+    let mut got = Vec::new();
+    ev.time_features_batch(&batch, &mut got);
+    assert_eq!(got.len(), feats.len());
+    for (i, f) in feats.iter().enumerate() {
+        let want = ev.time_features(f);
+        assert_eq!(
+            got[i].map(f64::to_bits),
+            want.map(f64::to_bits),
+            "row {i}/{} diverges on {}: batch {:?} scalar {:?}",
+            feats.len(),
+            dev.name(),
+            got[i],
+            want
+        );
+    }
+}
+
+/// Every batch size in 0..=64 plus chunk-boundary sizes around 8 and
+/// larger ragged sizes — exhaustive over the small range where tail
+/// handling bugs live.
+#[test]
+fn batch_equals_scalar_at_every_small_size() {
+    for dev in devices() {
+        let pool = sample_features(&dev, 0x9e3779b9, 80);
+        for n in 0..=64usize {
+            assert_batch_matches_scalar(&dev, &pool[..n]);
+        }
+        assert_batch_matches_scalar(&dev, &pool[..71]);
+        assert_batch_matches_scalar(&dev, &pool);
+    }
+}
+
+/// A reused (clear + refill) batch must behave exactly like a fresh one —
+/// the pool holds one `FeatureBatch` scratch across batches.
+#[test]
+fn reused_scratch_batch_equals_fresh_batch() {
+    for dev in devices() {
+        let ev = Evaluator::new(dev.clone());
+        let a = sample_features(&dev, 11, 40);
+        let b = sample_features(&dev, 22, 17);
+        let mut scratch = FeatureBatch::new();
+        let mut out = Vec::new();
+        for f in &a {
+            scratch.push(f);
+        }
+        ev.time_features_batch(&scratch, &mut out);
+        scratch.clear();
+        for f in &b {
+            scratch.push(f);
+        }
+        ev.time_features_batch(&scratch, &mut out);
+        for (i, f) in b.iter().enumerate() {
+            assert_eq!(
+                out[i].map(f64::to_bits),
+                ev.time_features(f).map(f64::to_bits),
+                "reused scratch diverges at row {i} on {}",
+                dev.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `cost_batch ≡ map(cost)` for arbitrary batch sizes in 1..=1024 and
+    /// arbitrary seeds, on all three device models.
+    #[test]
+    fn batch_equals_scalar_at_any_size(
+        n in 1usize..=1024,
+        seed in any::<u64>(),
+        device_idx in 0usize..3,
+    ) {
+        let dev = devices()[device_idx].clone();
+        let feats = sample_features(&dev, seed, n);
+        let ev = Evaluator::new(dev.clone());
+        let mut batch = FeatureBatch::new();
+        for f in &feats {
+            batch.push(f);
+        }
+        let mut got = Vec::new();
+        ev.time_features_batch(&batch, &mut got);
+        prop_assert_eq!(got.len(), n);
+        for (i, f) in feats.iter().enumerate() {
+            let want = ev.time_features(f);
+            prop_assert_eq!(
+                got[i].map(f64::to_bits),
+                want.map(f64::to_bits),
+                "row {} of {} diverges on {}",
+                i,
+                n,
+                dev.name()
+            );
+        }
+    }
+}
