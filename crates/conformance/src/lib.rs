@@ -6,13 +6,14 @@
 //! 1. [`gen`] produces configs: valid points via the schedule space's
 //!    divisor-aware sampler, and *near-invalid mutants* — valid configs
 //!    with exactly one field corrupted.
-//! 2. [`oracle`] checks every point against four differential tiers:
+//! 2. [`oracle`] checks every point against the differential tiers:
 //!    structural (validate/encode/decode round-trips, split invariants,
 //!    mutants rejected), semantic (scheduled interpreter vs.
 //!    `interp::reference` on small shapes), model (CPU/GPU/FPGA costs
-//!    finite, positive, and invariant to the number of eval workers), and
+//!    finite, positive, and invariant to the number of eval workers),
 //!    analyzer (`flextensor-analyze` static verdicts agree with the cost
-//!    models and the interpreter).
+//!    models and the interpreter), and region (interval certificates
+//!    over factor boxes are sound for their concrete members).
 //! 3. [`shrink`](mod@shrink) greedily minimizes any failing config per field until
 //!    every remaining non-naive field is load-bearing.
 //! 4. [`corpus`] stores shrunk cases as JSON fixtures that replay as
@@ -31,6 +32,7 @@ pub mod corpus;
 pub mod fuzz;
 pub mod gen;
 pub mod oracle;
+pub mod region_audit;
 pub mod shrink;
 
 pub use audit::{audit_corpus, audit_fixture, AuditEntry, AuditReport};
@@ -38,7 +40,8 @@ pub use corpus::{load_corpus, seed_corpus, Expectation, Fixture};
 pub use fuzz::{fuzz, FuzzOptions, FuzzReport, Violation};
 pub use gen::{mutate, Mutation, ALL_MUTATIONS};
 pub use oracle::{
-    check_analyzer, check_model, check_mutant_rejected, check_semantic, check_structural,
-    check_worker_invariance, oracle_devices, Tier, SEMANTIC_TOL,
+    check_analyzer, check_model, check_mutant_rejected, check_region, check_semantic,
+    check_structural, check_worker_invariance, oracle_devices, Tier, SEMANTIC_TOL,
 };
+pub use region_audit::{region_audit, RegionAuditReport};
 pub use shrink::shrink;

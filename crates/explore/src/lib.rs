@@ -53,6 +53,7 @@ pub mod pool;
 pub mod qlearn;
 pub mod sa;
 pub mod space;
+pub mod sweep;
 pub mod warm;
 
 /// The structured trace/event layer (`flextensor-telemetry`), re-exported

@@ -115,6 +115,23 @@ pub struct SearchOptions {
     /// [`EvalStats::delta_hits`] / [`EvalStats::delta_full`] and
     /// `delta_stats` trace records. Composes with `analyzer_gate`.
     pub delta_eval: bool,
+    /// Gate candidates through the region analysis
+    /// ([`flextensor_analyze::analyze_region`]): each fresh candidate is
+    /// bucketed into its power-of-two factor box, and a box the abstract
+    /// interpretation certifies *statically illegal* rejects every member
+    /// before the cost model runs — one interval analysis covers the
+    /// whole bucket. The verdict is a pure function of the candidate, so
+    /// the gate is result-preserving: it only skips evaluations that
+    /// would have scored `None` anyway, and the best configuration, cost
+    /// bits, and RNG trajectory are identical either way. At the end of
+    /// the run a zero-evaluation branch-and-bound sweep
+    /// ([`crate::sweep::certify`]) additionally certifies how much of the
+    /// factor space around the best point provably cannot beat it.
+    /// Tallies show up in [`EvalStats::region_pruned`] /
+    /// [`EvalStats::regions_analyzed`], a `region_stats` trace record,
+    /// and [`SearchResult::region_sweep`]. Composes with `analyzer_gate`
+    /// and `delta_eval`.
+    pub region_gate: bool,
     /// Structured trace sink (disabled by default). When enabled, the
     /// search emits the full event stream of `docs/TRACE_FORMAT.md`:
     /// trial lifecycle, every absorbed candidate, SA moves, Q-network
@@ -157,6 +174,7 @@ impl Default for SearchOptions {
             cache_capacity: 1 << 20,
             analyzer_gate: false,
             delta_eval: false,
+            region_gate: false,
             telemetry: Telemetry::null(),
             warm_start: Vec::new(),
             anneal_window: None,
@@ -200,6 +218,11 @@ pub struct SearchResult {
     /// Warm-start encodings that were successfully adapted and absorbed
     /// into the trial-0 seed batch (0 for cold searches).
     pub warm_seeds: usize,
+    /// Counters from the end-of-run certification sweep
+    /// ([`crate::sweep::certify`]); present iff
+    /// [`SearchOptions::region_gate`] was enabled. The sweep performs no
+    /// concrete evaluations and cannot change the search result.
+    pub region_sweep: Option<crate::sweep::RegionSweep>,
 }
 
 /// Errors from exploration.
@@ -317,7 +340,16 @@ pub fn search(
 
     let mut d = Driver {
         graph,
-        pool: if opts.delta_eval {
+        pool: if opts.region_gate {
+            EvalPool::new_region_gated(
+                graph,
+                evaluator,
+                opts.eval_workers,
+                opts.cache_capacity,
+                opts.analyzer_gate,
+                opts.delta_eval,
+            )
+        } else if opts.delta_eval {
             EvalPool::new_delta(
                 graph,
                 evaluator,
@@ -521,8 +553,31 @@ pub fn search(
         .ok_or_else(|| SearchError("no feasible schedule found".into()))?;
     let best = best.clone();
     let seconds = 1.0 / e;
+    // End-of-run certification sweep: zero evaluations, no history
+    // access — it can only produce counters, never change the result.
+    let region_sweep = opts.region_gate.then(|| {
+        crate::sweep::certify(
+            graph,
+            evaluator,
+            &best,
+            seconds,
+            crate::sweep::DEFAULT_SWEEP_REGIONS,
+        )
+    });
     if tel.is_enabled() {
         let stats = d.pool.stats();
+        if let Some(sweep) = &region_sweep {
+            tel.emit(TraceEvent::RegionStats {
+                trial: trace.last().map_or(0, |t| t.trial),
+                regions_analyzed: stats.regions_analyzed,
+                region_pruned: stats.region_pruned,
+                swept: sweep.examined,
+                sweep_illegal: sweep.certified_illegal,
+                sweep_pruned: sweep.certified_pruned,
+                sweep_open: sweep.open,
+                sweep_truncated: sweep.truncated,
+            });
+        }
         tel.emit(TraceEvent::RunSummary {
             trials: trace.last().map_or(0, |t| t.trial),
             measurements: d.measurements,
@@ -548,6 +603,7 @@ pub fn search(
         space_size,
         eval_stats: d.pool.stats(),
         warm_seeds,
+        region_sweep,
     })
 }
 
@@ -793,6 +849,114 @@ mod tests {
             }
             other => panic!("gated run must record analyzer_stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn region_gate_preserves_search_results() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        for m in [Method::QMethod, Method::PMethod, Method::RandomWalk] {
+            let off = search(&g, &ev, m, &quick_opts(10)).unwrap();
+            let mut opts = quick_opts(10);
+            opts.region_gate = true;
+            let on = search(&g, &ev, m, &opts).unwrap();
+            // The gate only rejects members of regions certified
+            // statically illegal — points the evaluator scores `None`
+            // anyway — so the search trajectory is bit-identical.
+            assert_eq!(on.best.encode(), off.best.encode(), "{m}");
+            assert_eq!(
+                on.best_cost.seconds.to_bits(),
+                off.best_cost.seconds.to_bits(),
+                "{m}"
+            );
+            // Pruned members were never billed as modeled measurements.
+            assert_eq!(off.eval_stats.region_pruned, 0, "{m}");
+            assert_eq!(off.eval_stats.regions_analyzed, 0, "{m}");
+            assert!(
+                on.eval_stats.region_pruned > 0,
+                "{m}: region gate never fired"
+            );
+            assert!(on.eval_stats.regions_analyzed > 0, "{m}");
+            assert_eq!(
+                on.measurements + on.eval_stats.pruned,
+                off.measurements,
+                "{m}"
+            );
+            // The certification sweep ran and its counters are sane.
+            assert_eq!(off.region_sweep, None, "{m}");
+            let sweep = on.region_sweep.expect("gated run must sweep");
+            assert!(sweep.examined > 0, "{m}");
+            assert!(
+                sweep.open >= 1,
+                "{m}: the best point's region must stay open: {sweep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_gate_composes_with_analyzer_gate_and_delta_eval() {
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let off = search(&g, &ev, Method::QMethod, &quick_opts(10)).unwrap();
+        let mut opts = quick_opts(10);
+        opts.region_gate = true;
+        opts.analyzer_gate = true;
+        opts.delta_eval = true;
+        let on = search(&g, &ev, Method::QMethod, &opts).unwrap();
+        assert_eq!(on.best.encode(), off.best.encode());
+        assert_eq!(
+            on.best_cost.seconds.to_bits(),
+            off.best_cost.seconds.to_bits()
+        );
+        assert!(on.eval_stats.region_pruned > 0);
+        assert!(on.eval_stats.delta_hits > 0);
+    }
+
+    #[test]
+    fn region_gated_search_traces_still_replay_exactly() {
+        use flextensor_telemetry::{replay, MemorySink};
+        use std::sync::Arc;
+
+        let g = ops::gemm(256, 256, 256);
+        let ev = Evaluator::new(Device::Gpu(v100()));
+        let sink = Arc::new(MemorySink::new());
+        let mut opts = quick_opts(6);
+        opts.region_gate = true;
+        opts.telemetry = Telemetry::new(sink.clone());
+        let r = search(&g, &ev, Method::QMethod, &opts).unwrap();
+
+        let events = sink.events();
+        let rep = replay::replay(&events).unwrap();
+        assert!(rep.summary_matches(), "{:#?}", rep.replayed);
+        match rep.region {
+            Some(TraceEvent::RegionStats {
+                regions_analyzed,
+                region_pruned,
+                swept,
+                sweep_illegal,
+                sweep_pruned,
+                sweep_open,
+                sweep_truncated,
+                ..
+            }) => {
+                assert_eq!(regions_analyzed, r.eval_stats.regions_analyzed);
+                assert_eq!(region_pruned, r.eval_stats.region_pruned);
+                assert!(region_pruned > 0);
+                let sweep = r.region_sweep.unwrap();
+                assert_eq!(swept, sweep.examined);
+                assert_eq!(sweep_illegal, sweep.certified_illegal);
+                assert_eq!(sweep_pruned, sweep.certified_pruned);
+                assert_eq!(sweep_open, sweep.open);
+                assert_eq!(sweep_truncated, sweep.truncated);
+            }
+            other => panic!("region-gated run must record region_stats, got {other:?}"),
+        }
+        // An ungated trace carries no region record at all.
+        let sink2 = Arc::new(MemorySink::new());
+        let mut plain = quick_opts(6);
+        plain.telemetry = Telemetry::new(sink2.clone());
+        search(&g, &ev, Method::QMethod, &plain).unwrap();
+        assert!(replay::replay(&sink2.events()).unwrap().region.is_none());
     }
 
     #[test]

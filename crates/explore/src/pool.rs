@@ -386,9 +386,17 @@ pub struct EvalStats {
     pub cache_hits: usize,
     /// Lookups that required a fresh evaluation.
     pub cache_misses: usize,
-    /// Candidates the static analyzer gate rejected before the cost model
-    /// ran (always 0 when the gate is off).
+    /// Candidates a static gate (the analyzer gate or the region gate)
+    /// rejected before the cost model ran (always 0 when both gates are
+    /// off).
     pub pruned: usize,
+    /// Candidates the region gate rejected because their power-of-two
+    /// factor box was certified statically illegal (always 0 when the
+    /// region gate is off). A subset of `pruned`.
+    pub region_pruned: usize,
+    /// Distinct candidate regions the region gate analyzed (always 0 when
+    /// the region gate is off).
+    pub regions_analyzed: usize,
     /// Worker threads used for evaluation.
     pub workers: usize,
     /// Real time spent inside batched evaluation, seconds.
@@ -416,6 +424,8 @@ impl EvalStats {
     ///     cache_hits: 10,
     ///     cache_misses: 40,
     ///     pruned: 0,
+    ///     region_pruned: 0,
+    ///     regions_analyzed: 0,
     ///     workers: 4,
     ///     wall_clock_s: 0.2,
     ///     delta_hits: 0,
@@ -483,6 +493,83 @@ struct EvalCtx {
     /// template-path pools, 1 for reference pools; tests force 0 to
     /// exercise the fan-out path on small batches).
     inline_batch: usize,
+    /// Live interval region gate ([`EvalPool::new_region_gated`]): when
+    /// present, each fresh candidate is bucketed into its power-of-two
+    /// factor box and skipped when `flextensor_analyze::analyze_region`
+    /// certifies the whole box statically illegal. Sound by
+    /// [`RegionVerdict::Illegal`]'s contract — every member of an illegal
+    /// region (the candidate included) evaluates to `None` — so gating
+    /// never changes a cost, only whether modeled measurement time is
+    /// spent.
+    region_gate: Option<RegionGateState>,
+}
+
+/// Shared state of the live region gate: a verdict memo keyed by the
+/// region's bucket signature, plus the prune tally. Verdicts are a pure
+/// function of the bucket key, so concurrent workers computing the same
+/// bucket insert the same value — counters derived from the memo are
+/// deterministic in the worker count.
+struct RegionGateState {
+    /// Bucket signature → "the whole region is statically illegal".
+    memo: Mutex<FnvMap<Vec<i64>, bool>>,
+    /// Fresh candidates skipped because their region proved illegal.
+    pruned: AtomicUsize,
+}
+
+/// The inclusive power-of-two bucket `[2^b, 2^(b+1) - 1]` a split factor
+/// falls in. Every factor of the same bucket shares the same region, so
+/// one interval analysis covers all of them.
+fn pow2_bucket(f: i64) -> (i64, i64) {
+    let b = 63 - (f.max(1) as u64).leading_zeros();
+    (1i64 << b, (1i64 << (b + 1)) - 1)
+}
+
+/// The canonical signature of `cfg`'s bucket region: flags, discrete
+/// coordinates, and the per-(axis, level) bucket exponents. Two configs
+/// share a signature iff [`region_bucket`] builds the same region.
+fn region_bucket_key(cfg: &NodeConfig) -> Vec<i64> {
+    let n: usize = cfg.spatial_splits.iter().map(Vec::len).sum::<usize>()
+        + cfg.reduce_splits.iter().map(Vec::len).sum::<usize>()
+        + cfg.reorder.len()
+        + 4;
+    let mut key = Vec::with_capacity(n);
+    key.push(
+        (cfg.unroll as i64)
+            | ((cfg.vectorize as i64) << 1)
+            | ((cfg.cache_shared as i64) << 2)
+            | ((cfg.inline_data as i64) << 3),
+    );
+    key.push(cfg.fuse_outer as i64);
+    key.push(cfg.fpga_partition);
+    key.push(cfg.fpga_pipeline);
+    key.extend(cfg.reorder.iter().map(|&r| r as i64));
+    for row in cfg.spatial_splits.iter().chain(&cfg.reduce_splits) {
+        key.extend(row.iter().map(|&f| pow2_bucket(f).0));
+    }
+    key
+}
+
+/// The power-of-two factor box around `cfg`: each split factor widens to
+/// its [`pow2_bucket`]; flags and discrete coordinates stay fixed. `cfg`
+/// is a member of the result by construction, so an
+/// [`RegionVerdict::Illegal`](flextensor_analyze::RegionVerdict) verdict
+/// for the box proves the evaluator scores `cfg` itself `None`.
+fn region_bucket(cfg: &NodeConfig) -> Option<flextensor_analyze::Region> {
+    let ranges = |rows: &[Vec<i64>]| -> Vec<Vec<(i64, i64)>> {
+        rows.iter()
+            .map(|row| row.iter().map(|&f| pow2_bucket(f)).collect())
+            .collect()
+    };
+    flextensor_analyze::Region::from_ranges(
+        cfg.clone(),
+        ranges(&cfg.spatial_splits),
+        ranges(&cfg.reduce_splits),
+        flextensor_analyze::FlagChoice::Fixed(cfg.unroll),
+        flextensor_analyze::FlagChoice::Fixed(cfg.vectorize),
+        flextensor_analyze::FlagChoice::Fixed(cfg.cache_shared),
+        flextensor_analyze::FlagChoice::Fixed(cfg.inline_data),
+    )
+    .ok()
 }
 
 /// What one candidate contributed to a feature batch, before scoring.
@@ -517,6 +604,13 @@ impl EvalCtx {
         scratch: &mut DeltaScratch,
         batch: &mut FeatureBatch,
     ) -> RowMeta {
+        if self.region_rejects(cfg) {
+            return RowMeta {
+                valid: false,
+                pruned: true,
+                took_delta: false,
+            };
+        }
         if let (true, Some((base_cfg, base_features))) = (self.delta_eval, base) {
             return match delta_features_with(&self.template, base_cfg, base_features, cfg, scratch)
             {
@@ -580,6 +674,53 @@ impl EvalCtx {
             pruned: false,
             took_delta: false,
         }
+    }
+
+    /// The live region gate: buckets `cfg` into the power-of-two factor
+    /// box around it (flags and discrete coordinates fixed to `cfg`'s)
+    /// and rejects it when the whole box is certified statically illegal.
+    /// Verdicts are memoized per bucket, so the cost amortizes to one
+    /// interval analysis per visited region. The verdict — and therefore
+    /// the candidate's outcome and every counter — is a pure function of
+    /// `cfg`, independent of worker count and scheduling.
+    fn region_rejects(&self, cfg: &NodeConfig) -> bool {
+        let Some(gate) = &self.region_gate else {
+            return false;
+        };
+        let key = region_bucket_key(cfg);
+        let cached = gate
+            .memo
+            .lock()
+            .expect("region memo poisoned")
+            .get(&key)
+            .copied();
+        let illegal = match cached {
+            Some(v) => v,
+            None => {
+                let v = match region_bucket(cfg) {
+                    Some(region) => matches!(
+                        flextensor_analyze::analyze_region(
+                            &self.template,
+                            &region,
+                            &self.evaluator
+                        ),
+                        flextensor_analyze::RegionVerdict::Illegal(_)
+                    ),
+                    // A config the box constructor rejects (malformed split
+                    // shape) never prunes; the evaluator will verdict it.
+                    None => false,
+                };
+                gate.memo
+                    .lock()
+                    .expect("region memo poisoned")
+                    .insert(key, v);
+                v
+            }
+        };
+        if illegal {
+            gate.pruned.fetch_add(1, Ordering::Relaxed);
+        }
+        illegal
     }
 
     /// Workload FLOPs, read from the active evaluation path (template
@@ -725,6 +866,37 @@ impl EvalPool {
             true,
             true,
             false,
+            false,
+        )
+    }
+
+    /// A pool with the live interval **region gate** enabled: each fresh
+    /// candidate is bucketed into the power-of-two factor box around it,
+    /// the box is analyzed once through
+    /// [`flextensor_analyze::analyze_region`], and candidates whose whole
+    /// box is certified statically illegal are rejected *before* feature
+    /// lowering ([`EvalOutcome::pruned`], [`EvalStats::region_pruned`]).
+    /// Because an illegal region only contains candidates the evaluator
+    /// would have scored `None`, every returned cost is bit-identical to
+    /// an ungated pool's. `analyzer_gate` and `delta_eval` compose exactly
+    /// as in [`EvalPool::new_gated`] / [`EvalPool::new_delta`].
+    pub fn new_region_gated(
+        graph: &Graph,
+        evaluator: &Evaluator,
+        workers: usize,
+        cache_capacity: usize,
+        analyzer_gate: bool,
+        delta_eval: bool,
+    ) -> EvalPool {
+        EvalPool::build(
+            graph,
+            evaluator,
+            workers,
+            Arc::new(MemoCache::new(cache_capacity)),
+            true,
+            analyzer_gate,
+            delta_eval,
+            true,
         )
     }
 
@@ -751,6 +923,7 @@ impl EvalPool {
             true,
             analyzer_gate,
             true,
+            false,
         )
     }
 
@@ -774,6 +947,7 @@ impl EvalPool {
             false,
             false,
             false,
+            false,
         )
     }
 
@@ -785,9 +959,10 @@ impl EvalPool {
         workers: usize,
         cache: Arc<MemoCache>,
     ) -> EvalPool {
-        EvalPool::build(graph, evaluator, workers, cache, true, false, false)
+        EvalPool::build(graph, evaluator, workers, cache, true, false, false, false)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         graph: &Graph,
         evaluator: &Evaluator,
@@ -796,6 +971,7 @@ impl EvalPool {
         use_template: bool,
         analyzer_gate: bool,
         delta_eval: bool,
+        region_gate: bool,
     ) -> EvalPool {
         let inline_batch = if use_template { INLINE_BATCH } else { 1 };
         EvalPool::build_with_inline(
@@ -806,6 +982,7 @@ impl EvalPool {
             use_template,
             analyzer_gate,
             delta_eval,
+            region_gate,
             inline_batch,
         )
     }
@@ -819,6 +996,7 @@ impl EvalPool {
         use_template: bool,
         analyzer_gate: bool,
         delta_eval: bool,
+        region_gate: bool,
         inline_batch: usize,
     ) -> EvalPool {
         let workers = resolve_workers(workers);
@@ -830,6 +1008,10 @@ impl EvalPool {
             analyzer_gate,
             delta_eval,
             inline_batch,
+            region_gate: region_gate.then(|| RegionGateState {
+                memo: Mutex::new(FnvMap::default()),
+                pruned: AtomicUsize::new(0),
+            }),
         });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
@@ -929,6 +1111,12 @@ impl EvalPool {
     /// ([`EvalPool::new_delta`]).
     pub fn delta_eval(&self) -> bool {
         self.ctx.delta_eval
+    }
+
+    /// Whether the live interval region gate is enabled
+    /// ([`EvalPool::new_region_gated`]).
+    pub fn region_gate(&self) -> bool {
+        self.ctx.region_gate.is_some()
     }
 
     /// The memo cache in front of the evaluator.
@@ -1193,11 +1381,20 @@ impl EvalPool {
 
     /// A snapshot of this pool's statistics.
     pub fn stats(&self) -> EvalStats {
+        let (region_pruned, regions_analyzed) = match &self.ctx.region_gate {
+            Some(gate) => (
+                gate.pruned.load(Ordering::Relaxed),
+                gate.memo.lock().expect("region memo poisoned").len(),
+            ),
+            None => (0, 0),
+        };
         EvalStats {
             evaluated: self.evaluated,
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
             pruned: self.pruned,
+            region_pruned,
+            regions_analyzed,
             workers: self.workers,
             wall_clock_s: self.wall_clock.as_secs_f64(),
             delta_hits: self.delta_hits,
@@ -1491,6 +1688,7 @@ mod tests {
                 true,
                 false,
                 delta,
+                false,
                 inline_batch,
             )
         };

@@ -37,6 +37,10 @@ pub(crate) struct CpuRow {
 }
 
 impl CpuRow {
+    // The scalar entry point now routes through the generic body; row
+    // construction from features remains as the reference side of the
+    // generic-vs-row differential tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn of(f: &KernelFeatures) -> CpuRow {
         CpuRow {
             flops: f.flops,
@@ -61,8 +65,17 @@ impl CpuRow {
 /// infeasible (never on CPU — everything runs, just possibly slowly — so
 /// this returns `Some` for all valid features; the `Option` keeps the
 /// interface uniform across targets).
+///
+/// Routes through the generic model body at `S = f64`
+/// ([`crate::generic::cpu_time_generic`]), bit-identical to
+/// `cpu_time_row` (pinned by the differential tests in
+/// `crate::generic`); the batched path keeps the concrete row kernel.
 pub fn cpu_time(spec: &CpuSpec, f: &KernelFeatures, code_quality: f64) -> Option<f64> {
-    Some(cpu_time_row(spec, CpuRow::of(f), code_quality))
+    Some(crate::generic::cpu_time_generic::<f64>(
+        spec,
+        &crate::generic::CpuIn::of(f),
+        code_quality,
+    ))
 }
 
 /// The CPU model arithmetic over one feature row — the single

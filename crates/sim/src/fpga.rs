@@ -37,6 +37,10 @@ pub(crate) struct FpgaRow {
 }
 
 impl FpgaRow {
+    // The scalar entry point now routes through the generic body; row
+    // construction from features remains as the reference side of the
+    // generic-vs-row differential tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn of(flops: u64, fp: &FpgaFeatures) -> FpgaRow {
         FpgaRow {
             flops,
@@ -54,9 +58,18 @@ impl FpgaRow {
 /// Estimates execution time in seconds; `None` when the design does not
 /// fit (PE count exceeds the DSP budget, or buffers exceed BRAM) or the
 /// features carry no FPGA block (kernel was lowered for another target).
+///
+/// Routes through the generic model body at `S = f64`
+/// ([`crate::generic::fpga_time_generic`]), bit-identical to
+/// `fpga_time_row` (pinned by the differential tests in
+/// `crate::generic`); the batched path keeps the concrete row kernel.
 pub fn fpga_time(spec: &FpgaSpec, f: &KernelFeatures, code_quality: f64) -> Option<f64> {
     let fp = f.fpga.as_ref()?;
-    fpga_time_row(spec, FpgaRow::of(f.flops, fp), code_quality)
+    crate::generic::fpga_time_generic::<f64>(
+        spec,
+        &crate::generic::FpgaIn::of(f.flops, fp),
+        code_quality,
+    )
 }
 
 /// The FPGA model arithmetic over one feature row — the single

@@ -26,7 +26,7 @@ use crate::spec::GpuSpec;
 /// Relative multiplier applied to uncached (no shared memory) global
 /// traffic: without explicit staging, overlapping tile reads are re-fetched
 /// through L1/L2 with imperfect reuse.
-const UNCACHED_TRAFFIC_PENALTY: f64 = 2.0;
+pub(crate) const UNCACHED_TRAFFIC_PENALTY: f64 = 2.0;
 
 /// The exact subset of [`KernelFeatures`] the GPU model reads, flattened
 /// into one `Copy` row. Both the scalar entry point and the batched
@@ -51,6 +51,10 @@ pub(crate) struct GpuRow {
 }
 
 impl GpuRow {
+    // The scalar entry point now routes through the generic body; row
+    // construction from features remains as the reference side of the
+    // generic-vs-row differential tests.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn of(f: &KernelFeatures) -> GpuRow {
         GpuRow {
             flops: f.flops,
@@ -77,8 +81,14 @@ impl GpuRow {
 ///
 /// `code_quality` scales achievable compute throughput: ~0.75 for generated
 /// code, higher for hand-tuned vendor kernels.
+///
+/// Routes through the generic model body at `S = f64`
+/// ([`crate::generic::gpu_time_generic`]), which is bit-identical to
+/// `gpu_time_row` — the differential tests in `crate::generic` pin the
+/// equivalence, and the batched path keeps scoring through the concrete
+/// row kernels.
 pub fn gpu_time(spec: &GpuSpec, f: &KernelFeatures, code_quality: f64) -> Option<f64> {
-    gpu_time_row(spec, GpuRow::of(f), code_quality)
+    crate::generic::gpu_time_generic::<f64>(spec, &crate::generic::GpuIn::of(f), code_quality)
 }
 
 /// The GPU model arithmetic over one feature row — the single

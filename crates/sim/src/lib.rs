@@ -17,6 +17,13 @@
 //!   feasibility constraints.
 //! * [`model`] — [`model::Evaluator`], the "performance value"
 //!   oracle exploration queries (§5.1).
+//! * [`scalar`] / [`generic`] — the models rewritten once over the
+//!   abstract [`scalar::Scalar`] domain, with three instantiations:
+//!   `f64` (bit-identical to the concrete models, and what the scalar
+//!   entry points now route through), outward-rounding
+//!   [`scalar::Interval`] enclosures (powering sound region-level cost
+//!   bounds in `flextensor-analyze`), and the [`scalar::Dual`]
+//!   forward-mode stub reserved for a gradient tuner.
 //! * [`library`] — simulated baselines: cuDNN / cuBLAS / PyTorch-native /
 //!   MKL-DNN / hand-optimized OpenCL, modeled as fixed expert schedules
 //!   plus per-shape algorithm selection (Winograd, implicit GEMM, kernel
@@ -39,16 +46,19 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod batch;
 pub mod cpu;
 pub mod fpga;
+pub mod generic;
 pub mod gpu;
 pub mod library;
 pub mod model;
+pub mod scalar;
 pub mod spec;
 
 pub use batch::FeatureBatch;
 pub use model::{Cost, Evaluator, GENERATED_CODE_QUALITY};
+pub use scalar::{Dual, Interval, IntervalError, Scalar, Trilean};
 pub use spec::{p100, titan_x, v100, vu9p, xeon_e5_2699_v4, CpuSpec, Device, FpgaSpec, GpuSpec};

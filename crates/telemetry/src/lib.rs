@@ -194,6 +194,33 @@ pub enum TraceEvent {
         /// cumulative over the run.
         delta_full: usize,
     },
+    /// Region branch-and-bound statistics: live interval-gate counters
+    /// plus the end-of-search certification sweep. Emitted once per run,
+    /// immediately before [`TraceEvent::RunSummary`], only when
+    /// `SearchOptions::region_gate` is enabled; traces from ungated runs
+    /// never contain it. Every field is deterministic given the seed and
+    /// search options, so gated traces replay byte-identically.
+    RegionStats {
+        /// Trial index of the last completed trial.
+        trial: usize,
+        /// Distinct candidate regions analyzed by the live gate.
+        regions_analyzed: usize,
+        /// Candidates skipped because their region is statically illegal.
+        region_pruned: usize,
+        /// Regions examined by the certification sweep.
+        swept: usize,
+        /// Sweep regions certified empty (no legal member schedule).
+        sweep_illegal: usize,
+        /// Sweep regions certified worse than the incumbent (certified
+        /// lower bound exceeds the realized best cost).
+        sweep_pruned: usize,
+        /// Sweep regions left uncertified (contain the incumbent or hit
+        /// the subdivision limit).
+        sweep_open: usize,
+        /// Whether the sweep hit its region budget before certifying the
+        /// whole factor space.
+        sweep_truncated: bool,
+    },
     /// Cumulative schedule-database statistics (`flextensor-tunedb`):
     /// lookup hits/misses, warm-start seeds served, records appended,
     /// and lines dropped by crash recovery. Emitted by the session
@@ -312,6 +339,7 @@ impl TraceEvent {
             TraceEvent::PoolStats { .. } => "pool_stats",
             TraceEvent::AnalyzerStats { .. } => "analyzer_stats",
             TraceEvent::DeltaStats { .. } => "delta_stats",
+            TraceEvent::RegionStats { .. } => "region_stats",
             TraceEvent::DbStats { .. } => "db_stats",
             TraceEvent::SessionStats { .. } => "session_stats",
             TraceEvent::GraphPlan { .. } => "graph_plan",
@@ -436,6 +464,21 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     ",\"trial\":{trial},\"delta_hits\":{delta_hits},\"delta_full\":{delta_full}"
+                );
+            }
+            TraceEvent::RegionStats {
+                trial,
+                regions_analyzed,
+                region_pruned,
+                swept,
+                sweep_illegal,
+                sweep_pruned,
+                sweep_open,
+                sweep_truncated,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"trial\":{trial},\"regions_analyzed\":{regions_analyzed},\"region_pruned\":{region_pruned},\"swept\":{swept},\"sweep_illegal\":{sweep_illegal},\"sweep_pruned\":{sweep_pruned},\"sweep_open\":{sweep_open},\"sweep_truncated\":{sweep_truncated}"
                 );
             }
             TraceEvent::DbStats {
@@ -600,6 +643,16 @@ impl TraceEvent {
                 trial: field(v.get_usize("trial"))?,
                 delta_hits: field(v.get_usize("delta_hits"))?,
                 delta_full: field(v.get_usize("delta_full"))?,
+            },
+            "region_stats" => TraceEvent::RegionStats {
+                trial: field(v.get_usize("trial"))?,
+                regions_analyzed: field(v.get_usize("regions_analyzed"))?,
+                region_pruned: field(v.get_usize("region_pruned"))?,
+                swept: field(v.get_usize("swept"))?,
+                sweep_illegal: field(v.get_usize("sweep_illegal"))?,
+                sweep_pruned: field(v.get_usize("sweep_pruned"))?,
+                sweep_open: field(v.get_usize("sweep_open"))?,
+                sweep_truncated: field(v.get_bool("sweep_truncated"))?,
             },
             "db_stats" => TraceEvent::DbStats {
                 records: field(v.get_usize("records"))?,
@@ -958,6 +1011,16 @@ mod tests {
                 trial: 1,
                 delta_hits: 9,
                 delta_full: 3,
+            },
+            TraceEvent::RegionStats {
+                trial: 3,
+                regions_analyzed: 7,
+                region_pruned: 4,
+                swept: 129,
+                sweep_illegal: 63,
+                sweep_pruned: 41,
+                sweep_open: 25,
+                sweep_truncated: false,
             },
             TraceEvent::DbStats {
                 records: 17,

@@ -110,6 +110,9 @@ pub struct Replay {
     /// The last recorded incremental-evaluation statistics, if any (only
     /// present in traces of delta-enabled runs).
     pub delta: Option<TraceEvent>,
+    /// The recorded region branch-and-bound statistics, if any (only
+    /// present in traces of region-gated runs).
+    pub region: Option<TraceEvent>,
     /// The last recorded schedule-database statistics, if any (only
     /// present in traces emitted through the session server).
     pub db: Option<TraceEvent>,
@@ -160,6 +163,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
     let mut pool: Option<TraceEvent> = None;
     let mut analyzer: Option<TraceEvent> = None;
     let mut delta: Option<TraceEvent> = None;
+    let mut region: Option<TraceEvent> = None;
     let mut db: Option<TraceEvent> = None;
     let mut sessions: Vec<TraceEvent> = Vec::new();
     let mut graph_plan: Option<TraceEvent> = None;
@@ -260,6 +264,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
             TraceEvent::PoolStats { .. } => pool = Some(ev.clone()),
             TraceEvent::AnalyzerStats { .. } => analyzer = Some(ev.clone()),
             TraceEvent::DeltaStats { .. } => delta = Some(ev.clone()),
+            TraceEvent::RegionStats { .. } => region = Some(ev.clone()),
             TraceEvent::DbStats { .. } => db = Some(ev.clone()),
             TraceEvent::SessionStats { .. } => sessions.push(ev.clone()),
             TraceEvent::GraphPlan { .. } => graph_plan = Some(ev.clone()),
@@ -319,6 +324,7 @@ pub fn replay(events: &[TraceEvent]) -> Result<Replay, TraceError> {
         pool,
         analyzer,
         delta,
+        region,
         db,
         sessions,
         graph_plan,
@@ -537,6 +543,28 @@ mod tests {
         );
         // Non-delta traces carry no delta record at all.
         assert_eq!(replay(&mini_trace()).unwrap().delta, None);
+    }
+
+    #[test]
+    fn region_stats_are_captured_without_affecting_the_fold() {
+        let mut events = mini_trace();
+        let summary_at = events.len() - 1;
+        let stats = TraceEvent::RegionStats {
+            trial: 2,
+            regions_analyzed: 3,
+            region_pruned: 1,
+            swept: 17,
+            sweep_illegal: 9,
+            sweep_pruned: 5,
+            sweep_open: 3,
+            sweep_truncated: false,
+        };
+        events.insert(summary_at, stats.clone());
+        let r = replay(&events).unwrap();
+        assert!(r.summary_matches(), "{:#?}", r);
+        assert_eq!(r.region, Some(stats));
+        // Ungated traces carry no region record at all.
+        assert_eq!(replay(&mini_trace()).unwrap().region, None);
     }
 
     #[test]

@@ -135,6 +135,24 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),*)),*) => {$(
+        impl<$($s: Strategy),*> Strategy for ($($s,)*) {
+            type Value = ($($s::Value,)*);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)*)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3)
+);
+
 /// Types with a canonical whole-domain strategy (for [`any`]).
 pub trait Arbitrary: Sized {
     /// Generates an unconstrained value.
